@@ -1,0 +1,151 @@
+//! Serial gold-reference SpGEMM.
+//!
+//! Gustavson's row-row algorithm (the paper's Algorithm 1) with a dense
+//! sparse-accumulator and a touched-column list, executed serially. Simple
+//! enough to be obviously correct; every parallel method in the workspace is
+//! tested against it.
+
+use tsg_matrix::{Csr, Scalar};
+
+/// Computes `C = A·B` serially. Output rows are sorted; entries that cancel
+/// to exact zero are kept (callers compare with
+/// [`Csr::approx_eq_ignoring_zeros`] when that matters).
+pub fn reference_spgemm<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert_eq!(a.ncols, b.nrows, "inner dimensions must agree");
+    let mut spa = vec![T::ZERO; b.ncols];
+    let mut occupied = vec![false; b.ncols];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut rowptr = vec![0usize; a.nrows + 1];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+
+    for i in 0..a.nrows {
+        let (acols, avals) = a.row(i);
+        touched.clear();
+        for (&j, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(j as usize);
+            for (&k, &bv) in bcols.iter().zip(bvals) {
+                if !occupied[k as usize] {
+                    occupied[k as usize] = true;
+                    touched.push(k);
+                }
+                spa[k as usize] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &k in &touched {
+            colidx.push(k);
+            vals.push(spa[k as usize]);
+            spa[k as usize] = T::ZERO;
+            occupied[k as usize] = false;
+        }
+        rowptr[i + 1] = colidx.len();
+    }
+    Csr {
+        nrows: a.nrows,
+        ncols: b.ncols,
+        rowptr,
+        colidx,
+        vals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_matrix::{Coo, Dense};
+
+    #[test]
+    fn matches_dense_on_small_random() {
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..20 {
+            let n = 5 + (trial % 20);
+            let mut coo_a = Coo::new(n, n);
+            let mut coo_b = Coo::new(n, n);
+            for _ in 0..n * 3 {
+                coo_a.push(
+                    (next() % n as u64) as u32,
+                    (next() % n as u64) as u32,
+                    ((next() % 7) as f64) - 3.0,
+                );
+                coo_b.push(
+                    (next() % n as u64) as u32,
+                    (next() % n as u64) as u32,
+                    ((next() % 7) as f64) - 3.0,
+                );
+            }
+            let a = coo_a.to_csr();
+            let b = coo_b.to_csr();
+            let got = reference_spgemm(&a, &b).drop_numeric_zeros();
+            let want = Dense::from_csr(&a).matmul(&Dense::from_csr(&b)).to_csr();
+            assert!(got.approx_eq(&want, 1e-12), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn figure1_style_counts() {
+        // The paper's Figure 1 example: A with 8 nonzeros times B with 10
+        // gives C with 11. We rebuild a 6x6 instance with those counts.
+        let a = Coo::from_triplets(
+            6,
+            6,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+                (4, 4, 1.0),
+                (5, 5, 1.0),
+            ],
+        )
+        .unwrap()
+        .to_csr();
+        let b = Coo::from_triplets(
+            6,
+            6,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 5, 1.0),
+            ],
+        )
+        .unwrap()
+        .to_csr();
+        assert_eq!(a.nnz(), 8);
+        assert_eq!(b.nnz(), 10);
+        let c = reference_spgemm(&a, &b);
+        assert_eq!(c.nnz(), 11);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Coo::from_triplets(2, 3, vec![(0, 0, 2.0), (1, 2, 3.0)])
+            .unwrap()
+            .to_csr();
+        let b = Coo::from_triplets(3, 4, vec![(0, 1, 5.0), (2, 3, 7.0)])
+            .unwrap()
+            .to_csr();
+        let c = reference_spgemm(&a, &b);
+        assert_eq!(c.nrows, 2);
+        assert_eq!(c.ncols, 4);
+        assert_eq!(c.get(0, 1), Some(10.0));
+        assert_eq!(c.get(1, 3), Some(21.0));
+        assert_eq!(c.nnz(), 2);
+    }
+}

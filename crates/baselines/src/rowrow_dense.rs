@@ -1,0 +1,203 @@
+//! cuSPARSE-like baseline: two-phase row-row SpGEMM with dense sparse
+//! accumulators.
+//!
+//! cuSPARSE v11.4 is closed source; per DESIGN.md's substitution table we
+//! model its generic SpGEMM as the classic two-phase (symbolic + numeric)
+//! Gustavson method with a dense per-row accumulator (Gilbert et al.'s SPA)
+//! and a *flops-proportional work buffer* — the allocation that makes the
+//! real library fail on high-flop matrices (`TSOPF_FS_b300_c2`, `gupta3`,
+//! `SiO2`, `case39` in the paper's Figure 7, reported as `0.00`).
+//!
+//! Memory model tracked against the device budget:
+//! * work buffer: 16 bytes per intermediate product (the documented
+//!   `cusparseSpGEMM` buffer growth is of this order),
+//! * one dense SPA lane per worker thread (`ncols` values + flags),
+//! * the output CSR.
+
+use rayon::prelude::*;
+use tilespgemm_core::SpGemmError;
+use tsg_matrix::Csr;
+use tsg_runtime::{exclusive_scan_to, split_mut_by_offsets, Breakdown, MemTracker, Step};
+
+/// Bytes of modelled work-buffer per intermediate product (one column index
+/// plus one value, as `cusparseSpGEMM`'s documented buffer growth implies).
+const WORK_BUFFER_BYTES_PER_PRODUCT: usize = 12;
+
+/// Runs the cuSPARSE-like method.
+pub fn multiply(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    tracker: &MemTracker,
+) -> Result<crate::RunOutcome, SpGemmError> {
+    assert_eq!(a.ncols, b.nrows, "inner dimensions must agree");
+    let mut breakdown = Breakdown::default();
+
+    // Inputs resident on the device.
+    let input_bytes = csr_bytes(a) + csr_bytes(b);
+    tracker.on_alloc(input_bytes)?;
+
+    // Work-buffer estimation + allocation (the phase real cuSPARSE performs
+    // in `workEstimation`/`compute`): proportional to the intermediate
+    // product count.
+    let ubs = breakdown.timed(Step::Step1, || a.row_upper_bounds(b));
+    let products: usize = ubs.iter().sum();
+    let work_buffer = products * WORK_BUFFER_BYTES_PER_PRODUCT;
+    breakdown.timed(Step::Alloc, || tracker.on_alloc(work_buffer))?;
+
+    // Dense SPA lanes: one per worker.
+    let lanes = rayon::current_num_threads().max(1);
+    let spa_bytes = lanes * b.ncols * (8 + 1);
+    tracker.on_alloc(spa_bytes)?;
+
+    // ---- Symbolic: count each output row with a dense flag array. ----
+    let counts: Vec<usize> = breakdown.timed(Step::Step2, || {
+        (0..a.nrows)
+            .into_par_iter()
+            .map_init(
+                || (vec![false; b.ncols], Vec::<u32>::new()),
+                |(flags, touched), i| {
+                    let (acols, _) = a.row(i);
+                    touched.clear();
+                    for &j in acols {
+                        for &k in b.row(j as usize).0 {
+                            if !flags[k as usize] {
+                                flags[k as usize] = true;
+                                touched.push(k);
+                            }
+                        }
+                    }
+                    let n = touched.len();
+                    for &k in touched.iter() {
+                        flags[k as usize] = false;
+                    }
+                    n
+                },
+            )
+            .collect()
+    });
+
+    let mut rowptr = vec![0usize; a.nrows + 1];
+    let nnz_c = exclusive_scan_to(&counts, &mut rowptr);
+    let (mut colidx, mut vals) = breakdown.timed(Step::Alloc, || {
+        tracker.on_alloc(nnz_c * 12 + (a.nrows + 1) * 8)?;
+        Ok::<_, SpGemmError>((
+            tracker.timed_alloc(|| vec![0u32; nnz_c]),
+            tracker.timed_alloc(|| vec![0f64; nnz_c]),
+        ))
+    })?;
+
+    // ---- Numeric: dense value SPA per row, sorted gather. ----
+    breakdown.timed(Step::Step3, || {
+        let col_w = split_mut_by_offsets(&mut colidx, &rowptr);
+        let val_w = split_mut_by_offsets(&mut vals, &rowptr);
+        col_w
+            .into_par_iter()
+            .zip(val_w)
+            .enumerate()
+            .for_each_init(
+                || (vec![0f64; b.ncols], vec![false; b.ncols], Vec::<u32>::new()),
+                |(spa, flags, touched), (i, (col_w, val_w))| {
+                    let (acols, avals) = a.row(i);
+                    touched.clear();
+                    for (&j, &av) in acols.iter().zip(avals) {
+                        let (bcols, bvals) = b.row(j as usize);
+                        for (&k, &bv) in bcols.iter().zip(bvals) {
+                            if !flags[k as usize] {
+                                flags[k as usize] = true;
+                                touched.push(k);
+                            }
+                            spa[k as usize] += av * bv;
+                        }
+                    }
+                    touched.sort_unstable();
+                    for (out, &k) in touched.iter().enumerate() {
+                        col_w[out] = k;
+                        val_w[out] = spa[k as usize];
+                        spa[k as usize] = 0.0;
+                        flags[k as usize] = false;
+                    }
+                },
+            );
+    });
+
+    let peak_bytes = tracker.peak_bytes();
+    tracker.on_free(work_buffer + spa_bytes + input_bytes);
+
+    Ok(crate::RunOutcome {
+        c: Csr {
+            nrows: a.nrows,
+            ncols: b.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+        .drop_numeric_zeros(),
+        breakdown,
+        peak_bytes,
+    })
+}
+
+fn csr_bytes(m: &Csr<f64>) -> usize {
+    use tsg_matrix::Footprint;
+    m.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_spgemm;
+    use tsg_matrix::Coo;
+
+    fn random(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coo = Coo::new(n, n);
+        for r in 0..n as u32 {
+            for _ in 0..per_row {
+                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.25);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_reference() {
+        for (n, k, s) in [(30usize, 3usize, 1u64), (100, 5, 2), (64, 8, 3)] {
+            let a = random(n, k, s);
+            let b = random(n, k, s + 9);
+            let got = multiply(&a, &b, &MemTracker::new()).unwrap();
+            let want = reference_spgemm(&a, &b).drop_numeric_zeros();
+            assert!(got.c.approx_eq_ignoring_zeros(&want, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn work_buffer_blows_small_budget() {
+        let a = random(100, 10, 5);
+        // Products ~ 100*10*10 = 10k -> work buffer ~160 kB; cap below it.
+        let tracker = MemTracker::with_budget(100_000);
+        let err = multiply(&a, &a, &tracker).unwrap_err();
+        assert!(matches!(err, SpGemmError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn breakdown_charges_symbolic_and_numeric() {
+        let a = random(200, 6, 7);
+        let out = multiply(&a, &a, &MemTracker::new()).unwrap();
+        assert!(out.breakdown.step2.as_nanos() > 0);
+        assert!(out.breakdown.step3.as_nanos() > 0);
+        assert!(out.peak_bytes > 0);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let z = Csr::<f64>::zero(10, 10);
+        let out = multiply(&z, &z, &MemTracker::new()).unwrap();
+        assert_eq!(out.c.nnz(), 0);
+    }
+}

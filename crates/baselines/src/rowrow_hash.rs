@@ -1,0 +1,278 @@
+//! NSPARSE-like baseline: two-round binned hashing.
+//!
+//! Nagasaka et al.'s NSPARSE runs a *symbolic* round and a *numeric* round;
+//! each round bins rows by a cheap work bound and processes each bin with an
+//! open-addressing hash table sized to the bin's bound (shared-memory tables
+//! for small bins, global tables above). Reproduced here:
+//!
+//! * rows binned by intermediate-product upper bound into power-of-two
+//!   buckets ([`tsg_runtime::binning`]);
+//! * symbolic round: per-row linear-probing hash *set* sized
+//!   `next_pow2(2·ub)`;
+//! * numeric round: per-row hash *map* (column → value) of the same sizing,
+//!   extracted and sorted per row;
+//! * memory model: NSPARSE "allocate[s] enough large space" (paper §5) —
+//!   the tracked global table space is `Σ next_pow2(2·ub(i)) × 12` bytes
+//!   over all rows whose bound exceeds the shared-memory capacity, which is
+//!   what makes the real library exhaust device memory on the high-flop
+//!   matrices of Figure 7.
+
+use rayon::prelude::*;
+use tilespgemm_core::SpGemmError;
+use tsg_matrix::Csr;
+use tsg_runtime::{bin_rows_by, exclusive_scan_to, split_mut_by_offsets, Breakdown, MemTracker, Step};
+
+/// Hash-table slots that fit the modelled 48 kB shared memory (12-byte
+/// entries): bounds at or below this stay "on chip" and are not charged to
+/// the global-table allocation.
+const SHARED_CAPACITY: usize = 4096;
+
+/// Rows per batch when a bin spills to global tables.
+const GLOBAL_BATCH_ROWS: usize = 2048;
+
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn hash_slot(key: u32, mask: usize) -> usize {
+    (key as usize).wrapping_mul(0x9E37_79B9) & mask
+}
+
+/// Runs the NSPARSE-like method.
+pub fn multiply(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    tracker: &MemTracker,
+) -> Result<crate::RunOutcome, SpGemmError> {
+    assert_eq!(a.ncols, b.nrows, "inner dimensions must agree");
+    let mut breakdown = Breakdown::default();
+
+    let input_bytes = {
+        use tsg_matrix::Footprint;
+        a.bytes() + b.bytes()
+    };
+    tracker.on_alloc(input_bytes)?;
+
+    // Round-1 analysis: upper bounds and binning (Step1 = setup analysis).
+    let ubs = breakdown.timed(Step::Step1, || a.row_upper_bounds(b));
+    let _bins = breakdown.timed(Step::Step1, || {
+        bin_rows_by(a.nrows, 24, |i| ubs[i])
+    });
+
+    // Global hash-table space for rows above shared capacity. NSPARSE
+    // processes the global bins one at a time, in batches of rows; every
+    // row of a batch holds a table sized to *its bin's* bound. The tracked
+    // allocation is therefore the worst single bin batch — a few huge rows
+    // (power-law graphs) cost little, while thousands of uniformly heavy
+    // rows (dense-cluster matrices) exhaust device memory, matching which
+    // matrices the real library fails on in Figure 7.
+    let global_table_bytes = {
+        let mut per_bin_rows: std::collections::BTreeMap<usize, usize> = Default::default();
+        for &ub in &ubs {
+            let size = (2 * ub).next_power_of_two();
+            if size > SHARED_CAPACITY {
+                *per_bin_rows.entry(size).or_insert(0) += 1;
+            }
+        }
+        per_bin_rows
+            .into_iter()
+            .map(|(size, rows)| size * 12 * rows.min(GLOBAL_BATCH_ROWS))
+            .max()
+            .unwrap_or(0)
+    };
+    breakdown.timed(Step::Alloc, || tracker.on_alloc(global_table_bytes))?;
+
+    // ---- Symbolic round: hash sets. ----
+    let counts: Vec<usize> = breakdown.timed(Step::Step2, || {
+        (0..a.nrows)
+            .into_par_iter()
+            .map_init(Vec::<u32>::new, |table, i| {
+                let ub = ubs[i];
+                if ub == 0 {
+                    return 0;
+                }
+                let capacity = (2 * ub).next_power_of_two();
+                table.clear();
+                table.resize(capacity, EMPTY);
+                let mask = capacity - 1;
+                let mut count = 0usize;
+                for &j in a.row(i).0 {
+                    for &k in b.row(j as usize).0 {
+                        let mut slot = hash_slot(k, mask);
+                        loop {
+                            let cur = table[slot];
+                            if cur == k {
+                                break;
+                            }
+                            if cur == EMPTY {
+                                table[slot] = k;
+                                count += 1;
+                                break;
+                            }
+                            slot = (slot + 1) & mask;
+                        }
+                    }
+                }
+                count
+            })
+            .collect()
+    });
+
+    let mut rowptr = vec![0usize; a.nrows + 1];
+    let nnz_c = exclusive_scan_to(&counts, &mut rowptr);
+    let (mut colidx, mut vals) = breakdown.timed(Step::Alloc, || {
+        tracker.on_alloc(nnz_c * 12 + (a.nrows + 1) * 8)?;
+        Ok::<_, SpGemmError>((
+            tracker.timed_alloc(|| vec![0u32; nnz_c]),
+            tracker.timed_alloc(|| vec![0f64; nnz_c]),
+        ))
+    })?;
+
+    // ---- Numeric round: hash maps, extract + sort per row. ----
+    breakdown.timed(Step::Step3, || {
+        let col_w = split_mut_by_offsets(&mut colidx, &rowptr);
+        let val_w = split_mut_by_offsets(&mut vals, &rowptr);
+        col_w
+            .into_par_iter()
+            .zip(val_w)
+            .enumerate()
+            .for_each_init(
+                || (Vec::<u32>::new(), Vec::<f64>::new()),
+                |(keys, accum), (i, (col_w, val_w))| {
+                    if col_w.is_empty() {
+                        return;
+                    }
+                    let capacity = (2 * ubs[i]).next_power_of_two();
+                    let mask = capacity - 1;
+                    keys.clear();
+                    keys.resize(capacity, EMPTY);
+                    accum.clear();
+                    accum.resize(capacity, 0.0);
+                    let (acols, avals) = a.row(i);
+                    for (&j, &av) in acols.iter().zip(avals) {
+                        let (bcols, bvals) = b.row(j as usize);
+                        for (&k, &bv) in bcols.iter().zip(bvals) {
+                            let mut slot = hash_slot(k, mask);
+                            loop {
+                                let cur = keys[slot];
+                                if cur == k {
+                                    accum[slot] += av * bv;
+                                    break;
+                                }
+                                if cur == EMPTY {
+                                    keys[slot] = k;
+                                    accum[slot] = av * bv;
+                                    break;
+                                }
+                                slot = (slot + 1) & mask;
+                            }
+                        }
+                    }
+                    // Extract occupied slots, sort by column.
+                    let mut out = 0usize;
+                    for slot in 0..capacity {
+                        if keys[slot] != EMPTY {
+                            col_w[out] = keys[slot];
+                            val_w[out] = accum[slot];
+                            out += 1;
+                        }
+                    }
+                    debug_assert_eq!(out, col_w.len());
+                    // Co-sort the two windows by column index.
+                    let mut perm: Vec<u32> = (0..out as u32).collect();
+                    perm.sort_unstable_by_key(|&p| col_w[p as usize]);
+                    let sorted_cols: Vec<u32> =
+                        perm.iter().map(|&p| col_w[p as usize]).collect();
+                    let sorted_vals: Vec<f64> =
+                        perm.iter().map(|&p| val_w[p as usize]).collect();
+                    col_w.copy_from_slice(&sorted_cols);
+                    val_w.copy_from_slice(&sorted_vals);
+                },
+            );
+    });
+
+    let peak_bytes = tracker.peak_bytes();
+    tracker.on_free(global_table_bytes + input_bytes);
+
+    Ok(crate::RunOutcome {
+        c: Csr {
+            nrows: a.nrows,
+            ncols: b.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+        .drop_numeric_zeros(),
+        breakdown,
+        peak_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_spgemm;
+    use tsg_matrix::Coo;
+
+    fn random(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coo = Coo::new(n, n);
+        for r in 0..n as u32 {
+            for _ in 0..per_row {
+                coo.push(r, (next() % n as u64) as u32, ((next() % 5) + 1) as f64);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_reference() {
+        for (n, k, s) in [(40usize, 4usize, 1u64), (120, 6, 2), (77, 9, 3)] {
+            let a = random(n, k, s);
+            let b = random(n, k, s + 5);
+            let got = multiply(&a, &b, &MemTracker::new()).unwrap();
+            let want = reference_spgemm(&a, &b).drop_numeric_zeros();
+            assert!(got.c.approx_eq_ignoring_zeros(&want, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn long_rows_exceed_shared_capacity_and_charge_global_tables() {
+        // One row referencing thousands of B entries forces a global table.
+        let n = 3000usize;
+        let mut coo = Coo::new(n, n);
+        for c in 0..n as u32 {
+            coo.push(0, c, 1.0); // dense row 0
+            coo.push(c, c, 1.0);
+        }
+        let a = coo.to_csr();
+        let tracker = MemTracker::new();
+        let out = multiply(&a, &a, &tracker).unwrap();
+        // Row 0's ub = n + 1 extra -> table > SHARED_CAPACITY slots.
+        assert!(out.peak_bytes > SHARED_CAPACITY * 12);
+        let want = reference_spgemm(&a, &a).drop_numeric_zeros();
+        assert!(out.c.approx_eq_ignoring_zeros(&want, 1e-10));
+    }
+
+    #[test]
+    fn budget_failure_on_flop_heavy_matrix() {
+        // Dense-ish: ub/row ~ 70² ≈ 5k > shared capacity, so every row
+        // charges a global table (~256 × 16384 × 12 B ≈ 50 MB).
+        let a = random(256, 80, 9);
+        let tracker = MemTracker::with_budget(1 << 20);
+        let err = multiply(&a, &a, &tracker).unwrap_err();
+        assert!(matches!(err, SpGemmError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn output_rows_are_sorted() {
+        let a = random(90, 7, 13);
+        let out = multiply(&a, &a, &MemTracker::new()).unwrap();
+        out.c.validate().unwrap();
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation of §3.3's adaptive accumulator: sparse-only vs dense-only vs
+//! adaptive, and a sweep of the `tnnz` threshold around the paper's 192.
+//! The paper's rationale: dense accumulation wins above ~75% tile
+//! occupancy, sparse below.
+//!
+//! ```text
+//! cargo bench -p tsg-bench --bench ablation_accumulator
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tilespgemm_core::{AccumulatorKind, Config, IntersectionKind};
+use tsg_gen::suite::GenSpec;
+use tsg_matrix::TileMatrix;
+use tsg_runtime::MemTracker;
+
+fn bench_accumulators(c: &mut Criterion) {
+    // Two regimes: dense tiles (cluster matrix -> full output tiles) and
+    // sparse tiles (stencil -> few nonzeros per tile).
+    let cases = [
+        (
+            "dense-tiles",
+            GenSpec::PowerFlow { clusters: 10, cluster_size: 60, links: 100, seed: 1 },
+        ),
+        ("sparse-tiles", GenSpec::Grid5 { nx: 90, ny: 90 }),
+    ];
+    let mut group = c.benchmark_group("accumulator");
+    group.sample_size(10);
+    for (regime, spec) in cases {
+        let a = spec.build();
+        let ta = TileMatrix::from_csr(&a);
+        for (label, accumulator) in [
+            ("adaptive", AccumulatorKind::Adaptive),
+            ("always-sparse", AccumulatorKind::AlwaysSparse),
+            ("always-dense", AccumulatorKind::AlwaysDense),
+        ] {
+            let cfg = Config {
+                tnnz_threshold: 192,
+                intersection: IntersectionKind::BinarySearch,
+                accumulator,
+                ..Config::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, regime), &ta, |b, ta| {
+                b.iter(|| tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).unwrap());
+            });
+        }
+        // Threshold sweep (adaptive only).
+        for tnnz in [64usize, 128, 192, 240] {
+            let cfg = Config {
+                tnnz_threshold: tnnz,
+                intersection: IntersectionKind::BinarySearch,
+                accumulator: AccumulatorKind::Adaptive,
+                ..Config::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("tnnz-{tnnz}"), regime),
+                &ta,
+                |b, ta| {
+                    b.iter(|| tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulators);
+criterion_main!(benches);

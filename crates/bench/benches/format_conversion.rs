@@ -1,0 +1,45 @@
+//! Criterion counterpart of Figure 12: CSR → tiled conversion cost across
+//! structure classes, against one TileSpGEMM run on the same matrix.
+//!
+//! ```text
+//! cargo bench -p tsg-bench --bench format_conversion
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tilespgemm_core::Config;
+use tsg_gen::suite::GenSpec;
+use tsg_matrix::{CsbI, CsbM, TileMatrix};
+use tsg_runtime::MemTracker;
+
+fn bench_conversion(c: &mut Criterion) {
+    use GenSpec::*;
+    let cases = [
+        ("fem", Fem { nodes: 500, block: 6, couplings: 4, spread: 20, seed: 1 }),
+        ("stencil", Grid5 { nx: 80, ny: 80 }),
+        ("powerlaw", Rmat { scale: 12, edges: 25_000, mild: false, seed: 2 }),
+    ];
+    let mut group = c.benchmark_group("conversion");
+    group.sample_size(10);
+    for (class, spec) in cases {
+        let a = spec.build();
+        group.bench_with_input(BenchmarkId::new("csr_to_tile", class), &a, |b, a| {
+            b.iter(|| TileMatrix::from_csr(a));
+        });
+        group.bench_with_input(BenchmarkId::new("csr_to_csb_i", class), &a, |b, a| {
+            b.iter(|| CsbI::from_csr(a));
+        });
+        group.bench_with_input(BenchmarkId::new("csr_to_csb_m", class), &a, |b, a| {
+            b.iter(|| CsbM::from_csr(a));
+        });
+        let ta = TileMatrix::from_csr(&a);
+        group.bench_with_input(BenchmarkId::new("one_spgemm", class), &ta, |b, ta| {
+            b.iter(|| {
+                tilespgemm_core::multiply(ta, ta, &Config::default(), &MemTracker::new()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

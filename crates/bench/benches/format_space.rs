@@ -1,0 +1,73 @@
+//! Structure-operation microbenchmarks behind Figure 11's space study:
+//! footprint accounting, validation, and the tiled structural accessors the
+//! SpGEMM kernels lean on (column index build, per-tile views, mask rank
+//! queries).
+//!
+//! ```text
+//! cargo bench -p tsg-bench --bench format_space
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsg_gen::suite::GenSpec;
+use tsg_matrix::{Footprint, TileMatrix};
+
+fn bench_structure_ops(c: &mut Criterion) {
+    let a = GenSpec::Fem {
+        nodes: 800,
+        block: 6,
+        couplings: 4,
+        spread: 25,
+        seed: 1,
+    }
+    .build();
+    let ta = TileMatrix::from_csr(&a);
+
+    let mut group = c.benchmark_group("structure_ops");
+
+    group.bench_function("footprint_components", |b| {
+        b.iter(|| ta.components().iter().map(|c| c.bytes).sum::<usize>());
+    });
+
+    group.bench_function("validate", |b| {
+        b.iter(|| ta.validate().unwrap());
+    });
+
+    group.bench_function("col_index", |b| {
+        b.iter(|| ta.col_index());
+    });
+
+    group.bench_function("expand_tile_rowidx", |b| {
+        b.iter(|| ta.expand_tile_rowidx());
+    });
+
+    group.bench_function("iterate_all_tiles", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for t in 0..ta.tile_count() {
+                for (_, _, v) in ta.tile(t).iter() {
+                    acc += v;
+                }
+            }
+            acc
+        });
+    });
+
+    group.bench_function("mask_rank_queries", |b| {
+        // The sparse accumulator's inner operation: rank of a column within
+        // a row mask.
+        let masks: Vec<u16> = ta.masks.clone();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (i, &m) in masks.iter().enumerate() {
+                let k = (i % 16) as u16;
+                acc += (m & ((1u16 << k).wrapping_sub(1))).count_ones() as usize;
+            }
+            acc
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_structure_ops);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion counterpart of Figures 6/7/8: all five methods on one matrix
+//! per structure class, `A²` in double precision.
+//!
+//! ```text
+//! cargo bench -p tsg-bench --bench spgemm_methods
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsg_baselines::{MethodKind, PreparedOperands};
+use tsg_gen::suite::GenSpec;
+use tsg_runtime::MemTracker;
+
+fn class_zoo() -> Vec<(&'static str, GenSpec)> {
+    use GenSpec::*;
+    vec![
+        ("fem", Fem { nodes: 500, block: 6, couplings: 4, spread: 20, seed: 1 }),
+        ("stencil", Grid5 { nx: 80, ny: 80 }),
+        ("powerlaw", Rmat { scale: 12, edges: 25_000, mild: false, seed: 2 }),
+        ("hypersparse", Scatter { n: 4_000, per_row: 4, seed: 3 }),
+        ("cluster", PowerFlow { clusters: 10, cluster_size: 50, links: 200, seed: 4 }),
+    ]
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_a2");
+    group.sample_size(10);
+    for (class, spec) in class_zoo() {
+        let a = spec.build();
+        let flops = a.spgemm_flops(&a);
+        let prep = PreparedOperands::squared(a);
+        group.throughput(criterion::Throughput::Elements(flops));
+        for kind in MethodKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), class),
+                &prep,
+                |b, prep| {
+                    b.iter(|| prep.run(kind, &MemTracker::new()).expect("multiply"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion counterpart of Figure 10: the TileSpGEMM pipeline end to end
+//! and its individual steps, on a FEM-class matrix.
+//!
+//! ```text
+//! cargo bench -p tsg-bench --bench tile_pipeline
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tilespgemm_core::step1::tile_structure_spgemm;
+use tilespgemm_core::Config;
+use tsg_gen::suite::GenSpec;
+use tsg_matrix::TileMatrix;
+use tsg_runtime::MemTracker;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let a = GenSpec::Fem {
+        nodes: 500,
+        block: 6,
+        couplings: 4,
+        spread: 20,
+        seed: 1,
+    }
+    .build();
+    let ta = TileMatrix::from_csr(&a);
+
+    let mut group = c.benchmark_group("tile_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("full_multiply", |b| {
+        b.iter(|| {
+            tilespgemm_core::multiply(&ta, &ta, &Config::default(), &MemTracker::new())
+                .expect("multiply")
+        });
+    });
+
+    group.bench_function("step1_tile_structure", |b| {
+        b.iter(|| {
+            tile_structure_spgemm(
+                ta.tile_m,
+                &ta.tile_ptr,
+                &ta.tile_colidx,
+                &ta.tile_ptr,
+                &ta.tile_colidx,
+                ta.tile_n,
+            )
+        });
+    });
+
+    group.bench_function("col_index_build", |b| {
+        b.iter(|| ta.col_index());
+    });
+
+    group.bench_function("csr_to_tile", |b| {
+        b.iter(|| TileMatrix::from_csr(&a));
+    });
+
+    group.bench_function("tile_to_csr", |b| {
+        b.iter(|| ta.to_csr());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

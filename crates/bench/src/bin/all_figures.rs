@@ -1,0 +1,23 @@
+//! Runs every table/figure harness in paper order, producing the complete
+//! reproduction transcript (EXPERIMENTS.md is written from this output).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        eprintln!(">>> running {bin}");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

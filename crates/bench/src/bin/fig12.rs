@@ -1,0 +1,62 @@
+//! Figure 12: CSR→tiled format conversion time vs the runtime of a single
+//! TileSpGEMM, against the flop count. The paper's claim: conversion costs
+//! no more than ~ten single SpGEMM runs, so pipelines that reuse the tiled
+//! form (e.g. AMG) amortise it away.
+
+use tilespgemm_core::{multiply, timed_csr_to_tile, Config};
+use tsg_bench::{banner, ms, prepare, quick};
+use tsg_gen::fig6_sweep;
+use tsg_runtime::MemTracker;
+
+fn main() {
+    banner("Figure 12: conversion time vs single TileSpGEMM runtime");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14} {:>8}",
+        "matrix", "flops(A^2)", "convert (ms)", "spgemm (ms)", "ratio"
+    );
+    println!("csv,fig12,matrix,flops,convert_ms,spgemm_ms,ratio");
+    let entries = fig6_sweep();
+    let entries: Vec<_> = if quick() {
+        entries.into_iter().step_by(6).collect()
+    } else {
+        entries
+    };
+    let mut ratios = Vec::new();
+    for entry in entries {
+        let (prep, stats) = prepare(&entry, false);
+        let (_, timing) = timed_csr_to_tile(&prep.a);
+        let start = std::time::Instant::now();
+        let out = multiply(&prep.ta, &prep.tb, &Config::default(), &MemTracker::new());
+        let spgemm = start.elapsed();
+        if out.is_err() {
+            continue;
+        }
+        let ratio = timing.conversion.as_secs_f64() / spgemm.as_secs_f64().max(1e-9);
+        ratios.push(ratio);
+        println!(
+            "{:<18} {:>14} {:>14.2} {:>14.2} {:>8.2}",
+            entry.name,
+            stats.flops,
+            ms(timing.conversion),
+            ms(spgemm),
+            ratio
+        );
+        println!(
+            "csv,fig12,{},{},{:.3},{:.3},{:.3}",
+            entry.name,
+            stats.flops,
+            ms(timing.conversion),
+            ms(spgemm),
+            ratio
+        );
+    }
+    ratios.sort_by(f64::total_cmp);
+    if !ratios.is_empty() {
+        println!();
+        println!(
+            "conversion/spgemm ratio: median {:.2}, max {:.2} (paper: conversion stays within ~10 single runs)",
+            ratios[ratios.len() / 2],
+            ratios.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 14: runtime breakdown of tSparse (left bar) vs TileSpGEMM (right
+//! bar) on the 16-matrix dataset, both `f32`: step 1, step 2, step 3, and
+//! memory allocation. The paper highlights tSparse's larger allocation
+//! share (repeated output resizing) and its heavier steps 2–3 on matrices
+//! with very sparse tiles.
+
+use tilespgemm_core::Config;
+use tsg_baselines::tsparse;
+use tsg_bench::{banner, ms, quick};
+use tsg_gen::tsparse_16;
+use tsg_matrix::TileMatrix;
+use tsg_runtime::{Breakdown, MemTracker};
+
+fn row(name: &str, which: &str, b: &Breakdown) {
+    println!(
+        "  {:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+        which,
+        ms(b.step1),
+        ms(b.step2),
+        ms(b.step3),
+        ms(b.alloc),
+        ms(b.total())
+    );
+    println!(
+        "csv,fig14,{},{},{:.3},{:.3},{:.3},{:.3}",
+        name,
+        which,
+        ms(b.step1),
+        ms(b.step2),
+        ms(b.step3),
+        ms(b.alloc)
+    );
+}
+
+fn main() {
+    banner("Figure 14: runtime breakdown, tSparse-like vs TileSpGEMM (both f32)");
+    println!("csv,fig14,matrix,method,step1_ms,step2_ms,step3_ms,alloc_ms");
+    let entries = tsparse_16();
+    let entries: Vec<_> = if quick() {
+        entries.into_iter().take(4).collect()
+    } else {
+        entries
+    };
+    for entry in entries {
+        // Half-precision inputs, f32 arithmetic (see fig13).
+        let a = tsg_matrix::halfsim::quantize_csr(&entry.build());
+        let ta = TileMatrix::from_csr(&a);
+        let ts = tsparse::multiply_tiled(&ta, &ta, &MemTracker::new()).unwrap();
+        let tile =
+            tilespgemm_core::multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
+        println!("\n{}", entry.name);
+        println!(
+            "  {:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "method", "step1", "step2", "step3", "alloc", "total(ms)"
+        );
+        row(&entry.name, "tSparse", &ts.breakdown);
+        row(&entry.name, "TileSpGEMM", &tile.breakdown);
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 6: GFlops against compression rate for the five methods over the
+//! sweep dataset, `A²` and `AAᵀ`, on both simulated devices, with the linear
+//! regression (in log10 of the rate) and the 3090/3060 scalability ratios.
+
+use tsg_baselines::MethodKind;
+use tsg_bench::{banner, csv_header, emit_csv, geomean, linreg, measure, prepare, quick};
+use tsg_gen::fig6_sweep;
+use tsg_runtime::Device;
+
+fn main() {
+    banner("Figure 6: GFlops vs compression rate (sweep dataset)");
+    let d3090 = Device::rtx3090_sim();
+    let d3060 = Device::rtx3060_sim();
+    csv_header();
+
+    let entries = fig6_sweep();
+    let entries: Vec<_> = if quick() {
+        entries.into_iter().step_by(6).collect()
+    } else {
+        entries
+    };
+
+    // points[method] = (log10 rate, gflops) on the 3090-sim, A².
+    let mut points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 5];
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut completed = [0usize; 5];
+
+    for (ei, entry) in entries.iter().enumerate() {
+        for (op, aat) in [("A2", false), ("AAT", true)] {
+            if aat && entry.symmetric {
+                continue; // AAᵀ == A² structurally for symmetric matrices
+            }
+            let (prep, stats) = prepare(entry, aat);
+            for (mi, kind) in MethodKind::all().into_iter().enumerate() {
+                let m90 = measure(&entry.name, &prep, kind, op, &d3090, &stats);
+                emit_csv("fig6", &m90);
+                if op == "A2" {
+                    if m90.elapsed.is_some() {
+                        completed[mi] += 1;
+                        points[mi].push((stats.compression_rate.max(1e-3).log10(), m90.gflops));
+                    }
+                    // Scalability: measure a subset on the 3060-sim.
+                    if ei % 3 == 0 {
+                        let m60 = measure(&entry.name, &prep, kind, op, &d3060, &stats);
+                        emit_csv("fig6", &m60);
+                        if m90.elapsed.is_some() && m60.elapsed.is_some() && m60.gflops > 0.0 {
+                            ratios[mi].push(m90.gflops / m60.gflops);
+                        }
+                    }
+                }
+            }
+        }
+        eprintln!("fig6 progress: {}/{}", ei + 1, entries.len());
+    }
+
+    banner("Figure 6 summary (A^2, rtx3090-sim)");
+    println!(
+        "{:<16} {:>10} {:>12} {:>24} {:>18}",
+        "method", "completed", "mean GFlops", "regression (per log10 rate)", "3090/3060 ratio"
+    );
+    for (mi, kind) in MethodKind::all().into_iter().enumerate() {
+        let mean = geomean(points[mi].iter().map(|p| p.1));
+        let reg = linreg(&points[mi]);
+        let ratio = if ratios[mi].is_empty() {
+            0.0
+        } else {
+            geomean(ratios[mi].iter().copied())
+        };
+        let reg_str = reg
+            .map(|(s, i)| format!("{s:+.2}x {i:+.2}"))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "{:<16} {:>10} {:>12.2} {:>24} {:>18.2}",
+            kind.name(),
+            completed[mi],
+            mean,
+            reg_str,
+            ratio
+        );
+        println!(
+            "csv,fig6-summary,{},{},{:.3},{:.3}",
+            kind.name(),
+            completed[mi],
+            mean,
+            ratio
+        );
+    }
+    println!();
+    println!("Note: on single-core hosts both simulated devices collapse to one worker, so");
+    println!("the 3090/3060 ratio reflects only the memory-budget difference (EXPERIMENTS.md).");
+}

@@ -1,0 +1,39 @@
+//! Figure 7: double-precision `A²` performance bars on the 18
+//! representative matrices (simulated RTX 3090 device). Methods that exceed
+//! the device memory budget report 0.00, the paper's failure convention.
+
+use tsg_baselines::MethodKind;
+use tsg_bench::{banner, csv_header, emit_csv, measure, prepare};
+use tsg_gen::representative_18;
+use tsg_runtime::Device;
+
+fn main() {
+    banner("Figure 7: A^2 GFlops on 18 representative matrices (rtx3090-sim)");
+    let device = Device::rtx3090_sim();
+    csv_header();
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "matrix", "cuSPARSE-like", "bhSPARSE-like", "NSPARSE-like", "spECK-like", "TileSpGEMM"
+    );
+    let entries = representative_18();
+    let entries: Vec<_> = if tsg_bench::quick() {
+        entries.into_iter().take(4).collect()
+    } else {
+        entries
+    };
+    for entry in entries {
+        let (prep, stats) = prepare(&entry, false);
+        let mut cells = Vec::new();
+        for kind in MethodKind::all() {
+            let m = measure(&entry.name, &prep, kind, "A2", &device, &stats);
+            emit_csv("fig7", &m);
+            cells.push(m.gflops);
+        }
+        println!(
+            "{:<24} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            entry.name, cells[0], cells[1], cells[2], cells[3], cells[4]
+        );
+    }
+    println!();
+    println!("(0.00 = method exceeded the simulated device memory budget, the paper's failure convention)");
+}

@@ -1,0 +1,30 @@
+//! Figure 8: double-precision `A·Aᵀ` bars on the six asymmetric matrices of
+//! the representative set (simulated RTX 3090 device).
+
+use tsg_baselines::MethodKind;
+use tsg_bench::{banner, csv_header, emit_csv, measure, prepare};
+use tsg_gen::suite::asymmetric_6;
+use tsg_runtime::Device;
+
+fn main() {
+    banner("Figure 8: A*A^T GFlops on the 6 asymmetric matrices (rtx3090-sim)");
+    let device = Device::rtx3090_sim();
+    csv_header();
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "matrix", "cuSPARSE-like", "bhSPARSE-like", "NSPARSE-like", "spECK-like", "TileSpGEMM"
+    );
+    for entry in asymmetric_6() {
+        let (prep, stats) = prepare(&entry, true);
+        let mut cells = Vec::new();
+        for kind in MethodKind::all() {
+            let m = measure(&entry.name, &prep, kind, "AAT", &device, &stats);
+            emit_csv("fig8", &m);
+            cells.push(m.gflops);
+        }
+        println!(
+            "{:<24} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            entry.name, cells[0], cells[1], cells[2], cells[3], cells[4]
+        );
+    }
+}

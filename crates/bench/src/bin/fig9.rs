@@ -1,0 +1,52 @@
+//! Figure 9: runtime peak space cost of `C = A²` on the representative
+//! matrices — completion time (ms) on the x-axis, peak memory (MB) on the
+//! y-axis — for the three open baselines and TileSpGEMM (the paper excludes
+//! closed-source cuSPARSE; we include our cuSPARSE-like model for reference
+//! but mark it).
+
+use tsg_baselines::MethodKind;
+use tsg_bench::{banner, measure, ms, prepare, quick};
+use tsg_gen::representative_18;
+use tsg_runtime::Device;
+
+fn main() {
+    banner("Figure 9: peak memory vs completion time, A^2 (rtx3090-sim)");
+    let device = Device::rtx3090_sim();
+    println!("csv,fig9,matrix,method,time_ms,peak_mb");
+    let entries = representative_18();
+    let entries: Vec<_> = if quick() {
+        entries.into_iter().take(4).collect()
+    } else {
+        entries
+    };
+    for entry in entries {
+        let (prep, stats) = prepare(&entry, false);
+        println!("\n{}", entry.name);
+        println!("  {:<16} {:>12} {:>12}", "method", "time (ms)", "peak (MB)");
+        for kind in [
+            MethodKind::BhSparseLike,
+            MethodKind::NSparseLike,
+            MethodKind::SpeckLike,
+            MethodKind::TileSpGemm,
+        ] {
+            let m = measure(&entry.name, &prep, kind, "A2", &device, &stats);
+            match m.elapsed {
+                Some(t) => {
+                    let mb = m.peak_bytes as f64 / 1e6;
+                    println!("  {:<16} {:>12.2} {:>12.2}", kind.name(), ms(t), mb);
+                    println!(
+                        "csv,fig9,{},{},{:.3},{:.3}",
+                        entry.name,
+                        kind.name(),
+                        ms(t),
+                        mb
+                    );
+                }
+                None => {
+                    println!("  {:<16} {:>12} {:>12}", kind.name(), "OOM", "-");
+                    println!("csv,fig9,{},{},oom,oom", entry.name, kind.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Renders paper-style SVG figures from a figure-harness transcript.
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin all_figures > figures_output.txt
+//! cargo run --release -p tsg-bench --bin plots -- figures_output.txt plots/
+//! ```
+//!
+//! Every `csv,` line in the transcript is parsed; one SVG per reproduced
+//! figure is written into the output directory.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use tsg_bench::plot::{grouped_bars, scatter, stacked_bars, Scale, Series};
+
+#[derive(Debug, Default)]
+struct Tables {
+    /// figure -> rows of fields (without the leading `csv` and figure tag).
+    rows: BTreeMap<String, Vec<Vec<String>>>,
+}
+
+fn parse(path: &str) -> Tables {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read transcript {path}: {e}"));
+    let mut tables = Tables::default();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("csv,") else {
+            continue;
+        };
+        let fields: Vec<String> = rest.split(',').map(str::to_string).collect();
+        if fields.len() < 2 {
+            continue;
+        }
+        // Skip header rows: their numeric columns aren't numeric.
+        if fields[1] == "matrix" || fields[0] == "figure" {
+            continue;
+        }
+        tables
+            .rows
+            .entry(fields[0].clone())
+            .or_default()
+            .push(fields[1..].to_vec());
+    }
+    tables
+}
+
+fn f(field: &str) -> f64 {
+    field.parse().unwrap_or(0.0)
+}
+
+const METHODS: [&str; 5] = [
+    "cuSPARSE-like",
+    "bhSPARSE-like",
+    "NSPARSE-like",
+    "spECK-like",
+    "TileSpGEMM",
+];
+
+/// fig6/7/8 row layout: matrix, method, op, device, time_ms, gflops,
+/// peak_bytes, nnz_c, compression_rate.
+fn perf_scatter(rows: &[Vec<String>]) -> Vec<Series> {
+    METHODS
+        .iter()
+        .map(|m| Series {
+            name: m.to_string(),
+            points: rows
+                .iter()
+                .filter(|r| r[1] == *m && r[2] == "A2" && r[3] == "rtx3090-sim" && f(&r[5]) > 0.0)
+                .map(|r| (f(&r[8]).max(1e-2), f(&r[5])))
+                .collect(),
+        })
+        .collect()
+}
+
+fn perf_bars(rows: &[Vec<String>], device: &str) -> (Vec<String>, Vec<Series>) {
+    let mut groups: Vec<String> = Vec::new();
+    for r in rows {
+        if r[3] == device && !groups.contains(&r[0]) {
+            groups.push(r[0].clone());
+        }
+    }
+    let series = METHODS
+        .iter()
+        .map(|m| Series {
+            name: m.to_string(),
+            points: groups
+                .iter()
+                .map(|g| {
+                    let v = rows
+                        .iter()
+                        .find(|r| r[0] == *g && r[1] == *m && r[3] == device)
+                        .map(|r| f(&r[5]))
+                        .unwrap_or(0.0);
+                    (0.0, v)
+                })
+                .collect(),
+        })
+        .collect();
+    (groups, series)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let transcript = args.first().map(String::as_str).unwrap_or("figures_output.txt");
+    let out_dir = args.get(1).map(String::as_str).unwrap_or("plots");
+    std::fs::create_dir_all(out_dir).expect("create plots directory");
+    let tables = parse(transcript);
+    let save = |name: &str, svg: String| {
+        let path = Path::new(out_dir).join(name);
+        std::fs::write(&path, svg).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        println!("wrote {}", path.display());
+    };
+
+    if let Some(rows) = tables.rows.get("fig6") {
+        save(
+            "fig6_perf_vs_rate.svg",
+            scatter(
+                "Figure 6: A^2 performance vs compression rate (rtx3090-sim)",
+                "compression rate",
+                "GFlops",
+                Scale::Log10,
+                Scale::Log10,
+                &perf_scatter(rows),
+            ),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig7") {
+        let (groups, series) = perf_bars(rows, "rtx3090-sim");
+        save(
+            "fig7_a2_bars.svg",
+            grouped_bars(
+                "Figure 7: A^2 GFlops, 18 representative matrices (x = failed)",
+                "GFlops",
+                &groups,
+                &series,
+            ),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig8") {
+        let (groups, series) = perf_bars(rows, "rtx3090-sim");
+        save(
+            "fig8_aat_bars.svg",
+            grouped_bars(
+                "Figure 8: A*A^T GFlops, asymmetric matrices (x = failed)",
+                "GFlops",
+                &groups,
+                &series,
+            ),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig9") {
+        // matrix, method, time_ms, peak_mb (or "oom").
+        let methods = ["bhSPARSE-like", "NSPARSE-like", "spECK-like", "TileSpGEMM"];
+        let series: Vec<Series> = methods
+            .iter()
+            .map(|m| Series {
+                name: m.to_string(),
+                points: rows
+                    .iter()
+                    .filter(|r| r[1] == *m && r[2] != "oom")
+                    .map(|r| (f(&r[2]).max(1e-3), f(&r[3]).max(1e-3)))
+                    .collect(),
+            })
+            .collect();
+        save(
+            "fig9_memory_vs_time.svg",
+            scatter(
+                "Figure 9: peak memory vs completion time (A^2)",
+                "completion time (ms)",
+                "peak memory (MB)",
+                Scale::Log10,
+                Scale::Log10,
+                &series,
+            ),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig10") {
+        // matrix, step1..alloc fractions, total_ms.
+        let groups: Vec<String> = rows.iter().map(|r| r[0].clone()).collect();
+        let labels = ["step 1", "step 2", "step 3", "allocation"];
+        let series: Vec<Series> = labels
+            .iter()
+            .enumerate()
+            .map(|(k, l)| Series {
+                name: l.to_string(),
+                points: rows.iter().map(|r| (0.0, f(&r[1 + k]) * 100.0)).collect(),
+            })
+            .collect();
+        save(
+            "fig10_breakdown.svg",
+            stacked_bars(
+                "Figure 10: TileSpGEMM runtime breakdown",
+                "% of runtime",
+                &groups,
+                &series,
+            ),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig11") {
+        let groups: Vec<String> = rows.iter().map(|r| r[0].clone()).collect();
+        let labels = ["CSR", "CSB-M", "CSB-I", "Tiled"];
+        let series: Vec<Series> = labels
+            .iter()
+            .enumerate()
+            .map(|(k, l)| Series {
+                name: l.to_string(),
+                points: rows.iter().map(|r| (0.0, f(&r[1 + k]))).collect(),
+            })
+            .collect();
+        save(
+            "fig11_format_space.svg",
+            grouped_bars("Figure 11: format space cost", "MB", &groups, &series),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig12") {
+        // matrix, flops, convert_ms, spgemm_ms, ratio.
+        let series = vec![
+            Series {
+                name: "conversion".into(),
+                points: rows.iter().map(|r| (f(&r[1]).max(1.0), f(&r[2]).max(1e-3))).collect(),
+            },
+            Series {
+                name: "one TileSpGEMM".into(),
+                points: rows.iter().map(|r| (f(&r[1]).max(1.0), f(&r[3]).max(1e-3))).collect(),
+            },
+        ];
+        save(
+            "fig12_conversion.svg",
+            scatter(
+                "Figure 12: CSR->tiled conversion vs one SpGEMM",
+                "flops of A^2",
+                "time (ms)",
+                Scale::Log10,
+                Scale::Log10,
+                &series,
+            ),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig13") {
+        let groups: Vec<String> = rows.iter().map(|r| r[0].clone()).collect();
+        let series = vec![
+            Series {
+                name: "tSparse-like".into(),
+                points: rows.iter().map(|r| (0.0, f(&r[1]))).collect(),
+            },
+            Series {
+                name: "TileSpGEMM".into(),
+                points: rows.iter().map(|r| (0.0, f(&r[2]))).collect(),
+            },
+        ];
+        save(
+            "fig13_tsparse.svg",
+            grouped_bars(
+                "Figure 13: TileSpGEMM vs tSparse-like (both f32)",
+                "GFlops",
+                &groups,
+                &series,
+            ),
+        );
+    }
+    if let Some(rows) = tables.rows.get("fig14") {
+        // matrix, method, step1_ms..alloc_ms; groups = matrix/method pairs.
+        let groups: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{} ({})", r[0], if r[1] == "tSparse" { "tS" } else { "Tile" }))
+            .collect();
+        let labels = ["step 1", "step 2", "step 3", "allocation"];
+        let series: Vec<Series> = labels
+            .iter()
+            .enumerate()
+            .map(|(k, l)| Series {
+                name: l.to_string(),
+                points: rows.iter().map(|r| (0.0, f(&r[2 + k]))).collect(),
+            })
+            .collect();
+        save(
+            "fig14_tsparse_breakdown.svg",
+            stacked_bars(
+                "Figure 14: breakdown, tSparse-like vs TileSpGEMM",
+                "time (ms)",
+                &groups,
+                &series,
+            ),
+        );
+    }
+    println!("done");
+}

@@ -1,0 +1,28 @@
+//! Table 2: statistics of the 18 representative matrices.
+//!
+//! Prints the same columns as the paper — matrix, n, nnz(A), #flops of
+//! `C = A²`, nnz(C), compression rate — for the synthetic stand-ins.
+
+use tsg_bench::banner;
+use tsg_gen::{matrix_stats, representative_18};
+
+fn main() {
+    banner("Table 2: representative matrix statistics (synthetic stand-ins)");
+    println!(
+        "{:<24} {:>8} {:>10} {:>14} {:>10} {:>8}",
+        "matrix", "n", "nnz(A)", "#flops(A^2)", "nnz(C)", "rate"
+    );
+    println!("csv,table2,matrix,n,nnz_a,flops,nnz_c,compression_rate");
+    for entry in representative_18() {
+        let a = entry.build();
+        let s = matrix_stats(&a, &a);
+        println!(
+            "{:<24} {:>8} {:>10} {:>14} {:>10} {:>8.2}",
+            entry.name, s.n, s.nnz_a, s.flops, s.nnz_c, s.compression_rate
+        );
+        println!(
+            "csv,table2,{},{},{},{},{},{:.2}",
+            entry.name, s.n, s.nnz_a, s.flops, s.nnz_c, s.compression_rate
+        );
+    }
+}

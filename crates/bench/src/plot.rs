@@ -1,0 +1,491 @@
+//! Minimal self-contained SVG charts for the figure harness.
+//!
+//! The paper presents its evaluation as scatter plots (Figures 6, 9, 12),
+//! grouped bars (Figures 7, 8, 11, 13), and stacked bars (Figures 10, 14).
+//! This module renders all three chart shapes as standalone SVG strings with
+//! axes, ticks, and legends — no plotting dependency, so `cargo run -p
+//! tsg-bench --bin plots` regenerates the paper-style images from the
+//! harness's CSV output on any machine.
+
+use std::fmt::Write as _;
+
+/// Chart canvas dimensions and margins.
+const WIDTH: f64 = 760.0;
+const HEIGHT: f64 = 430.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// Per-series colours (colour-blind-safe-ish categorical palette).
+pub const PALETTE: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
+
+/// A named point series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in data space.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (data must be positive).
+    Log10,
+}
+
+fn transform(v: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => v,
+        Scale::Log10 => v.max(1e-12).log10(),
+    }
+}
+
+fn nice_ticks(lo: f64, hi: f64, scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Log10 => {
+            let (a, b) = (lo.floor() as i64, hi.ceil() as i64);
+            (a..=b).map(|e| e as f64).collect()
+        }
+        Scale::Linear => {
+            let span = (hi - lo).max(1e-12);
+            let raw = span / 5.0;
+            let mag = 10f64.powf(raw.log10().floor());
+            let step = [1.0, 2.0, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|&s| span / s <= 6.0)
+                .unwrap_or(mag * 10.0);
+            let start = (lo / step).floor() * step;
+            let mut ticks = Vec::new();
+            let mut t = start;
+            while t <= hi + step * 0.5 {
+                ticks.push(t);
+                t += step;
+            }
+            ticks
+        }
+    }
+}
+
+fn tick_label(v: f64, scale: Scale) -> String {
+    match scale {
+        Scale::Log10 => {
+            let p = v.round() as i32;
+            match p {
+                -3..=3 => format!("{}", 10f64.powi(p)),
+                _ => format!("1e{p}"),
+            }
+        }
+        Scale::Linear => {
+            if v.abs() >= 1000.0 {
+                format!("{:.0}", v)
+            } else {
+                format!("{v:.4}")
+                    .trim_end_matches('0')
+                    .trim_end_matches('.')
+                    .to_string()
+            }
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// A scatter plot with optional log axes.
+pub fn scatter(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: &[Series],
+) -> String {
+    let mut pts: Vec<(f64, f64)> = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            pts.push((transform(x, x_scale), transform(y, y_scale)));
+        }
+    }
+    let (mut x_lo, mut x_hi) = bounds(pts.iter().map(|p| p.0));
+    let (mut y_lo, mut y_hi) = bounds(pts.iter().map(|p| p.1));
+    pad(&mut x_lo, &mut x_hi);
+    pad(&mut y_lo, &mut y_hi);
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = |v: f64| MARGIN_L + (v - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = |v: f64| MARGIN_T + plot_h - (v - y_lo) / (y_hi - y_lo) * plot_h;
+
+    let mut svg = svg_header(title);
+    axes(&mut svg, x_lo, x_hi, y_lo, y_hi, x_scale, y_scale, xlabel, ylabel, &sx, &sy);
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        for &(x, y) in &s.points {
+            let (tx, ty) = (transform(x, x_scale), transform(y, y_scale));
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}" fill-opacity="0.65"/>"##,
+                sx(tx),
+                sy(ty)
+            );
+        }
+    }
+    legend(&mut svg, series.iter().map(|s| s.name.as_str()));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// A grouped bar chart: one group per `group_labels` entry, one bar per
+/// series within each group. Zero-valued bars are drawn as hollow markers
+/// (the paper's `0.00` failure convention).
+pub fn grouped_bars(
+    title: &str,
+    ylabel: &str,
+    group_labels: &[String],
+    series: &[Series],
+) -> String {
+    let y_hi = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.08;
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let groups = group_labels.len().max(1) as f64;
+    let group_w = plot_w / groups;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+    let sy = |v: f64| MARGIN_T + plot_h - v / y_hi * plot_h;
+
+    let mut svg = svg_header(title);
+    // Y axis + ticks.
+    for t in nice_ticks(0.0, y_hi, Scale::Linear) {
+        let y = sy(t);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{}</text>"##,
+            WIDTH - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 3.0,
+            tick_label(t, Scale::Linear)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="16" y="{:.1}" font-size="11" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"##,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(ylabel)
+    );
+    for (g, label) in group_labels.iter().enumerate() {
+        let gx = MARGIN_L + g as f64 * group_w;
+        for (si, s) in series.iter().enumerate() {
+            let v = s.points.get(g).map(|p| p.1).unwrap_or(0.0);
+            let x = gx + group_w * 0.1 + si as f64 * bar_w;
+            let color = PALETTE[si % PALETTE.len()];
+            if v > 0.0 {
+                let _ = writeln!(
+                    svg,
+                    r##"<rect x="{x:.1}" y="{:.1}" width="{bar_w:.1}" height="{:.1}" fill="{color}"/>"##,
+                    sy(v),
+                    sy(0.0) - sy(v)
+                );
+            } else {
+                // Failure marker: small hollow x at the baseline.
+                let _ = writeln!(
+                    svg,
+                    r##"<text x="{:.1}" y="{:.1}" font-size="8" fill="{color}" text-anchor="middle">x</text>"##,
+                    x + bar_w / 2.0,
+                    sy(0.0) - 2.0
+                );
+            }
+        }
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="9" text-anchor="end" transform="rotate(-40 {:.1} {:.1})">{}</text>"##,
+            gx + group_w / 2.0,
+            HEIGHT - MARGIN_B + 14.0,
+            gx + group_w / 2.0,
+            HEIGHT - MARGIN_B + 14.0,
+            xml_escape(label)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#000"/>"##,
+        sy(0.0),
+        WIDTH - MARGIN_R,
+        sy(0.0)
+    );
+    legend(&mut svg, series.iter().map(|s| s.name.as_str()));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// A stacked bar chart: one bar per group, stacked by series (the runtime
+/// breakdowns of Figures 10 and 14).
+pub fn stacked_bars(
+    title: &str,
+    ylabel: &str,
+    group_labels: &[String],
+    series: &[Series],
+) -> String {
+    let totals: Vec<f64> = (0..group_labels.len())
+        .map(|g| series.iter().map(|s| s.points.get(g).map(|p| p.1).unwrap_or(0.0)).sum())
+        .collect();
+    let y_hi = totals.iter().copied().fold(0.0f64, f64::max).max(1e-9) * 1.08;
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let groups = group_labels.len().max(1) as f64;
+    let group_w = plot_w / groups;
+    let bar_w = group_w * 0.6;
+    let sy = |v: f64| MARGIN_T + plot_h - v / y_hi * plot_h;
+
+    let mut svg = svg_header(title);
+    for t in nice_ticks(0.0, y_hi, Scale::Linear) {
+        let y = sy(t);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{}</text>"##,
+            WIDTH - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 3.0,
+            tick_label(t, Scale::Linear)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="16" y="{:.1}" font-size="11" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"##,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(ylabel)
+    );
+    for (g, label) in group_labels.iter().enumerate() {
+        let x = MARGIN_L + g as f64 * group_w + (group_w - bar_w) / 2.0;
+        let mut acc = 0.0f64;
+        for (si, s) in series.iter().enumerate() {
+            let v = s.points.get(g).map(|p| p.1).unwrap_or(0.0);
+            if v <= 0.0 {
+                continue;
+            }
+            let color = PALETTE[si % PALETTE.len()];
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x:.1}" y="{:.1}" width="{bar_w:.1}" height="{:.1}" fill="{color}"/>"##,
+                sy(acc + v),
+                sy(acc) - sy(acc + v)
+            );
+            acc += v;
+        }
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="9" text-anchor="end" transform="rotate(-40 {:.1} {:.1})">{}</text>"##,
+            x + bar_w / 2.0,
+            HEIGHT - MARGIN_B + 14.0,
+            x + bar_w / 2.0,
+            HEIGHT - MARGIN_B + 14.0,
+            xml_escape(label)
+        );
+    }
+    legend(&mut svg, series.iter().map(|s| s.name.as_str()));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn pad(lo: &mut f64, hi: &mut f64) {
+    let span = (*hi - *lo).max(1e-9);
+    *lo -= span * 0.05;
+    *hi += span * 0.05;
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="Helvetica,Arial,sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{x:.1}" y="22" font-size="14" text-anchor="middle" font-weight="bold">{t}</text>
+"##,
+        x = WIDTH / 2.0,
+        t = xml_escape(title)
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn axes(
+    svg: &mut String,
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+    x_scale: Scale,
+    y_scale: Scale,
+    xlabel: &str,
+    ylabel: &str,
+    sx: &impl Fn(f64) -> f64,
+    sy: &impl Fn(f64) -> f64,
+) {
+    for t in nice_ticks(x_lo, x_hi, x_scale) {
+        if t < x_lo || t > x_hi {
+            continue;
+        }
+        let x = sx(t);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>
+<text x="{x:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"##,
+            HEIGHT - MARGIN_B,
+            HEIGHT - MARGIN_B + 14.0,
+            tick_label(t, x_scale)
+        );
+    }
+    for t in nice_ticks(y_lo, y_hi, y_scale) {
+        if t < y_lo || t > y_hi {
+            continue;
+        }
+        let y = sy(t);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{}</text>"##,
+            WIDTH - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 3.0,
+            tick_label(t, y_scale)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{:.1}" height="{:.1}" fill="none" stroke="#000"/>
+<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>
+<text x="16" y="{:.1}" font-size="11" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"##,
+        WIDTH - MARGIN_L - MARGIN_R,
+        HEIGHT - MARGIN_T - MARGIN_B,
+        MARGIN_L + (WIDTH - MARGIN_L - MARGIN_R) / 2.0,
+        HEIGHT - 12.0,
+        xml_escape(xlabel),
+        MARGIN_T + (HEIGHT - MARGIN_T - MARGIN_B) / 2.0,
+        MARGIN_T + (HEIGHT - MARGIN_T - MARGIN_B) / 2.0,
+        xml_escape(ylabel)
+    );
+}
+
+fn legend<'a>(svg: &mut String, names: impl Iterator<Item = &'a str>) {
+    let x = WIDTH - MARGIN_R + 12.0;
+    for (i, name) in names.enumerate() {
+        let y = MARGIN_T + 10.0 + i as f64 * 18.0;
+        let color = PALETTE[i % PALETTE.len()];
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{x:.1}" y="{:.1}" width="10" height="10" fill="{color}"/>
+<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"##,
+            y - 9.0,
+            x + 14.0,
+            y,
+            xml_escape(name)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "alpha".into(),
+                points: vec![(1.0, 2.0), (10.0, 4.0), (100.0, 8.0)],
+            },
+            Series {
+                name: "beta".into(),
+                points: vec![(1.0, 1.0), (10.0, 3.0), (100.0, 0.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn scatter_produces_well_formed_svg() {
+        let svg = scatter("t", "x", "y", Scale::Log10, Scale::Linear, &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("alpha"));
+        assert!(svg.contains("beta"));
+    }
+
+    #[test]
+    fn grouped_bars_mark_failures() {
+        let labels = vec!["m1".to_string(), "m2".into(), "m3".into()];
+        let svg = grouped_bars("t", "GFlops", &labels, &demo_series());
+        // Rects: 1 background + 5 positive bars + 2 legend swatches; the
+        // zero bar is drawn as the failure marker instead.
+        assert_eq!(svg.matches("<rect").count(), 1 + 5 + 2);
+        assert!(svg.contains(">x</text>"));
+    }
+
+    #[test]
+    fn stacked_bars_stack_to_totals() {
+        let labels = vec!["m1".to_string(), "m2".into()];
+        let series = vec![
+            Series { name: "s1".into(), points: vec![(0.0, 1.0), (0.0, 2.0)] },
+            Series { name: "s2".into(), points: vec![(0.0, 3.0), (0.0, 1.0)] },
+        ];
+        let svg = stacked_bars("t", "ms", &labels, &series);
+        assert!(svg.contains("</svg>"));
+        // 1 background + 4 stacked segments + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        assert_eq!(nice_ticks(0.0, 3.0, Scale::Log10), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(tick_label(2.0, Scale::Log10), "100");
+        assert_eq!(tick_label(5.0, Scale::Log10), "1e5");
+    }
+
+    #[test]
+    fn linear_ticks_cover_range() {
+        let ticks = nice_ticks(0.0, 97.0, Scale::Linear);
+        assert!(ticks.len() >= 4 && ticks.len() <= 8);
+        assert!(*ticks.first().unwrap() <= 0.0);
+        assert!(*ticks.last().unwrap() >= 90.0);
+    }
+
+    #[test]
+    fn escaping_prevents_broken_markup() {
+        let svg = scatter("a<b & c", "x", "y", Scale::Linear, Scale::Linear, &demo_series());
+        assert!(svg.contains("a&lt;b &amp; c"));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let svg = scatter("t", "x", "y", Scale::Linear, Scale::Linear, &[]);
+        assert!(svg.contains("</svg>"));
+        let svg = grouped_bars("t", "y", &[], &[]);
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,151 @@
+#![warn(missing_docs)]
+
+//! # tilespgemm-core — the paper's tiled SpGEMM algorithm
+//!
+//! Implements `C = A·B` for matrices in the sparse-tile format
+//! ([`tsg_matrix::TileMatrix`]), following the three-step structure of
+//! §3.3 of *TileSpGEMM: A Tiled Algorithm for Parallel Sparse General
+//! Matrix-Matrix Multiplication on GPUs* (PPoPP '22):
+//!
+//! 1. [`step1`] — a symbolic SpGEMM on the high-level tile layout
+//!    `C' = A'·B'` yields the (possibly overestimated) set of non-empty
+//!    tiles of `C`;
+//! 2. [`step2`] — per tile of `C`: binary-search set intersection of `A`'s
+//!    tile row with `B`'s tile column finds the matched tile pairs, and
+//!    OR-ing `B`'s row bitmasks through `A`'s nonzeros produces `C`'s tile
+//!    masks, local row pointers, and nonzero counts, after which `C` is
+//!    allocated;
+//! 3. [`step3`] — per tile of `C`: the numeric phase accumulates
+//!    intermediate products through an *adaptive* accumulator — a rank-based
+//!    sparse accumulator for tiles with ≤ `tnnz` = 192 nonzeros, a dense
+//!    256-slot accumulator above.
+//!
+//! One Rayon task plays the role of the paper's one warp per tile; all
+//! per-tile state lives in fixed-size stack buffers, preserving the paper's
+//! "no global intermediate space" property. [`pipeline::multiply`] wires the
+//! steps together with the per-step breakdown (Figure 10) and device-memory
+//! accounting (Figures 7/9) of the evaluation.
+//!
+//! ```
+//! use tsg_matrix::{Csr, TileMatrix};
+//! use tilespgemm_core::{multiply, Config};
+//! use tsg_runtime::MemTracker;
+//!
+//! let a = TileMatrix::from_csr(&Csr::<f64>::identity(64));
+//! let out = multiply(&a, &a, &Config::default(), &MemTracker::new()).unwrap();
+//! assert_eq!(out.c.nnz(), 64);
+//! ```
+
+pub mod add;
+pub mod convert;
+pub mod intersect;
+pub mod masked;
+pub mod pipeline;
+pub mod spmv;
+pub mod step1;
+pub mod step2;
+pub mod step3;
+
+pub use add::add;
+pub use convert::{timed_csr_to_tile, ConversionTiming};
+pub use intersect::IntersectionKind;
+pub use masked::multiply_masked;
+pub use pipeline::{multiply, multiply_csr, Output};
+pub use spmv::{spmv, spmv_masked};
+pub use step3::AccumulatorKind;
+
+/// Tuning knobs of the algorithm. `Config::default()` is the paper's
+/// configuration; the other variants exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Sparse/dense accumulator switch-over: tiles with more stored nonzeros
+    /// than this use the dense accumulator. The paper sets 192 (75% of 256).
+    pub tnnz_threshold: usize,
+    /// Set-intersection strategy for step 2 (paper: binary search, which it
+    /// found faster than merging).
+    pub intersection: IntersectionKind,
+    /// Accumulator policy for step 3 (paper: adaptive).
+    pub accumulator: AccumulatorKind,
+    /// Task granularity for steps 2 and 3 (paper: one warp per tile; the
+    /// per-tile-row variant exists to demonstrate the load-imbalance the
+    /// paper's issue #1 attributes to row-level decomposition).
+    pub scheduling: Scheduling,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            tnnz_threshold: 192,
+            intersection: IntersectionKind::BinarySearch,
+            accumulator: AccumulatorKind::Adaptive,
+            scheduling: Scheduling::PerTile,
+        }
+    }
+}
+
+/// Task granularity for the per-tile phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// One parallel task per output tile — the paper's one-warp-per-tile
+    /// mapping, whose bounded work is the load-balancing argument of §1.
+    PerTile,
+    /// One parallel task per output *tile row* — a coarser, imbalance-prone
+    /// decomposition kept for the scheduling ablation bench.
+    PerTileRow,
+}
+
+/// Errors surfaced by the SpGEMM pipelines in this workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpGemmError {
+    /// The simulated device memory budget was exceeded — the condition the
+    /// paper's Figure 7 reports as a `0.00` bar.
+    OutOfMemory(tsg_runtime::tracker::BudgetExceeded),
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        a: (usize, usize),
+        /// Shape of the right operand.
+        b: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for SpGemmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpGemmError::OutOfMemory(e) => write!(f, "{e}"),
+            SpGemmError::ShapeMismatch { a, b } => write!(
+                f,
+                "cannot multiply {}x{} by {}x{}",
+                a.0, a.1, b.0, b.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpGemmError {}
+
+impl From<tsg_runtime::tracker::BudgetExceeded> for SpGemmError {
+    fn from(e: tsg_runtime::tracker::BudgetExceeded) -> Self {
+        SpGemmError::OutOfMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_the_papers() {
+        let c = Config::default();
+        assert_eq!(c.tnnz_threshold, 192);
+        assert_eq!(c.intersection, IntersectionKind::BinarySearch);
+        assert_eq!(c.accumulator, AccumulatorKind::Adaptive);
+        assert_eq!(c.scheduling, Scheduling::PerTile);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SpGemmError::ShapeMismatch { a: (2, 3), b: (4, 5) };
+        assert!(e.to_string().contains("2x3"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Masked SpGEMM: `C⟨M⟩ = A·B`, computing only the entries of the product
+//! that fall inside a mask pattern `M`.
+//!
+//! The paper situates SpGEMM inside GraphBLAS (§1), whose signature
+//! operation is the masked product — e.g. linear-algebra triangle counting
+//! is `C⟨A⟩ = A·A` followed by a reduction, never materialising the full
+//! square. The tiled format makes masking unusually cheap: `M`'s tile
+//! layout prunes step 1's output pattern, and `M`'s row bitmasks AND into
+//! step 2's symbolic masks, so step 3 touches exactly the surviving
+//! entries.
+
+use crate::intersect::MatchedPair;
+use crate::step2::{matched_pairs, symbolic_tile};
+use crate::step3::{fill_indices_from_masks, numeric_tile_dense, numeric_tile_sparse};
+use crate::{Config, SpGemmError};
+use rayon::prelude::*;
+use tsg_matrix::{Scalar, TileMatrix, TILE_DIM};
+use tsg_runtime::{split_mut_by_offsets, Breakdown, MemTracker, Step};
+
+/// Computes `C⟨M⟩ = A·B`: the product restricted to the stored pattern of
+/// `mask`. Tiles of the product outside `mask`'s tile layout are never
+/// formed; inside a surviving tile, only positions present in `mask` are
+/// kept.
+///
+/// Values of `mask` are ignored — only its pattern matters (the GraphBLAS
+/// structural mask).
+pub fn multiply_masked<T: Scalar>(
+    a: &TileMatrix<T>,
+    b: &TileMatrix<T>,
+    mask: &TileMatrix<T>,
+    config: &Config,
+    tracker: &MemTracker,
+) -> Result<crate::Output<T>, SpGemmError> {
+    if a.ncols != b.nrows {
+        return Err(SpGemmError::ShapeMismatch {
+            a: (a.nrows, a.ncols),
+            b: (b.nrows, b.ncols),
+        });
+    }
+    if (mask.nrows, mask.ncols) != (a.nrows, b.ncols) {
+        return Err(SpGemmError::ShapeMismatch {
+            a: (mask.nrows, mask.ncols),
+            b: (a.nrows, b.ncols),
+        });
+    }
+    let mut breakdown = Breakdown::default();
+    let input_bytes =
+        crate::pipeline::tile_matrix_bytes(a) + crate::pipeline::tile_matrix_bytes(b);
+    tracker.on_alloc(input_bytes)?;
+
+    // Step 1 under a mask degenerates to M's own tile layout: a product
+    // tile can only survive where the mask has a tile. (Tiles of M whose
+    // product is empty simply come out with zero nonzeros, like the
+    // unmasked algorithm's retained empty tiles.)
+    let (c_ptr, c_colidx) = breakdown.timed(Step::Step1, || {
+        (mask.tile_ptr.clone(), mask.tile_colidx.clone())
+    });
+    let num_tiles = c_colidx.len();
+
+    let (b_cols, c_rowidx, mut c_masks, mut c_row_ptr) = breakdown.timed(Step::Alloc, || {
+        let b_cols = b.col_index();
+        let mut c_rowidx = vec![0u32; num_tiles];
+        for ti in 0..mask.tile_m {
+            c_rowidx[c_ptr[ti]..c_ptr[ti + 1]].fill(ti as u32);
+        }
+        (
+            b_cols,
+            c_rowidx,
+            vec![0u16; num_tiles * TILE_DIM],
+            vec![0u8; num_tiles * TILE_DIM],
+        )
+    });
+    tracker.on_alloc(num_tiles * (4 + TILE_DIM * 3 + 8) + b_cols.rowidx.len() * 16)?;
+
+    // Step 2 with the mask ANDed in.
+    let mut c_counts = vec![0usize; num_tiles];
+    breakdown.timed(Step::Step2, || {
+        c_masks
+            .par_chunks_mut(TILE_DIM)
+            .zip(c_row_ptr.par_chunks_mut(TILE_DIM))
+            .zip(c_counts.par_iter_mut())
+            .enumerate()
+            .for_each_init(
+                || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                |(scratch, pairs), (t, ((mask_w, row_ptr_w), count))| {
+                    let ti = c_rowidx[t] as usize;
+                    let tj = c_colidx[t] as usize;
+                    matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
+                    let sym = symbolic_tile(a, b, pairs);
+                    let m_tile = mask.tile(t);
+                    let mut nnz = 0usize;
+                    for r in 0..TILE_DIM {
+                        let allowed = sym.masks[r] & m_tile.masks[r];
+                        mask_w[r] = allowed;
+                        row_ptr_w[r] = nnz as u8;
+                        nnz += allowed.count_ones() as usize;
+                    }
+                    *count = nnz;
+                },
+            );
+    });
+
+    let mut c_offsets = vec![0usize; num_tiles + 1];
+    let nnz_c = tsg_runtime::exclusive_scan_to(&c_counts, &mut c_offsets);
+    let (mut c_row_idx, mut c_col_idx, mut c_vals) = breakdown.timed(Step::Alloc, || {
+        tracker.on_alloc(nnz_c * (2 + std::mem::size_of::<T>()))?;
+        Ok::<_, SpGemmError>((
+            tracker.timed_alloc(|| vec![0u8; nnz_c]),
+            tracker.timed_alloc(|| vec![0u8; nnz_c]),
+            tracker.timed_alloc(|| vec![T::ZERO; nnz_c]),
+        ))
+    })?;
+
+    // Step 3: numeric, but products whose column is masked out are dropped
+    // by the sparse accumulator's rank addressing — we give it the masked
+    // row masks, so only surviving positions exist. The dense accumulator
+    // computes the full tile then compresses through the masked masks.
+    breakdown.timed(Step::Step3, || {
+        let row_idx_w = split_mut_by_offsets(&mut c_row_idx, &c_offsets);
+        let col_idx_w = split_mut_by_offsets(&mut c_col_idx, &c_offsets);
+        let vals_w = split_mut_by_offsets(&mut c_vals, &c_offsets);
+        row_idx_w
+            .into_par_iter()
+            .zip(col_idx_w)
+            .zip(vals_w)
+            .enumerate()
+            .for_each_init(
+                || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                |(scratch, pairs), (t, ((ri_w, ci_w), vals_w))| {
+                    let ti = c_rowidx[t] as usize;
+                    let tj = c_colidx[t] as usize;
+                    let masks = &c_masks[t * TILE_DIM..(t + 1) * TILE_DIM];
+                    fill_indices_from_masks(masks, ri_w, ci_w);
+                    matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
+                    // The sparse path cannot be used directly: products may
+                    // fall outside the masked pattern. Use the dense
+                    // accumulator and compress through the masked masks —
+                    // except when the mask kept everything, where the
+                    // adaptive choice applies unchanged.
+                    let full_inside = {
+                        let sym = symbolic_tile(a, b, pairs);
+                        (0..TILE_DIM).all(|r| sym.masks[r] & !masks[r] == 0)
+                    };
+                    if full_inside
+                        && !config
+                            .accumulator
+                            .use_dense(vals_w.len(), config.tnnz_threshold)
+                    {
+                        let row_ptr = &c_row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM];
+                        numeric_tile_sparse(a, b, pairs, masks, row_ptr, vals_w);
+                    } else {
+                        numeric_tile_dense(a, b, pairs, masks, vals_w);
+                    }
+                },
+            );
+    });
+
+    let c = TileMatrix {
+        nrows: a.nrows,
+        ncols: b.ncols,
+        tile_m: mask.tile_m,
+        tile_n: mask.tile_n,
+        tile_ptr: c_ptr,
+        tile_colidx: c_colidx,
+        tile_nnz: c_offsets,
+        row_ptr: c_row_ptr,
+        row_idx: c_row_idx,
+        col_idx: c_col_idx,
+        vals: c_vals,
+        masks: c_masks,
+    };
+    let peak_bytes = tracker.peak_bytes();
+    tracker.on_free(input_bytes);
+    Ok(crate::Output {
+        c,
+        breakdown,
+        peak_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_matrix::{ops, Coo, Csr};
+
+    fn random(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coo = Coo::new(n, n);
+        for r in 0..n as u32 {
+            for _ in 0..per_row {
+                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.5);
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn masked_oracle(a: &Csr<f64>, b: &Csr<f64>, mask: &Csr<f64>) -> Csr<f64> {
+        let full = crate::multiply_csr(a, b, &Config::default(), &MemTracker::new())
+            .unwrap()
+            .0;
+        let pattern = mask.map_values(|_| 1.0);
+        ops::hadamard(&full, &pattern)
+    }
+
+    #[test]
+    fn masked_product_matches_hadamard_oracle() {
+        for seed in [1u64, 7, 23] {
+            let a = random(80, 5, seed);
+            let b = random(80, 5, seed + 50);
+            let mask = random(80, 8, seed + 99);
+            let ta = TileMatrix::from_csr(&a);
+            let tb = TileMatrix::from_csr(&b);
+            let tm = TileMatrix::from_csr(&mask);
+            let out =
+                multiply_masked(&ta, &tb, &tm, &Config::default(), &MemTracker::new()).unwrap();
+            out.c.validate().unwrap();
+            let got = out.c.to_csr().drop_numeric_zeros();
+            let want = masked_oracle(&a, &b, &mask).drop_numeric_zeros();
+            assert!(got.approx_eq_ignoring_zeros(&want, 1e-10), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn self_mask_gives_triangle_counting_kernel() {
+        // C<A> = A·A on a small undirected graph: per-edge common-neighbour
+        // counts.
+        let mut coo = Coo::new(4, 4);
+        for &(u, v) in &[(0u32, 1u32), (0, 2), (1, 2), (2, 3)] {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+        let adj = coo.to_csr();
+        let t = TileMatrix::from_csr(&adj);
+        let out = multiply_masked(&t, &t, &t, &Config::default(), &MemTracker::new()).unwrap();
+        let c = out.c.to_csr();
+        // Edge (0,1): common neighbour {2} -> 1. Edge (2,3): no common
+        // neighbour, so the position is absent from the product pattern and
+        // the mask intersection drops it.
+        assert_eq!(c.get(0, 1), Some(1.0));
+        assert_eq!(c.get(2, 3), None);
+        // Triangle count = sum / 6.
+        assert_eq!(ops::sum_all(&c), 6.0);
+    }
+
+    #[test]
+    fn masked_output_never_exceeds_mask_pattern() {
+        let a = random(60, 6, 3);
+        let mask = random(60, 2, 4);
+        let ta = TileMatrix::from_csr(&a);
+        let tm = TileMatrix::from_csr(&mask);
+        let out = multiply_masked(&ta, &ta, &tm, &Config::default(), &MemTracker::new()).unwrap();
+        let c = out.c.to_csr();
+        for row in 0..60 {
+            let (cols, _) = c.row(row);
+            let (mcols, _) = mask.row(row);
+            for &col in cols {
+                assert!(mcols.contains(&col), "({row},{col}) outside the mask");
+            }
+        }
+        assert!(out.c.nnz() <= mask.nnz());
+    }
+
+    #[test]
+    fn empty_mask_gives_empty_product() {
+        let a = random(40, 5, 9);
+        let ta = TileMatrix::from_csr(&a);
+        let tm = TileMatrix::from_csr(&Csr::zero(40, 40));
+        let out = multiply_masked(&ta, &ta, &tm, &Config::default(), &MemTracker::new()).unwrap();
+        assert_eq!(out.c.nnz(), 0);
+        assert_eq!(out.c.tile_count(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = TileMatrix::from_csr(&Csr::<f64>::identity(32));
+        let m = TileMatrix::from_csr(&Csr::<f64>::identity(48));
+        let err =
+            multiply_masked(&a, &a, &m, &Config::default(), &MemTracker::new()).unwrap_err();
+        assert!(matches!(err, SpGemmError::ShapeMismatch { .. }));
+    }
+}

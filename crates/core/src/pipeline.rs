@@ -1,0 +1,429 @@
+//! The full TileSpGEMM pipeline: step 1 → allocate → step 2 → allocate →
+//! step 3, with the per-step breakdown of Figure 10 and device-memory
+//! accounting for Figures 7 and 9.
+
+use crate::intersect::MatchedPair;
+use crate::step1::tile_structure_spgemm;
+use crate::step2::{matched_pairs, symbolic_tile};
+use crate::step3::{fill_indices_from_masks, numeric_tile_dense, numeric_tile_sparse};
+use crate::{Config, SpGemmError};
+use rayon::prelude::*;
+use tsg_matrix::{Csr, Scalar, TileMatrix, TILE_DIM};
+use tsg_runtime::{split_mut_by_offsets, Breakdown, MemTracker, Step};
+
+/// The result of a TileSpGEMM multiplication.
+#[derive(Debug)]
+pub struct Output<T> {
+    /// The product in sparse-tile form. May retain step-1 tiles that turned
+    /// out empty, exactly as the paper allows.
+    pub c: TileMatrix<T>,
+    /// Per-step wall times (Figure 10's slices).
+    pub breakdown: Breakdown,
+    /// Peak tracked device bytes during this multiplication.
+    pub peak_bytes: usize,
+}
+
+/// Runs `C = A·B` on tiled operands with the paper's three-step algorithm.
+///
+/// The `tracker` carries the device-memory budget; exceeding it aborts with
+/// [`SpGemmError::OutOfMemory`] (the paper's Figure-7 `0.00` bars). Pass
+/// [`MemTracker::new()`] for unlimited memory.
+pub fn multiply<T: Scalar>(
+    a: &TileMatrix<T>,
+    b: &TileMatrix<T>,
+    config: &Config,
+    tracker: &MemTracker,
+) -> Result<Output<T>, SpGemmError> {
+    if a.ncols != b.nrows {
+        return Err(SpGemmError::ShapeMismatch {
+            a: (a.nrows, a.ncols),
+            b: (b.nrows, b.ncols),
+        });
+    }
+    let mut breakdown = Breakdown::default();
+    let peak_start = tracker.peak_bytes();
+
+    // Inputs live on the device for the duration of the product.
+    let input_bytes = tile_matrix_bytes(a) + tile_matrix_bytes(b);
+    tracker.on_alloc(input_bytes)?;
+
+    // ---- Step 1: tile-structure symbolic SpGEMM (Figure 3). ----
+    let c_pattern = breakdown.timed(Step::Step1, || {
+        tile_structure_spgemm(
+            a.tile_m,
+            &a.tile_ptr,
+            &a.tile_colidx,
+            &b.tile_ptr,
+            &b.tile_colidx,
+            b.tile_n,
+        )
+    });
+    let num_tiles = c_pattern.nnz();
+
+    // ---- Allocation for step 2 (counted like the paper's cudaMalloc). ----
+    // B's column-wise tile index (Algorithm 2's tileColPtr_B/tileRowidx_B)
+    // and C's expanded tile-row indices.
+    let (b_cols, c_rowidx, mut c_masks, mut c_row_ptr) = breakdown.timed(Step::Alloc, || {
+        let b_cols = b.col_index();
+        let mut c_rowidx = vec![0u32; num_tiles];
+        for ti in 0..c_pattern.rows {
+            c_rowidx[c_pattern.ptr[ti]..c_pattern.ptr[ti + 1]].fill(ti as u32);
+        }
+        let c_masks = vec![0u16; num_tiles * TILE_DIM];
+        let c_row_ptr = vec![0u8; num_tiles * TILE_DIM];
+        (b_cols, c_rowidx, c_masks, c_row_ptr)
+    });
+    tracker.on_alloc(
+        c_pattern.nnz() * 4
+            + b_cols.colptr.len() * 8
+            + b_cols.rowidx.len() * 8
+            + num_tiles * (4 + TILE_DIM * 3 + 8)
+            + 8,
+    )?;
+
+    // ---- Step 2: per-tile symbolic (Algorithm 2). ----
+    let mut c_counts = vec![0usize; num_tiles];
+    let step2_tile = |scratch: &mut Vec<MatchedPair>,
+                      pairs: &mut Vec<(u32, u32)>,
+                      t: usize,
+                      mask_w: &mut [u16],
+                      row_ptr_w: &mut [u8],
+                      count: &mut usize| {
+        let ti = c_rowidx[t] as usize;
+        let tj = c_pattern.idx[t] as usize;
+        matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
+        let sym = symbolic_tile(a, b, pairs);
+        mask_w.copy_from_slice(&sym.masks);
+        row_ptr_w.copy_from_slice(&sym.row_ptr);
+        *count = sym.nnz;
+    };
+    breakdown.timed(Step::Step2, || match config.scheduling {
+        crate::Scheduling::PerTile => {
+            c_masks
+                .par_chunks_mut(TILE_DIM)
+                .zip(c_row_ptr.par_chunks_mut(TILE_DIM))
+                .zip(c_counts.par_iter_mut())
+                .enumerate()
+                .for_each_init(
+                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                    |(scratch, pairs), (t, ((mask_w, row_ptr_w), count))| {
+                        step2_tile(scratch, pairs, t, mask_w, row_ptr_w, count);
+                    },
+                );
+        }
+        crate::Scheduling::PerTileRow => {
+            let elem_bounds: Vec<usize> = c_pattern.ptr.iter().map(|&t| t * TILE_DIM).collect();
+            let masks_rows = split_mut_by_offsets(&mut c_masks, &elem_bounds);
+            let rowptr_rows = split_mut_by_offsets(&mut c_row_ptr, &elem_bounds);
+            let counts_rows = split_mut_by_offsets(&mut c_counts, &c_pattern.ptr);
+            masks_rows
+                .into_par_iter()
+                .zip(rowptr_rows)
+                .zip(counts_rows)
+                .enumerate()
+                .for_each_init(
+                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                    |(scratch, pairs), (ti, ((masks_r, rowptr_r), counts_r))| {
+                        let base = c_pattern.ptr[ti];
+                        for (k, count) in counts_r.iter_mut().enumerate() {
+                            step2_tile(
+                                scratch,
+                                pairs,
+                                base + k,
+                                &mut masks_r[k * TILE_DIM..(k + 1) * TILE_DIM],
+                                &mut rowptr_r[k * TILE_DIM..(k + 1) * TILE_DIM],
+                                count,
+                            );
+                        }
+                    },
+                );
+        }
+    });
+
+    // Prefix-sum the per-tile counts into the tileNnz offsets — the scan
+    // the paper ends step 2 with — then allocate C's nonzero arrays.
+    let mut c_offsets = vec![0usize; num_tiles + 1];
+    let nnz_c = breakdown.timed(Step::Step2, || {
+        tsg_runtime::exclusive_scan_to(&c_counts, &mut c_offsets)
+    });
+
+    let (mut c_row_idx, mut c_col_idx, mut c_vals) = breakdown.timed(Step::Alloc, || {
+        tracker.on_alloc(nnz_c * (2 + std::mem::size_of::<T>()) + (num_tiles + 1) * 8)?;
+        Ok::<_, SpGemmError>((
+            tracker.timed_alloc(|| vec![0u8; nnz_c]),
+            tracker.timed_alloc(|| vec![0u8; nnz_c]),
+            tracker.timed_alloc(|| vec![T::ZERO; nnz_c]),
+        ))
+    })?;
+
+    // ---- Step 3: numeric (Algorithm 3). ----
+    let step3_tile = |scratch: &mut Vec<MatchedPair>,
+                      pairs: &mut Vec<(u32, u32)>,
+                      t: usize,
+                      row_idx_w: &mut [u8],
+                      col_idx_w: &mut [u8],
+                      vals_w: &mut [T]| {
+        let ti = c_rowidx[t] as usize;
+        let tj = c_pattern.idx[t] as usize;
+        let masks = &c_masks[t * TILE_DIM..(t + 1) * TILE_DIM];
+        let row_ptr = &c_row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM];
+        let filled = fill_indices_from_masks(masks, row_idx_w, col_idx_w);
+        debug_assert_eq!(filled, vals_w.len());
+        matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
+        if config
+            .accumulator
+            .use_dense(vals_w.len(), config.tnnz_threshold)
+        {
+            numeric_tile_dense(a, b, pairs, masks, vals_w);
+        } else {
+            numeric_tile_sparse(a, b, pairs, masks, row_ptr, vals_w);
+        }
+    };
+    breakdown.timed(Step::Step3, || match config.scheduling {
+        crate::Scheduling::PerTile => {
+            let row_idx_w = split_mut_by_offsets(&mut c_row_idx, &c_offsets);
+            let col_idx_w = split_mut_by_offsets(&mut c_col_idx, &c_offsets);
+            let vals_w = split_mut_by_offsets(&mut c_vals, &c_offsets);
+            row_idx_w
+                .into_par_iter()
+                .zip(col_idx_w)
+                .zip(vals_w)
+                .enumerate()
+                .for_each_init(
+                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                    |(scratch, pairs), (t, ((row_idx_w, col_idx_w), vals_w))| {
+                        step3_tile(scratch, pairs, t, row_idx_w, col_idx_w, vals_w);
+                    },
+                );
+        }
+        crate::Scheduling::PerTileRow => {
+            let row_bounds: Vec<usize> =
+                c_pattern.ptr.iter().map(|&t| c_offsets[t]).collect();
+            let row_idx_rows = split_mut_by_offsets(&mut c_row_idx, &row_bounds);
+            let col_idx_rows = split_mut_by_offsets(&mut c_col_idx, &row_bounds);
+            let vals_rows = split_mut_by_offsets(&mut c_vals, &row_bounds);
+            row_idx_rows
+                .into_par_iter()
+                .zip(col_idx_rows)
+                .zip(vals_rows)
+                .enumerate()
+                .for_each_init(
+                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                    |(scratch, pairs), (ti, ((ri_r, ci_r), vals_r))| {
+                        let tile_base = c_pattern.ptr[ti];
+                        let elem_base = c_offsets[tile_base];
+                        for t in tile_base..c_pattern.ptr[ti + 1] {
+                            let lo = c_offsets[t] - elem_base;
+                            let hi = c_offsets[t + 1] - elem_base;
+                            // Split the row window into this tile's slice.
+                            step3_tile(
+                                scratch,
+                                pairs,
+                                t,
+                                &mut ri_r[lo..hi],
+                                &mut ci_r[lo..hi],
+                                &mut vals_r[lo..hi],
+                            );
+                        }
+                    },
+                );
+        }
+    });
+
+    // Assemble the output structure.
+    let c = TileMatrix {
+        nrows: a.nrows,
+        ncols: b.ncols,
+        tile_m: a.tile_m,
+        tile_n: b.tile_n,
+        tile_ptr: c_pattern.ptr,
+        tile_colidx: c_pattern.idx,
+        tile_nnz: c_offsets,
+        row_ptr: c_row_ptr,
+        row_idx: c_row_idx,
+        col_idx: c_col_idx,
+        vals: c_vals,
+        masks: c_masks,
+    };
+
+    let peak_bytes = tracker.peak_bytes().max(peak_start);
+    // Inputs and temporaries are released at the end of the operation.
+    tracker.on_free(input_bytes);
+
+    Ok(Output {
+        c,
+        breakdown,
+        peak_bytes,
+    })
+}
+
+/// Convenience wrapper: multiplies CSR operands by converting to tiled form
+/// (conversion excluded from the breakdown, matching the paper's timing
+/// protocol, which assumes tiled inputs), returning a CSR product.
+pub fn multiply_csr<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    config: &Config,
+    tracker: &MemTracker,
+) -> Result<(Csr<T>, Breakdown), SpGemmError> {
+    let ta = TileMatrix::from_csr(a);
+    let tb = TileMatrix::from_csr(b);
+    let out = multiply(&ta, &tb, config, tracker)?;
+    Ok((out.c.to_csr().drop_numeric_zeros(), out.breakdown))
+}
+
+/// Total bytes of a tile matrix, as tracked on the simulated device.
+pub fn tile_matrix_bytes<T: Scalar>(m: &TileMatrix<T>) -> usize {
+    use tsg_matrix::Footprint;
+    m.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_matrix::{Coo, Dense};
+
+    fn random_csr(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coo = Coo::new(n, n);
+        for r in 0..n as u32 {
+            for _ in 0..per_row {
+                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.5);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn multiply_matches_dense_oracle() {
+        for (n, per_row, seed) in [(16usize, 3usize, 1u64), (50, 4, 2), (130, 6, 3)] {
+            let a = random_csr(n, per_row, seed);
+            let b = random_csr(n, per_row, seed + 100);
+            let (c, _) = multiply_csr(&a, &b, &Config::default(), &MemTracker::new()).unwrap();
+            let expect = Dense::from_csr(&a).matmul(&Dense::from_csr(&b)).to_csr();
+            assert!(
+                c.approx_eq_ignoring_zeros(&expect, 1e-10),
+                "mismatch for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_tile_structure_validates() {
+        let a = random_csr(100, 5, 7);
+        let ta = TileMatrix::from_csr(&a);
+        let out = multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
+        out.c.validate().unwrap();
+        assert!(out.breakdown.total().as_nanos() > 0);
+        assert!(out.peak_bytes > 0);
+    }
+
+    #[test]
+    fn all_config_variants_agree() {
+        let a = random_csr(80, 5, 11);
+        let reference = multiply_csr(&a, &a, &Config::default(), &MemTracker::new())
+            .unwrap()
+            .0;
+        for intersection in [crate::IntersectionKind::BinarySearch, crate::IntersectionKind::Merge]
+        {
+            for accumulator in [
+                crate::AccumulatorKind::Adaptive,
+                crate::AccumulatorKind::AlwaysSparse,
+                crate::AccumulatorKind::AlwaysDense,
+            ] {
+                for tnnz_threshold in [0, 64, 192, 256] {
+                    let cfg = Config {
+                        tnnz_threshold,
+                        intersection,
+                        accumulator,
+                        ..Config::default()
+                    };
+                    let c = multiply_csr(&a, &a, &cfg, &MemTracker::new()).unwrap().0;
+                    assert!(
+                        c.approx_eq_ignoring_zeros(&reference, 1e-10),
+                        "variant {cfg:?} disagrees"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_variants_agree_bitwise() {
+        let a = random_csr(150, 6, 21);
+        let ta = TileMatrix::from_csr(&a);
+        let per_tile = multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
+        let cfg_rows = Config {
+            scheduling: crate::Scheduling::PerTileRow,
+            ..Config::default()
+        };
+        let per_row = multiply(&ta, &ta, &cfg_rows, &MemTracker::new()).unwrap();
+        assert_eq!(per_tile.c, per_row.c, "schedulings must agree bitwise");
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = TileMatrix::from_csr(&Csr::<f64>::identity(32));
+        let b = TileMatrix::from_csr(&Csr::<f64>::zero(48, 48));
+        let err = multiply(&a, &b, &Config::default(), &MemTracker::new()).unwrap_err();
+        assert!(matches!(err, SpGemmError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn memory_budget_failure_surfaces_as_oom() {
+        let a = random_csr(200, 8, 13);
+        let ta = TileMatrix::from_csr(&a);
+        let tracker = MemTracker::with_budget(1024); // absurdly small
+        let err = multiply(&ta, &ta, &Config::default(), &tracker).unwrap_err();
+        assert!(matches!(err, SpGemmError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn identity_times_matrix_is_identity_map() {
+        let a = random_csr(64, 4, 17);
+        let i = Csr::<f64>::identity(64);
+        let (c, _) = multiply_csr(&i, &a, &Config::default(), &MemTracker::new()).unwrap();
+        assert!(c.approx_eq_ignoring_zeros(&a, 1e-12));
+        let (c2, _) = multiply_csr(&a, &i, &Config::default(), &MemTracker::new()).unwrap();
+        assert!(c2.approx_eq_ignoring_zeros(&a, 1e-12));
+    }
+
+    #[test]
+    fn empty_operands_give_empty_product() {
+        let z = TileMatrix::from_csr(&Csr::<f64>::zero(32, 32));
+        let out = multiply(&z, &z, &Config::default(), &MemTracker::new()).unwrap();
+        assert_eq!(out.c.nnz(), 0);
+        assert_eq!(out.c.tile_count(), 0);
+    }
+
+    #[test]
+    fn step1_overestimate_retains_empty_tiles() {
+        // A(0, 16) * B(16, 0): step 1 pairs tile (0,1) of A with tile (1,0)
+        // of B, predicting C tile (0,0). The product is 1*1 at (0,0) —
+        // nonzero. Now use values that cancel: A has two entries whose
+        // products into the same C position cancel exactly.
+        let mut coo_a = Coo::new(32, 32);
+        coo_a.push(0, 16, 1.0);
+        coo_a.push(0, 17, 1.0);
+        let mut coo_b = Coo::new(32, 32);
+        coo_b.push(16, 0, 1.0);
+        coo_b.push(17, 0, -1.0);
+        let ta = TileMatrix::from_csr(&coo_a.to_csr());
+        let tb = TileMatrix::from_csr(&coo_b.to_csr());
+        let out = multiply(&ta, &tb, &Config::default(), &MemTracker::new()).unwrap();
+        // The tile exists structurally (mask bit set), with a stored value
+        // of exactly zero — numeric cancellation is not removed, matching
+        // the paper's "no tile-wise cancellation" rule at the numeric level.
+        assert_eq!(out.c.tile_count(), 1);
+        assert_eq!(out.c.nnz(), 1);
+        assert_eq!(out.c.vals[0], 0.0);
+        let csr = out.c.to_csr().drop_numeric_zeros();
+        assert_eq!(csr.nnz(), 0);
+    }
+}

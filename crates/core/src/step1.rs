@@ -1,0 +1,227 @@
+//! Step 1: symbolic SpGEMM on the high-level tile structure (§3.3).
+//!
+//! Treating each sparse tile as a single "nonzero", the tile layout of
+//! `C = A·B` is the pattern of `C' = A'·B'` where `A'`/`B'` are the tile
+//! layouts of `A`/`B` (the paper's Figure 3). The paper calls NSPARSE for
+//! this small symbolic product; our NSPARSE stand-in is the same kernel:
+//! per-row upper bounds, then a per-row accumulator that switches between
+//! sort-dedup (short rows) and open-addressing hashing (long rows).
+//!
+//! Tile-wise cancellation is *not* considered: a tile of `C'` may turn out
+//! to hold zero nonzeros after step 2, and is then retained as an empty tile
+//! exactly as the paper specifies ("the final C is allowed to store empty
+//! tiles").
+
+use rayon::prelude::*;
+
+/// The pattern of one level of tile structure: a CSR without values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePattern {
+    /// Number of tile rows.
+    pub rows: usize,
+    /// Number of tile columns.
+    pub cols: usize,
+    /// Row pointers (length `rows + 1`).
+    pub ptr: Vec<usize>,
+    /// Column indices, ascending per row.
+    pub idx: Vec<u32>,
+}
+
+impl TilePattern {
+    /// The tile ids of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.idx[self.ptr[i]..self.ptr[i + 1]]
+    }
+
+    /// Number of stored tiles.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+}
+
+/// Rows with at most this many gathered candidates use sort-dedup; longer
+/// rows use the hash accumulator. Mirrors NSPARSE's binning intent at the
+/// granularity step 1 needs.
+const SORT_PATH_MAX: usize = 128;
+
+/// Computes the symbolic product pattern `C' = A'·B'` over tile structures.
+///
+/// `a_ptr`/`a_idx` describe `A'` (one entry per sparse tile of `A`), and
+/// likewise for `B'`. Output rows are sorted.
+pub fn tile_structure_spgemm(
+    a_rows: usize,
+    a_ptr: &[usize],
+    a_idx: &[u32],
+    b_ptr: &[usize],
+    b_idx: &[u32],
+    b_cols: usize,
+) -> TilePattern {
+    let rows: Vec<Vec<u32>> = (0..a_rows)
+        .into_par_iter()
+        .map(|i| {
+            let acols = &a_idx[a_ptr[i]..a_ptr[i + 1]];
+            let ub: usize = acols
+                .iter()
+                .map(|&k| b_ptr[k as usize + 1] - b_ptr[k as usize])
+                .sum();
+            if ub == 0 {
+                return Vec::new();
+            }
+            if ub <= SORT_PATH_MAX {
+                symbolic_row_sort(acols, b_ptr, b_idx, ub)
+            } else {
+                symbolic_row_hash(acols, b_ptr, b_idx, ub)
+            }
+        })
+        .collect();
+
+    let mut ptr = vec![0usize; a_rows + 1];
+    for (i, r) in rows.iter().enumerate() {
+        ptr[i + 1] = ptr[i] + r.len();
+    }
+    let mut idx = Vec::with_capacity(ptr[a_rows]);
+    for r in rows {
+        idx.extend_from_slice(&r);
+    }
+    TilePattern {
+        rows: a_rows,
+        cols: b_cols,
+        ptr,
+        idx,
+    }
+}
+
+fn symbolic_row_sort(acols: &[u32], b_ptr: &[usize], b_idx: &[u32], ub: usize) -> Vec<u32> {
+    let mut gathered = Vec::with_capacity(ub);
+    for &k in acols {
+        gathered.extend_from_slice(&b_idx[b_ptr[k as usize]..b_ptr[k as usize + 1]]);
+    }
+    gathered.sort_unstable();
+    gathered.dedup();
+    gathered
+}
+
+/// Open-addressing (linear probing) hash set over `u32` keys, sized to the
+/// next power of two above `2·ub` — the NSPARSE symbolic-phase design.
+fn symbolic_row_hash(acols: &[u32], b_ptr: &[usize], b_idx: &[u32], ub: usize) -> Vec<u32> {
+    const EMPTY: u32 = u32::MAX;
+    let capacity = (2 * ub).next_power_of_two();
+    let mask = capacity - 1;
+    let mut table = vec![EMPTY; capacity];
+    let mut count = 0usize;
+    for &k in acols {
+        for &col in &b_idx[b_ptr[k as usize]..b_ptr[k as usize + 1]] {
+            let mut slot = (col as usize).wrapping_mul(0x9E37_79B9) & mask;
+            loop {
+                let cur = table[slot];
+                if cur == col {
+                    break;
+                }
+                if cur == EMPTY {
+                    table[slot] = col;
+                    count += 1;
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(count);
+    out.extend(table.into_iter().filter(|&c| c != EMPTY));
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle.
+    fn oracle(
+        a_rows: usize,
+        a_ptr: &[usize],
+        a_idx: &[u32],
+        b_ptr: &[usize],
+        b_idx: &[u32],
+    ) -> Vec<Vec<u32>> {
+        (0..a_rows)
+            .map(|i| {
+                let mut set = std::collections::BTreeSet::new();
+                for &k in &a_idx[a_ptr[i]..a_ptr[i + 1]] {
+                    for &c in &b_idx[b_ptr[k as usize]..b_ptr[k as usize + 1]] {
+                        set.insert(c);
+                    }
+                }
+                set.into_iter().collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure3_style_example() {
+        // Figure-3-style example: an A' with 8 tiles times a B' with 6 tiles
+        // yields a C' whose nonzeros are the union of the referenced B'
+        // rows. A' rows: {0,1,3}, {2}, {0,3}, {1,2};
+        // B' rows: {1}, {2}, {1,3}, {0,2}.
+        let a_ptr = [0usize, 3, 4, 6, 8];
+        let a_idx = [0u32, 1, 3, 2, 0, 3, 1, 2];
+        let b_ptr = [0usize, 1, 2, 4, 6];
+        let b_idx = [1u32, 2, 1, 3, 0, 2];
+        let c = tile_structure_spgemm(4, &a_ptr, &a_idx, &b_ptr, &b_idx, 4);
+        assert_eq!(c.row(0), &[0, 1, 2]);
+        assert_eq!(c.row(1), &[1, 3]);
+        assert_eq!(c.row(2), &[0, 1, 2]);
+        assert_eq!(c.row(3), &[1, 2, 3]);
+        assert_eq!(c.nnz(), 11);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_patterns_both_paths() {
+        let mut state = 999u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for rows in [1usize, 7, 40] {
+            for density in [2usize, 30] {
+                // density=30 with rows=40 pushes rows past SORT_PATH_MAX so
+                // the hash path runs too.
+                let mut a_ptr = vec![0usize];
+                let mut a_idx = Vec::new();
+                for _ in 0..rows {
+                    let mut cols: Vec<u32> =
+                        (0..density).map(|_| (next() % rows as u64) as u32).collect();
+                    cols.sort_unstable();
+                    cols.dedup();
+                    a_idx.extend_from_slice(&cols);
+                    a_ptr.push(a_idx.len());
+                }
+                let (b_ptr, b_idx) = (a_ptr.clone(), a_idx.clone());
+                let c = tile_structure_spgemm(rows, &a_ptr, &a_idx, &b_ptr, &b_idx, rows);
+                let want = oracle(rows, &a_ptr, &a_idx, &b_ptr, &b_idx);
+                for (i, w) in want.iter().enumerate() {
+                    assert_eq!(c.row(i), &w[..], "row {i}, density {density}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_structure_gives_empty_product() {
+        let c = tile_structure_spgemm(3, &[0, 0, 0, 0], &[], &[0, 0, 0, 0], &[], 3);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.ptr, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn hash_path_handles_adversarial_collisions() {
+        // All columns map near each other: many probes, still exact.
+        let acols = [0u32];
+        let b_ptr = [0usize, 200];
+        let b_idx: Vec<u32> = (0..200u32).map(|i| i * 64).collect();
+        let got = symbolic_row_hash(&acols, &b_ptr, &b_idx, 200);
+        assert_eq!(got, b_idx);
+    }
+}

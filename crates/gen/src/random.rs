@@ -1,0 +1,107 @@
+//! Uniform random generators.
+
+use crate::rng;
+use rand::Rng;
+use tsg_matrix::{Coo, Csr};
+
+/// Erdős–Rényi-style matrix: `nnz_target` entries drawn uniformly (before
+/// duplicate folding), values in `(-1, 1) \ {0}`.
+pub fn erdos_renyi(nrows: usize, ncols: usize, nnz_target: usize, seed: u64) -> Csr<f64> {
+    let mut r = rng(seed);
+    let mut coo = Coo::new(nrows, ncols);
+    coo.entries.reserve(nnz_target);
+    for _ in 0..nnz_target {
+        let row = r.gen_range(0..nrows) as u32;
+        let col = r.gen_range(0..ncols) as u32;
+        coo.push(row, col, nonzero_value(&mut r));
+    }
+    coo.to_csr()
+}
+
+/// Uniform scatter with exactly `per_row` nonzeros per row (duplicates
+/// folded, so some rows may end slightly shorter). The `cop20k_A`-like
+/// hypersparse regime: with `per_row` small relative to `ncols / 16`, nearly
+/// every nonzero lands in its own tile.
+pub fn scatter_uniform(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+    let mut r = rng(seed);
+    let mut coo = Coo::new(n, n);
+    coo.entries.reserve(n * per_row);
+    for row in 0..n as u32 {
+        for _ in 0..per_row {
+            coo.push(row, r.gen_range(0..n) as u32, nonzero_value(&mut r));
+        }
+    }
+    coo.to_csr()
+}
+
+/// A value uniform in `[0.1, 1.0]` with random sign — bounded away from zero
+/// so products never underflow to exact zero in tests.
+pub fn nonzero_value<R: Rng>(r: &mut R) -> f64 {
+    let mag = r.gen_range(0.1..=1.0);
+    if r.gen_bool(0.5) {
+        mag
+    } else {
+        -mag
+    }
+}
+
+/// Small dense-ish random matrix for oracle tests: every entry present with
+/// probability `density`.
+pub fn small_random(nrows: usize, ncols: usize, density: f64, seed: u64) -> Csr<f64> {
+    let mut r = rng(seed);
+    let mut coo = Coo::new(nrows, ncols);
+    for row in 0..nrows as u32 {
+        for col in 0..ncols as u32 {
+            if r.gen_bool(density) {
+                coo.push(row, col, nonzero_value(&mut r));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_is_deterministic_and_in_bounds() {
+        let a = erdos_renyi(100, 80, 500, 3);
+        let b = erdos_renyi(100, 80, 500, 3);
+        assert_eq!(a, b);
+        assert!(a.nnz() <= 500 && a.nnz() > 400);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(100, 100, 300, 1);
+        let b = erdos_renyi(100, 100, 300, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scatter_has_bounded_row_lengths() {
+        let a = scatter_uniform(200, 4, 9);
+        for row in 0..200 {
+            assert!(a.row_nnz(row) <= 4);
+            assert!(a.row_nnz(row) >= 1);
+        }
+    }
+
+    #[test]
+    fn small_random_density_is_plausible() {
+        let a = small_random(50, 50, 0.5, 11);
+        let density = a.nnz() as f64 / 2500.0;
+        assert!((0.4..0.6).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn values_are_nonzero_after_duplicate_folding() {
+        // Duplicate coordinates get summed during CSR conversion, so single
+        // draws in ±[0.1, 1] can grow to ±2 or shrink toward zero — but
+        // exact zeros are always dropped.
+        let a = erdos_renyi(50, 50, 400, 5);
+        assert!(a.vals.iter().all(|&v| v != 0.0 && v.abs() <= 2.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! R-MAT (recursive matrix) power-law generator.
+//!
+//! Produces the skewed row-length distributions of web/social graphs — the
+//! `webbase-1M` regime the paper's §2.3 uses to motivate tiling: on that
+//! matrix 3 rows need >100k flops, 190 need >10k, while 999,812 rows need
+//! <100. R-MAT with the classic `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`
+//! reproduces that shape at any scale.
+
+use crate::{random::nonzero_value, rng};
+use rand::Rng;
+use tsg_matrix::{Coo, Csr};
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The classic Graph500-ish skew.
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+
+    /// Mildly skewed variant.
+    pub const MILD: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+    };
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates a `2^scale × 2^scale` R-MAT matrix with `edges` draws
+/// (duplicates folded, so the final nnz is somewhat lower at high skew).
+pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> Csr<f64> {
+    assert!(params.d() >= 0.0, "quadrant probabilities exceed one");
+    let n = 1usize << scale;
+    let mut r = rng(seed);
+    let mut coo = Coo::new(n, n);
+    coo.entries.reserve(edges);
+    for _ in 0..edges {
+        let (mut row, mut col) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            // Perturb the quadrant probabilities slightly per level, the
+            // standard trick to avoid exact self-similarity artefacts.
+            let noise = 0.9 + 0.2 * r.gen::<f64>();
+            let a = params.a * noise;
+            let b = params.b * noise;
+            let c = params.c * noise;
+            let total = a + b + c + params.d() * noise;
+            let x = r.gen::<f64>() * total;
+            if x < a {
+                // top-left: nothing to add
+            } else if x < a + b {
+                col += half;
+            } else if x < a + b + c {
+                row += half;
+            } else {
+                row += half;
+                col += half;
+            }
+            half >>= 1;
+        }
+        coo.push(row as u32, col as u32, nonzero_value(&mut r));
+    }
+    coo.to_csr()
+}
+
+/// Maximum row nnz over the matrix — the imbalance witness used by tests.
+pub fn max_row_nnz(a: &Csr<f64>) -> usize {
+    (0..a.nrows).map(|i| a.row_nnz(i)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(8, 2000, RmatParams::GRAPH500, 5);
+        let b = rmat(8, 2000, RmatParams::GRAPH500, 5);
+        assert_eq!(a, b);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn rmat_is_skewed_relative_to_uniform() {
+        let n_scale = 10;
+        let edges = 8 * (1 << n_scale);
+        let skewed = rmat(n_scale, edges, RmatParams::GRAPH500, 42);
+        let uniform = crate::random::erdos_renyi(1 << n_scale, 1 << n_scale, edges, 42);
+        // The heaviest R-MAT row dwarfs the heaviest uniform row.
+        assert!(
+            max_row_nnz(&skewed) > 3 * max_row_nnz(&uniform),
+            "rmat max row {} vs uniform {}",
+            max_row_nnz(&skewed),
+            max_row_nnz(&uniform)
+        );
+    }
+
+    #[test]
+    fn webbase_like_row_distribution_shape() {
+        // §2.3's motivation: the overwhelming majority of rows are tiny
+        // while a handful dominate.
+        let a = rmat(12, 40_000, RmatParams::GRAPH500, 7);
+        let rows = a.nrows;
+        let avg = a.nnz() / rows;
+        let small = (0..rows).filter(|&i| a.row_nnz(i) <= 2 * avg).count();
+        assert!(
+            small as f64 > 0.8 * rows as f64,
+            "only {small}/{rows} rows are near-average"
+        );
+        assert!(
+            max_row_nnz(&a) > 20 * avg,
+            "heaviest row {} should dwarf the {avg} average",
+            max_row_nnz(&a)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed one")]
+    fn invalid_params_panic() {
+        rmat(4, 10, RmatParams { a: 0.6, b: 0.3, c: 0.3 }, 1);
+    }
+}

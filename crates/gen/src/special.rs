@@ -1,0 +1,160 @@
+//! Special structures from the representative set.
+//!
+//! * [`arrow`] — dense-bordered "arrow" matrices like `gupta3`
+//!   (17k rows, 9.3M nnz, 61 Gflop): small order, enormous flop counts, the
+//!   matrices that exhaust the intermediate-product buffers of row-row
+//!   methods (paper Figure 7's `0.00` bars).
+//! * [`power_flow`] — electrical-network-style matrices like `case39` and
+//!   `TSOPF_FS_b300_c2`: block-dense clusters with huge `A²` fill.
+//! * [`kronecker`] — Kronecker products used to grow structured graphs
+//!   (`struct3`/`nemeth21`-like repetitive patterns).
+
+use crate::{random::nonzero_value, rng};
+use rand::Rng;
+use tsg_matrix::{Coo, Csr};
+
+/// Arrow matrix: a sparse banded body plus `border` fully dense rows *and*
+/// columns. The dense border rows multiply against the dense border columns,
+/// generating `O(border · n²)`-ish intermediate products — the `gupta3`
+/// failure mode for methods that materialise intermediates.
+pub fn arrow(n: usize, border: usize, body_per_row: usize, seed: u64) -> Csr<f64> {
+    assert!(border < n);
+    let mut r = rng(seed);
+    let mut coo = Coo::new(n, n);
+    // Dense border rows/cols at the front.
+    for b in 0..border as u32 {
+        for j in 0..n as u32 {
+            coo.push(b, j, nonzero_value(&mut r));
+            if j >= border as u32 {
+                coo.push(j, b, nonzero_value(&mut r));
+            }
+        }
+    }
+    // Sparse banded body.
+    for row in border..n {
+        coo.push(row as u32, row as u32, r.gen_range(1.0..2.0));
+        for _ in 0..body_per_row {
+            let lo = row.saturating_sub(30).max(border);
+            let hi = (row + 30).min(n - 1);
+            coo.push(row as u32, r.gen_range(lo..=hi) as u32, nonzero_value(&mut r));
+        }
+    }
+    coo.to_csr()
+}
+
+/// Power-flow-style matrix: `clusters` dense clusters of size `cluster_size`
+/// on the diagonal, randomly cross-linked. Mimics `case39` /
+/// `TSOPF_FS_b300_c2`: modest order, very high `A²` flop counts because the
+/// dense clusters square into themselves.
+pub fn power_flow(clusters: usize, cluster_size: usize, links: usize, seed: u64) -> Csr<f64> {
+    let mut r = rng(seed);
+    let n = clusters * cluster_size;
+    let mut coo = Coo::new(n, n);
+    for k in 0..clusters {
+        let base = (k * cluster_size) as u32;
+        for i in 0..cluster_size as u32 {
+            for j in 0..cluster_size as u32 {
+                coo.push(base + i, base + j, nonzero_value(&mut r));
+            }
+        }
+    }
+    for _ in 0..links {
+        let a = r.gen_range(0..n) as u32;
+        let b = r.gen_range(0..n) as u32;
+        let v = nonzero_value(&mut r);
+        coo.push(a, b, v);
+        coo.push(b, a, v);
+    }
+    coo.to_csr()
+}
+
+/// Kronecker product `A ⊗ B` (dense in neither factor's pattern).
+pub fn kronecker(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+    let nrows = a.nrows * b.nrows;
+    let ncols = a.ncols * b.ncols;
+    let mut coo = Coo::new(nrows, ncols);
+    coo.entries.reserve(a.nnz() * b.nnz());
+    for ra in 0..a.nrows {
+        let (ca, va) = a.row(ra);
+        for (&ja, &xa) in ca.iter().zip(va) {
+            for rb in 0..b.nrows {
+                let (cb, vb) = b.row(rb);
+                for (&jb, &xb) in cb.iter().zip(vb) {
+                    coo.push(
+                        (ra * b.nrows + rb) as u32,
+                        (ja as usize * b.ncols + jb as usize) as u32,
+                        xa * xb,
+                    );
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_matrix::Dense;
+
+    #[test]
+    fn arrow_has_dense_border() {
+        let a = arrow(200, 3, 4, 7);
+        a.validate().unwrap();
+        for b in 0..3 {
+            assert_eq!(a.row_nnz(b), 200, "border row {b} must be dense");
+        }
+        // Border columns dense too: transpose rows 0..3 are full.
+        let t = a.transpose();
+        for b in 0..3 {
+            assert_eq!(t.row_nnz(b), 200);
+        }
+        // Body rows stay sparse.
+        assert!(a.row_nnz(100) < 40);
+    }
+
+    #[test]
+    fn arrow_flop_count_is_dominated_by_border() {
+        let sparse = crate::fem::banded(200, 30, 5, 7);
+        let a = arrow(200, 3, 5, 7);
+        assert!(a.spgemm_flops(&a) > 10 * sparse.spgemm_flops(&sparse));
+    }
+
+    #[test]
+    fn power_flow_clusters_are_dense() {
+        let a = power_flow(10, 12, 30, 5);
+        assert_eq!(a.nrows, 120);
+        // First cluster block fully dense.
+        for i in 0..12 {
+            let (cols, _) = a.row(i);
+            let in_cluster = cols.iter().filter(|&&c| c < 12).count();
+            assert_eq!(in_cluster, 12);
+        }
+    }
+
+    #[test]
+    fn kronecker_matches_dense_oracle() {
+        let a = crate::random::small_random(4, 3, 0.6, 1);
+        let b = crate::random::small_random(3, 5, 0.6, 2);
+        let k = kronecker(&a, &b);
+        assert_eq!(k.nrows, 12);
+        assert_eq!(k.ncols, 15);
+        let da = Dense::from_csr(&a);
+        let db = Dense::from_csr(&b);
+        let dk = Dense::from_csr(&k);
+        for i in 0..12 {
+            for j in 0..15 {
+                let expect = da.get(i / 3, j / 5) * db.get(i % 3, j % 5);
+                assert!((dk.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn kronecker_nnz_is_product_of_nnz() {
+        let a = crate::random::small_random(6, 6, 0.3, 3);
+        let b = crate::random::small_random(5, 5, 0.3, 4);
+        let k = kronecker(&a, &b);
+        assert_eq!(k.nnz(), a.nnz() * b.nnz());
+    }
+}

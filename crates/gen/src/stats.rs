@@ -1,0 +1,109 @@
+//! Matrix statistics — the Table-2 columns.
+//!
+//! For each dataset entry the paper reports `n`, `nnz(A)`, `#flops` of
+//! `C = A²`, `nnz(C)`, and the *compression rate*: the ratio of intermediate
+//! products (half the flops) to `nnz(C)`. Figure 6 plots performance against
+//! this rate, so the harness needs it computed exactly; `spgemm_nnz` here is
+//! an independent sort-based symbolic kernel (deliberately not sharing code
+//! with any measured method, so it can serve as their oracle for output
+//! size).
+
+use rayon::prelude::*;
+use tsg_matrix::{Csr, Scalar};
+
+/// The statistics row the paper's Table 2 reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Matrix order (rows).
+    pub n: usize,
+    /// Columns (== n for the square evaluation set).
+    pub ncols: usize,
+    /// Nonzeros of `A`.
+    pub nnz_a: usize,
+    /// Floating point operations of `C = A·B` (2 per intermediate product).
+    pub flops: u64,
+    /// Nonzeros of the product.
+    pub nnz_c: usize,
+    /// Compression rate: `(flops / 2) / nnz_c`.
+    pub compression_rate: f64,
+}
+
+/// Exact `nnz(A·B)` via a per-row "sort + dedup" symbolic pass.
+pub fn spgemm_nnz<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> usize {
+    assert_eq!(a.ncols, b.nrows, "inner dimensions must agree");
+    (0..a.nrows)
+        .into_par_iter()
+        .map(|i| {
+            let (cols, _) = a.row(i);
+            let mut gathered: Vec<u32> = Vec::new();
+            for &j in cols {
+                gathered.extend_from_slice(b.row(j as usize).0);
+            }
+            gathered.sort_unstable();
+            gathered.dedup();
+            gathered.len()
+        })
+        .sum()
+}
+
+/// Computes the full statistics row for `C = A·B`.
+pub fn matrix_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> MatrixStats {
+    let flops = a.spgemm_flops(b);
+    let nnz_c = spgemm_nnz(a, b);
+    MatrixStats {
+        n: a.nrows,
+        ncols: a.ncols,
+        nnz_a: a.nnz(),
+        flops,
+        nnz_c,
+        compression_rate: if nnz_c == 0 {
+            0.0
+        } else {
+            (flops as f64 / 2.0) / nnz_c as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_matrix::Dense;
+
+    #[test]
+    fn nnz_matches_dense_oracle() {
+        let a = crate::random::small_random(20, 20, 0.2, 1);
+        let b = crate::random::small_random(20, 20, 0.2, 2);
+        let dense = Dense::from_csr(&a).matmul(&Dense::from_csr(&b));
+        // The dense product may have exact numeric cancellations that the
+        // symbolic count keeps; random values make that probability zero.
+        assert_eq!(spgemm_nnz(&a, &b), dense.to_csr().nnz());
+    }
+
+    #[test]
+    fn identity_stats() {
+        let i = Csr::<f64>::identity(10);
+        let s = matrix_stats(&i, &i);
+        assert_eq!(s.nnz_c, 10);
+        assert_eq!(s.flops, 20);
+        assert_eq!(s.compression_rate, 1.0);
+    }
+
+    #[test]
+    fn compression_rate_grows_with_overlap() {
+        // A dense column block means many products collapse onto few outputs.
+        let dense_block = crate::special::power_flow(2, 16, 0, 3);
+        let s = matrix_stats(&dense_block, &dense_block);
+        assert!(s.compression_rate > 10.0, "rate {}", s.compression_rate);
+        // A permutation matrix has rate exactly 1.
+        let p = Csr::<f64>::identity(32);
+        assert_eq!(matrix_stats(&p, &p).compression_rate, 1.0);
+    }
+
+    #[test]
+    fn empty_product_has_zero_rate() {
+        let z = Csr::<f64>::zero(5, 5);
+        let s = matrix_stats(&z, &z);
+        assert_eq!(s.nnz_c, 0);
+        assert_eq!(s.compression_rate, 0.0);
+    }
+}

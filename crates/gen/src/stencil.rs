@@ -1,0 +1,175 @@
+//! Structured-grid stencil matrices.
+//!
+//! `mc2depi` (2-D epidemiology grid) and `af_shell10` (shell elements)
+//! belong to this family: perfectly regular short rows, low compression
+//! rates, near-diagonal tiles.
+
+use tsg_matrix::{Coo, Csr};
+
+/// 5-point Laplacian stencil on an `nx × ny` grid.
+pub fn grid_2d_5pt(nx: usize, ny: usize) -> Csr<f64> {
+    let n = nx * ny;
+    let mut coo = Coo::new(n, n);
+    let id = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            let c = id(x, y);
+            coo.push(c, c, 4.0);
+            if x > 0 {
+                coo.push(c, id(x - 1, y), -1.0);
+            }
+            if x + 1 < nx {
+                coo.push(c, id(x + 1, y), -1.0);
+            }
+            if y > 0 {
+                coo.push(c, id(x, y - 1), -1.0);
+            }
+            if y + 1 < ny {
+                coo.push(c, id(x, y + 1), -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Upwind (directed) 4-point stencil: diagonal, east, west, and north — no
+/// south neighbour, so the *pattern* is asymmetric. This models transition
+/// matrices like `mc2depi` (a 2-D epidemiological Markov model), which the
+/// paper's Figure 8 counts among its six asymmetric matrices.
+pub fn grid_2d_upwind(nx: usize, ny: usize) -> Csr<f64> {
+    let n = nx * ny;
+    let mut coo = Coo::new(n, n);
+    let id = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            let c = id(x, y);
+            coo.push(c, c, 3.0);
+            if x > 0 {
+                coo.push(c, id(x - 1, y), -1.0);
+            }
+            if x + 1 < nx {
+                coo.push(c, id(x + 1, y), -0.5);
+            }
+            if y > 0 {
+                coo.push(c, id(x, y - 1), -1.5);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 9-point stencil on an `nx × ny` grid (adds the diagonal neighbours).
+pub fn grid_2d_9pt(nx: usize, ny: usize) -> Csr<f64> {
+    let n = nx * ny;
+    let mut coo = Coo::new(n, n);
+    let id = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            let c = id(x, y);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                    if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
+                        continue;
+                    }
+                    let v = if dx == 0 && dy == 0 { 8.0 } else { -1.0 };
+                    coo.push(c, id(xx as usize, yy as usize), v);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 27-point stencil on an `nx × ny × nz` grid — the `af_shell`-style heavy
+/// regular matrix.
+pub fn grid_3d_27pt(nx: usize, ny: usize, nz: usize) -> Csr<f64> {
+    let n = nx * ny * nz;
+    let mut coo = Coo::new(n, n);
+    let id = |x: usize, y: usize, z: usize| (z * ny * nx + y * nx + x) as u32;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let c = id(x, y, z);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= ny as i64
+                                || zz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let v = if dx == 0 && dy == 0 && dz == 0 { 26.0 } else { -1.0 };
+                            coo.push(c, id(xx as usize, yy as usize, zz as usize), v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_point_interior_rows_have_five_entries() {
+        let a = grid_2d_5pt(10, 10);
+        assert_eq!(a.nrows, 100);
+        // Interior node (5,5) = row 55.
+        assert_eq!(a.row_nnz(55), 5);
+        // Corner has 3.
+        assert_eq!(a.row_nnz(0), 3);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn five_point_rows_sum_to_laplacian_defect() {
+        let a = grid_2d_5pt(8, 8);
+        // Interior rows sum to zero (4 - 1 - 1 - 1 - 1).
+        let interior = 3 * 8 + 3;
+        let (_, vals) = a.row(interior);
+        assert_eq!(vals.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn nine_point_interior_rows_have_nine_entries() {
+        let a = grid_2d_9pt(6, 6);
+        let interior = 2 * 6 + 2;
+        assert_eq!(a.row_nnz(interior), 9);
+        assert_eq!(a, a.transpose());
+    }
+
+    #[test]
+    fn upwind_pattern_is_asymmetric() {
+        let a = grid_2d_upwind(10, 10);
+        let t = a.transpose();
+        assert!(a.rowptr != t.rowptr || a.colidx != t.colidx);
+        // Node (3, 3) -> north (3, 2) exists, but (3, 2) -> (3, 3) does not.
+        assert!(a.get(3 * 10 + 3, (2 * 10 + 3) as u32).is_some());
+        assert!(a.get(2 * 10 + 3, (3 * 10 + 3) as u32).is_none());
+    }
+
+    #[test]
+    fn stencils_are_symmetric() {
+        let a = grid_2d_5pt(12, 7);
+        assert_eq!(a, a.transpose());
+        let b = grid_3d_27pt(4, 5, 3);
+        assert_eq!(b, b.transpose());
+    }
+
+    #[test]
+    fn grid_3d_interior_has_27_entries() {
+        let a = grid_3d_27pt(5, 5, 5);
+        let interior = 2 * 25 + 2 * 5 + 2;
+        assert_eq!(a.row_nnz(interior), 27);
+        assert_eq!(a.nrows, 125);
+    }
+}

@@ -1,0 +1,644 @@
+//! Dataset registries: the synthetic stand-ins for the paper's evaluation
+//! sets.
+//!
+//! * [`representative_18`] mirrors Table 2's 18 representative matrices:
+//!   each entry names the SuiteSparse matrix it stands in for and is built
+//!   by the generator family reproducing that matrix's structural regime.
+//! * [`tsparse_16`] mirrors the 16-matrix set of the tSparse paper used in
+//!   §4.7 / Figures 13–14.
+//! * [`fig6_sweep`] is the large scatter-plot population for Figure 6: every
+//!   structure class at several sizes and seeds (~60 matrices).
+//!
+//! Sizes are scaled to laptop budgets (flops ~10⁶–10⁸ instead of the paper's
+//! 10⁹–10¹¹); DESIGN.md documents the substitution. Everything is
+//! deterministic from fixed seeds.
+
+use crate::{fem, random, rmat, special, stencil};
+use tsg_matrix::Csr;
+
+/// The structural regime a dataset entry exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureClass {
+    /// FEM-style dense node blocks near the diagonal.
+    Fem,
+    /// Regular grid stencil.
+    Stencil,
+    /// Power-law / scale-free graph.
+    PowerLaw,
+    /// Uniform hypersparse scatter (≈1 nnz per occupied tile).
+    Hypersparse,
+    /// Banded random.
+    Banded,
+    /// Dense-bordered arrow matrix.
+    DenseBorder,
+    /// Dense diagonal clusters (power-flow style).
+    PowerFlow,
+    /// Kronecker-structured.
+    Kronecker,
+}
+
+/// How to build an entry (kept as data so reports can describe the matrix).
+///
+/// Field names mirror the generator signatures documented on each variant.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum GenSpec {
+    /// `fem::fem_blocks(nodes, block, couplings, spread, seed)`.
+    Fem {
+        nodes: usize,
+        block: usize,
+        couplings: usize,
+        spread: usize,
+        seed: u64,
+    },
+    /// `fem::banded(n, bandwidth, per_row, seed)`.
+    Banded {
+        n: usize,
+        bandwidth: usize,
+        per_row: usize,
+        seed: u64,
+    },
+    /// `stencil::grid_2d_5pt(nx, ny)`.
+    Grid5 { nx: usize, ny: usize },
+    /// `stencil::grid_2d_9pt(nx, ny)`.
+    Grid9 { nx: usize, ny: usize },
+    /// `stencil::grid_2d_upwind(nx, ny)` — asymmetric pattern.
+    GridUpwind { nx: usize, ny: usize },
+    /// `stencil::grid_3d_27pt(nx, ny, nz)`.
+    Grid27 { nx: usize, ny: usize, nz: usize },
+    /// `rmat::rmat(scale, edges, params, seed)`.
+    Rmat {
+        scale: u32,
+        edges: usize,
+        mild: bool,
+        seed: u64,
+    },
+    /// `random::scatter_uniform(n, per_row, seed)`.
+    Scatter { n: usize, per_row: usize, seed: u64 },
+    /// `special::arrow(n, border, body_per_row, seed)`.
+    Arrow {
+        n: usize,
+        border: usize,
+        body_per_row: usize,
+        seed: u64,
+    },
+    /// `special::power_flow(clusters, cluster_size, links, seed)`.
+    PowerFlow {
+        clusters: usize,
+        cluster_size: usize,
+        links: usize,
+        seed: u64,
+    },
+    /// Kronecker of an upwind (asymmetric) grid with a dense block — the
+    /// QCD-lattice regime (`conf5_4-8x8-05`: sites carrying small dense
+    /// blocks over a regular, directionally-coupled grid).
+    KronGridBlock {
+        nx: usize,
+        ny: usize,
+        block: usize,
+        seed: u64,
+    },
+}
+
+impl GenSpec {
+    /// Builds the matrix.
+    pub fn build(&self) -> Csr<f64> {
+        match *self {
+            GenSpec::Fem {
+                nodes,
+                block,
+                couplings,
+                spread,
+                seed,
+            } => fem::fem_blocks(nodes, block, couplings, spread, seed),
+            GenSpec::Banded {
+                n,
+                bandwidth,
+                per_row,
+                seed,
+            } => fem::banded(n, bandwidth, per_row, seed),
+            GenSpec::Grid5 { nx, ny } => stencil::grid_2d_5pt(nx, ny),
+            GenSpec::Grid9 { nx, ny } => stencil::grid_2d_9pt(nx, ny),
+            GenSpec::GridUpwind { nx, ny } => stencil::grid_2d_upwind(nx, ny),
+            GenSpec::Grid27 { nx, ny, nz } => stencil::grid_3d_27pt(nx, ny, nz),
+            GenSpec::Rmat {
+                scale,
+                edges,
+                mild,
+                seed,
+            } => {
+                let p = if mild {
+                    rmat::RmatParams::MILD
+                } else {
+                    rmat::RmatParams::GRAPH500
+                };
+                rmat::rmat(scale, edges, p, seed)
+            }
+            GenSpec::Scatter { n, per_row, seed } => random::scatter_uniform(n, per_row, seed),
+            GenSpec::Arrow {
+                n,
+                border,
+                body_per_row,
+                seed,
+            } => special::arrow(n, border, body_per_row, seed),
+            GenSpec::PowerFlow {
+                clusters,
+                cluster_size,
+                links,
+                seed,
+            } => special::power_flow(clusters, cluster_size, links, seed),
+            GenSpec::KronGridBlock { nx, ny, block, seed } => {
+                let grid = stencil::grid_2d_upwind(nx, ny);
+                let dense = random::small_random(block, block, 1.0, seed);
+                special::kronecker(&grid, &dense)
+            }
+        }
+    }
+}
+
+/// One dataset entry: a named, reproducible matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetEntry {
+    /// Our name (`<paper-name>-like` for registry entries).
+    pub name: String,
+    /// The SuiteSparse matrix this stands in for, if any.
+    pub paper_name: Option<&'static str>,
+    /// Structure class.
+    pub class: StructureClass,
+    /// Whether the pattern is symmetric (Figure 8 uses the asymmetric ones).
+    pub symmetric: bool,
+    /// Build recipe.
+    pub spec: GenSpec,
+}
+
+impl DatasetEntry {
+    fn new(
+        name: &str,
+        paper_name: Option<&'static str>,
+        class: StructureClass,
+        symmetric: bool,
+        spec: GenSpec,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            paper_name,
+            class,
+            symmetric,
+            spec,
+        }
+    }
+
+    /// Builds the matrix.
+    pub fn build(&self) -> Csr<f64> {
+        self.spec.build()
+    }
+}
+
+/// The 18 representative matrices of Table 2, by structural analogy.
+pub fn representative_18() -> Vec<DatasetEntry> {
+    use GenSpec::*;
+    use StructureClass as C;
+    vec![
+        DatasetEntry::new(
+            "pdb1HYS-like",
+            Some("pdb1HYS"),
+            C::Fem,
+            true,
+            Fem { nodes: 1800, block: 8, couplings: 6, spread: 40, seed: 101 },
+        ),
+        DatasetEntry::new(
+            "consph-like",
+            Some("consph"),
+            C::Fem,
+            true,
+            Fem { nodes: 5000, block: 6, couplings: 4, spread: 60, seed: 102 },
+        ),
+        DatasetEntry::new(
+            "cant-like",
+            Some("cant"),
+            C::Fem,
+            true,
+            Fem { nodes: 4000, block: 6, couplings: 4, spread: 30, seed: 103 },
+        ),
+        DatasetEntry::new(
+            "pwtk-like",
+            Some("pwtk"),
+            C::Fem,
+            true,
+            Fem { nodes: 9000, block: 6, couplings: 4, spread: 50, seed: 104 },
+        ),
+        DatasetEntry::new(
+            "rma10-like",
+            Some("rma10"),
+            C::Banded,
+            false,
+            Banded { n: 30_000, bandwidth: 60, per_row: 25, seed: 105 },
+        ),
+        DatasetEntry::new(
+            "conf5_4-8x8-05-like",
+            Some("conf5_4-8x8-05"),
+            C::Kronecker,
+            false,
+            KronGridBlock { nx: 56, ny: 56, block: 4, seed: 106 },
+        ),
+        DatasetEntry::new(
+            "shipsec1-like",
+            Some("shipsec1"),
+            C::Fem,
+            true,
+            Fem { nodes: 7000, block: 6, couplings: 5, spread: 45, seed: 107 },
+        ),
+        DatasetEntry::new(
+            "mac_econ_fwd500-like",
+            Some("mac_econ_fwd500"),
+            C::Banded,
+            false,
+            Banded { n: 40_000, bandwidth: 300, per_row: 5, seed: 108 },
+        ),
+        DatasetEntry::new(
+            "mc2depi-like",
+            Some("mc2depi"),
+            C::Stencil,
+            false,
+            GridUpwind { nx: 250, ny: 250 },
+        ),
+        DatasetEntry::new(
+            "cop20k_A-like",
+            Some("cop20k_A"),
+            C::Hypersparse,
+            false,
+            Scatter { n: 12_000, per_row: 4, seed: 110 },
+        ),
+        DatasetEntry::new(
+            "scircuit-like",
+            Some("scircuit"),
+            C::PowerLaw,
+            false,
+            Rmat { scale: 14, edges: 90_000, mild: true, seed: 111 },
+        ),
+        DatasetEntry::new(
+            "webbase-1M-like",
+            Some("webbase-1M"),
+            C::PowerLaw,
+            false,
+            Rmat { scale: 16, edges: 200_000, mild: false, seed: 112 },
+        ),
+        DatasetEntry::new(
+            "af_shell10-like",
+            Some("af_shell10"),
+            C::Stencil,
+            true,
+            Grid27 { nx: 40, ny: 40, nz: 24 },
+        ),
+        DatasetEntry::new(
+            "pkustk12-like",
+            Some("pkustk12"),
+            C::Fem,
+            true,
+            Fem { nodes: 700, block: 12, couplings: 10, spread: 20, seed: 114 },
+        ),
+        DatasetEntry::new(
+            "SiO2-like",
+            Some("SiO2"),
+            C::PowerFlow,
+            true,
+            PowerFlow { clusters: 40, cluster_size: 135, links: 2000, seed: 115 },
+        ),
+        DatasetEntry::new(
+            "case39-like",
+            Some("case39"),
+            C::DenseBorder,
+            false,
+            Arrow { n: 4800, border: 4, body_per_row: 8, seed: 116 },
+        ),
+        DatasetEntry::new(
+            "TSOPF_FS_b300_c2-like",
+            Some("TSOPF_FS_b300_c2"),
+            C::PowerFlow,
+            true,
+            PowerFlow { clusters: 60, cluster_size: 135, links: 1000, seed: 117 },
+        ),
+        DatasetEntry::new(
+            "gupta3-like",
+            Some("gupta3"),
+            C::PowerFlow,
+            true,
+            PowerFlow { clusters: 25, cluster_size: 160, links: 2000, seed: 118 },
+        ),
+    ]
+}
+
+/// The six asymmetric matrices the paper's Figure 8 evaluates with `AAᵀ`:
+/// `rma10`, `conf5_4-8x8-05`, `mac_econ_fwd500`, `mc2depi`, `scircuit`, and
+/// `webbase-1M` — selected here by their stand-in names.
+pub fn asymmetric_6() -> Vec<DatasetEntry> {
+    const FIG8: [&str; 6] = [
+        "rma10",
+        "conf5_4-8x8-05",
+        "mac_econ_fwd500",
+        "mc2depi",
+        "scircuit",
+        "webbase-1M",
+    ];
+    representative_18()
+        .into_iter()
+        .filter(|e| e.paper_name.is_some_and(|p| FIG8.contains(&p)))
+        .collect()
+}
+
+/// The 16-matrix tSparse comparison set (§4.7), by structural analogy,
+/// scaled for the half-precision (`f32`) comparison.
+pub fn tsparse_16() -> Vec<DatasetEntry> {
+    use GenSpec::*;
+    use StructureClass as C;
+    vec![
+        DatasetEntry::new("mc2depi-t", Some("mc2depi"), C::Stencil, true, Grid5 { nx: 200, ny: 200 }),
+        DatasetEntry::new(
+            "webbase-1M-t",
+            Some("webbase-1M"),
+            C::PowerLaw,
+            false,
+            Rmat { scale: 15, edges: 160_000, mild: false, seed: 201 },
+        ),
+        DatasetEntry::new(
+            "cage12-t",
+            Some("cage12"),
+            C::Hypersparse,
+            false,
+            Scatter { n: 25_000, per_row: 8, seed: 202 },
+        ),
+        DatasetEntry::new(
+            "dawson5-t",
+            Some("dawson5"),
+            C::Banded,
+            true,
+            Banded { n: 20_000, bandwidth: 40, per_row: 15, seed: 203 },
+        ),
+        DatasetEntry::new(
+            "lock1074-t",
+            Some("lock1074"),
+            C::Fem,
+            true,
+            Fem { nodes: 300, block: 4, couplings: 8, spread: 20, seed: 204 },
+        ),
+        DatasetEntry::new(
+            "patents_main-t",
+            Some("patents_main"),
+            C::PowerLaw,
+            false,
+            Rmat { scale: 15, edges: 120_000, mild: true, seed: 205 },
+        ),
+        DatasetEntry::new(
+            "struct3-t",
+            Some("struct3"),
+            C::Stencil,
+            true,
+            Grid9 { nx: 160, ny: 160 },
+        ),
+        DatasetEntry::new(
+            "wiki-Vote-t",
+            Some("wiki-Vote"),
+            C::PowerLaw,
+            false,
+            Rmat { scale: 13, edges: 100_000, mild: false, seed: 207 },
+        ),
+        DatasetEntry::new(
+            "bcsstk30-t",
+            Some("bcsstk30"),
+            C::Fem,
+            true,
+            Fem { nodes: 2500, block: 6, couplings: 6, spread: 30, seed: 208 },
+        ),
+        DatasetEntry::new(
+            "nemeth21-t",
+            Some("nemeth21"),
+            C::Banded,
+            true,
+            Banded { n: 9_500, bandwidth: 90, per_row: 70, seed: 209 },
+        ),
+        DatasetEntry::new(
+            "pcrystk03-t",
+            Some("pcrystk03"),
+            C::Fem,
+            true,
+            Fem { nodes: 4000, block: 6, couplings: 4, spread: 35, seed: 210 },
+        ),
+        DatasetEntry::new(
+            "pct20stif-t",
+            Some("pct20stif"),
+            C::Fem,
+            true,
+            Fem { nodes: 4500, block: 6, couplings: 5, spread: 40, seed: 211 },
+        ),
+        DatasetEntry::new(
+            "pkustk06-t",
+            Some("pkustk06"),
+            C::Fem,
+            true,
+            Fem { nodes: 3500, block: 8, couplings: 5, spread: 30, seed: 212 },
+        ),
+        DatasetEntry::new(
+            "pli-t",
+            Some("pli"),
+            C::Fem,
+            true,
+            Fem { nodes: 3700, block: 6, couplings: 6, spread: 50, seed: 213 },
+        ),
+        DatasetEntry::new(
+            "net50-t",
+            Some("net50"),
+            C::PowerLaw,
+            false,
+            Rmat { scale: 14, edges: 250_000, mild: true, seed: 214 },
+        ),
+        DatasetEntry::new(
+            "web-NotreDame-t",
+            Some("web-NotreDame"),
+            C::PowerLaw,
+            false,
+            Rmat { scale: 15, edges: 200_000, mild: false, seed: 215 },
+        ),
+    ]
+}
+
+/// The Figure-6 scatter population: every class at three sizes × two seeds.
+/// ~54 matrices spanning compression rates from ~1 (scatter, permutations)
+/// to >100 (dense clusters), the x-axis range of the paper's plots.
+pub fn fig6_sweep() -> Vec<DatasetEntry> {
+    use GenSpec::*;
+    use StructureClass as C;
+    let mut out = Vec::new();
+    let mut push = |name: String, class, symmetric, spec| {
+        out.push(DatasetEntry::new(&name, None, class, symmetric, spec));
+    };
+    for (si, &size) in [0.5f64, 1.0, 2.0].iter().enumerate() {
+        for seed_off in 0..2u64 {
+            let s = |base: u64| 1000 + base * 10 + si as u64 * 2 + seed_off;
+            let sc = |x: usize| ((x as f64 * size) as usize).max(8);
+            push(
+                format!("fem-{si}{seed_off}"),
+                C::Fem,
+                true,
+                Fem { nodes: sc(2500), block: 6, couplings: 5, spread: 40, seed: s(1) },
+            );
+            push(
+                format!("banded-{si}{seed_off}"),
+                C::Banded,
+                false,
+                Banded { n: sc(20_000), bandwidth: 50, per_row: 18, seed: s(2) },
+            );
+            push(
+                format!("grid5-{si}{seed_off}"),
+                C::Stencil,
+                true,
+                Grid5 { nx: sc(180) + seed_off as usize, ny: sc(180) },
+            );
+            push(
+                format!("grid27-{si}{seed_off}"),
+                C::Stencil,
+                true,
+                Grid27 { nx: sc(26) + seed_off as usize, ny: sc(26), nz: 20 },
+            );
+            push(
+                format!("rmat-{si}{seed_off}"),
+                C::PowerLaw,
+                false,
+                Rmat { scale: 14 + si as u32, edges: sc(100_000), mild: false, seed: s(3) },
+            );
+            push(
+                format!("rmat-mild-{si}{seed_off}"),
+                C::PowerLaw,
+                false,
+                Rmat { scale: 14 + si as u32, edges: sc(130_000), mild: true, seed: s(4) },
+            );
+            push(
+                format!("scatter-{si}{seed_off}"),
+                C::Hypersparse,
+                false,
+                Scatter { n: sc(9_000), per_row: 4, seed: s(5) },
+            );
+            push(
+                format!("cluster-{si}{seed_off}"),
+                C::PowerFlow,
+                true,
+                PowerFlow { clusters: sc(30), cluster_size: 70, links: sc(1000), seed: s(6) },
+            );
+            push(
+                format!("arrow-{si}{seed_off}"),
+                C::DenseBorder,
+                false,
+                Arrow { n: sc(4000), border: 4, body_per_row: 8, seed: s(7) },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn representative_set_has_18_unique_names() {
+        let set = representative_18();
+        assert_eq!(set.len(), 18);
+        let names: HashSet<_> = set.iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names.len(), 18);
+        assert!(set.iter().all(|e| e.paper_name.is_some()));
+    }
+
+    #[test]
+    fn asymmetric_subset_has_6_entries_like_figure_8() {
+        let asym = asymmetric_6();
+        assert_eq!(asym.len(), 6);
+        assert!(asym.iter().all(|e| !e.symmetric));
+    }
+
+    #[test]
+    fn tsparse_set_has_16_entries() {
+        assert_eq!(tsparse_16().len(), 16);
+    }
+
+    #[test]
+    fn sweep_covers_every_class() {
+        let sweep = fig6_sweep();
+        assert!(sweep.len() >= 50, "sweep has {}", sweep.len());
+        let classes: HashSet<_> = sweep.iter().map(|e| e.class).collect();
+        for c in [
+            StructureClass::Fem,
+            StructureClass::Banded,
+            StructureClass::Stencil,
+            StructureClass::PowerLaw,
+            StructureClass::Hypersparse,
+            StructureClass::PowerFlow,
+            StructureClass::DenseBorder,
+        ] {
+            assert!(classes.contains(&c), "missing class {c:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_flags_are_accurate_on_representatives() {
+        for entry in representative_18() {
+            let a = entry.build();
+            let is_sym = {
+                let t = a.transpose();
+                a.rowptr == t.rowptr && a.colidx == t.colidx
+            };
+            assert_eq!(
+                is_sym, entry.symmetric,
+                "entry {} declares symmetric={} but pattern says {}",
+                entry.name, entry.symmetric, is_sym
+            );
+        }
+    }
+
+    #[test]
+    fn small_entries_build_and_validate() {
+        // Keep unit tests fast: only build the cheapest entries here. Full
+        // builds are integration-tested and exercised by the harness.
+        let set = tsparse_16();
+        let lock = set.iter().find(|e| e.name == "lock1074-t").unwrap();
+        let a = lock.build();
+        a.validate().unwrap();
+        assert!(a.nnz() > 1000);
+    }
+}
+
+/// Every named dataset entry across the three registries (representatives,
+/// tSparse set, Figure-6 sweep).
+pub fn all_entries() -> Vec<DatasetEntry> {
+    let mut v = representative_18();
+    v.extend(tsparse_16());
+    v.extend(fig6_sweep());
+    v
+}
+
+/// Looks a dataset entry up by its name (e.g. `"webbase-1M-like"`).
+pub fn by_name(name: &str) -> Option<DatasetEntry> {
+    all_entries().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod lookup_tests {
+    use super::*;
+
+    #[test]
+    fn by_name_finds_each_registry() {
+        assert!(by_name("gupta3-like").is_some());
+        assert!(by_name("cage12-t").is_some());
+        assert!(by_name("fem-00").is_some());
+        assert!(by_name("no-such-matrix").is_none());
+    }
+
+    #[test]
+    fn all_entries_have_unique_names() {
+        let entries = all_entries();
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate dataset names");
+    }
+}

@@ -1,0 +1,186 @@
+//! Coordinate (triplet) format.
+//!
+//! The interchange format: generators emit triplets, Matrix Market files
+//! parse into triplets, and [`Coo::to_csr`] is the canonicalising step
+//! (sort, then sum duplicates) every pipeline starts from.
+
+use crate::{Csr, FormatError, Scalar};
+
+/// A sparse matrix as an unordered list of `(row, col, value)` triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<T = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// The triplets, in no particular order; duplicates are allowed and are
+    /// summed by [`Coo::to_csr`].
+    pub entries: Vec<(u32, u32, T)>,
+}
+
+impl<T: Scalar> Coo<T> {
+    /// An empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from triplets, validating the indices against the shape.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        entries: Vec<(u32, u32, T)>,
+    ) -> Result<Self, FormatError> {
+        for &(r, c, _) in &entries {
+            if r as usize >= nrows || c as usize >= ncols {
+                return Err(FormatError::Invalid(format!(
+                    "triplet ({r}, {c}) out of bounds for {nrows}x{ncols}"
+                )));
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            entries,
+        })
+    }
+
+    /// Appends one triplet (unchecked against the shape until conversion).
+    pub fn push(&mut self, row: u32, col: u32, value: T) {
+        debug_assert!((row as usize) < self.nrows && (col as usize) < self.ncols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of stored triplets (before duplicate folding).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sorts by `(row, col)` and folds duplicate coordinates by summation,
+    /// dropping entries that cancel to exactly zero.
+    pub fn sort_dedup_sum(&mut self) {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut out = 0usize;
+        let mut i = 0usize;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            let mut j = i + 1;
+            while j < self.entries.len() && self.entries[j].0 == r && self.entries[j].1 == c {
+                v += self.entries[j].2;
+                j += 1;
+            }
+            if v != T::ZERO {
+                self.entries[out] = (r, c, v);
+                out += 1;
+            }
+            i = j;
+        }
+        self.entries.truncate(out);
+    }
+
+    /// Converts to CSR, canonicalising first (sorted rows, summed
+    /// duplicates, no numerically-zero duplicates left behind).
+    pub fn to_csr(mut self) -> Csr<T> {
+        self.sort_dedup_sum();
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for &(r, _, _) in &self.entries {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colidx = Vec::with_capacity(self.entries.len());
+        let mut vals = Vec::with_capacity(self.entries.len());
+        for (_, c, v) in self.entries {
+            colidx.push(c);
+            vals.push(v);
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Rebuilds triplet form from CSR (sorted order).
+    pub fn from_csr(csr: &Csr<T>) -> Self {
+        let mut entries = Vec::with_capacity(csr.nnz());
+        for row in 0..csr.nrows {
+            let (cols, vals) = csr.row(row);
+            for (&c, &v) in cols.iter().zip(vals) {
+                entries.push((row as u32, c, v));
+            }
+        }
+        Self {
+            nrows: csr.nrows,
+            ncols: csr.ncols,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_csr_sorts_rows_and_sums_duplicates() {
+        let coo = Coo::from_triplets(
+            3,
+            3,
+            vec![
+                (2, 1, 4.0),
+                (0, 2, 1.0),
+                (0, 0, 2.0),
+                (0, 2, 3.0), // duplicate of (0, 2)
+            ],
+        )
+        .unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.rowptr, vec![0, 2, 2, 3]);
+        assert_eq!(csr.colidx, vec![0, 2, 1]);
+        assert_eq!(csr.vals, vec![2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let coo = Coo::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 1, 5.0)]).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.row(1), (&[1u32][..], &[5.0][..]));
+    }
+
+    #[test]
+    fn out_of_bounds_triplets_are_rejected() {
+        let err = Coo::from_triplets(2, 2, vec![(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(err, FormatError::Invalid(_)));
+    }
+
+    #[test]
+    fn round_trip_through_csr() {
+        let mut coo = Coo::new(4, 5);
+        coo.push(3, 4, 1.5);
+        coo.push(0, 0, -2.0);
+        coo.push(1, 2, 0.5);
+        let csr = coo.clone().to_csr();
+        let mut back = Coo::from_csr(&csr);
+        back.sort_dedup_sum();
+        let mut expect = coo;
+        expect.sort_dedup_sum();
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo: Coo<f64> = Coo::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.rowptr, vec![0, 0, 0, 0]);
+    }
+}

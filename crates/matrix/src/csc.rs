@@ -1,0 +1,99 @@
+//! Compressed Sparse Column.
+//!
+//! Used where column-wise access to `B` is natural (the tile-level column
+//! index of step 2 is the tile-granularity analogue) and by the `AAᵀ`
+//! experiment plumbing of Figure 8.
+
+use crate::{Csr, Scalar};
+
+/// A sparse matrix in CSC form with sorted columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<T = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Column pointers, length `ncols + 1`.
+    pub colptr: Vec<usize>,
+    /// Row indices, length `nnz`, ascending within each column.
+    pub rowidx: Vec<u32>,
+    /// Values, length `nnz`.
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> Csc<T> {
+    /// Builds the CSC representation of a CSR matrix.
+    pub fn from_csr(csr: &Csr<T>) -> Self {
+        let t = csr.transpose();
+        Self {
+            nrows: csr.nrows,
+            ncols: csr.ncols,
+            colptr: t.rowptr,
+            rowidx: t.colidx,
+            vals: t.vals,
+        }
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr<T> {
+        let as_csr_of_transpose = Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr: self.colptr.clone(),
+            colidx: self.rowidx.clone(),
+            vals: self.vals.clone(),
+        };
+        as_csr_of_transpose.transpose()
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// The row indices and values of column `j`.
+    pub fn col(&self, j: usize) -> (&[u32], &[T]) {
+        let range = self.colptr[j]..self.colptr[j + 1];
+        (&self.rowidx[range.clone()], &self.vals[range])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Csr;
+
+    fn example() -> Csr<f64> {
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn columns_contain_the_right_entries() {
+        let c = Csc::from_csr(&example());
+        assert_eq!(c.col(0), (&[0u32, 2][..], &[1.0, 3.0][..]));
+        assert_eq!(c.col(1), (&[2u32][..], &[4.0][..]));
+        assert_eq!(c.col(2), (&[0u32][..], &[2.0][..]));
+        assert_eq!(c.nnz(), 4);
+    }
+
+    #[test]
+    fn csr_csc_round_trip() {
+        let a = example();
+        assert_eq!(Csc::from_csr(&a).to_csr(), a);
+    }
+
+    #[test]
+    fn empty_matrix_round_trip() {
+        let a = Csr::<f64>::zero(2, 5);
+        let c = Csc::from_csr(&a);
+        assert_eq!(c.colptr, vec![0; 6]);
+        assert_eq!(c.to_csr(), a);
+    }
+}

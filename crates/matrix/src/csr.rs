@@ -1,0 +1,417 @@
+//! Compressed Sparse Row.
+//!
+//! The lingua franca of the row-row SpGEMM world (Algorithm 1 of the paper)
+//! and the source/target of the tiled-format conversion measured in
+//! Figure 12. Rows are kept with ascending column indices; constructors
+//! validate that invariant and conversions preserve it.
+
+use crate::{Coo, FormatError, Scalar};
+use rayon::prelude::*;
+
+/// A sparse matrix in CSR form with sorted rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row pointers, length `nrows + 1`.
+    pub rowptr: Vec<usize>,
+    /// Column indices, length `nnz`, ascending within each row.
+    pub colidx: Vec<u32>,
+    /// Values, length `nnz`.
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// An empty (all-zero) matrix of the given shape.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The `n`-by-`n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n as u32).collect(),
+            vals: vec![T::ONE; n],
+        }
+    }
+
+    /// Builds from raw parts, validating every CSR invariant (pointer
+    /// monotonicity, array lengths, index bounds, sorted + unique columns).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Result<Self, FormatError> {
+        let m = Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checks all structural invariants.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.rowptr.len() != self.nrows + 1 {
+            return Err(FormatError::Invalid(format!(
+                "rowptr length {} != nrows + 1 = {}",
+                self.rowptr.len(),
+                self.nrows + 1
+            )));
+        }
+        if self.rowptr[0] != 0 {
+            return Err(FormatError::Invalid("rowptr[0] != 0".into()));
+        }
+        if *self.rowptr.last().unwrap() != self.colidx.len() {
+            return Err(FormatError::Invalid(
+                "rowptr end does not match colidx length".into(),
+            ));
+        }
+        if self.colidx.len() != self.vals.len() {
+            return Err(FormatError::Invalid(
+                "colidx and vals lengths differ".into(),
+            ));
+        }
+        for w in self.rowptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(FormatError::Invalid("rowptr not non-decreasing".into()));
+            }
+        }
+        for row in 0..self.nrows {
+            let cols = &self.colidx[self.rowptr[row]..self.rowptr[row + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(FormatError::Invalid(format!(
+                        "row {row} columns not strictly ascending"
+                    )));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= self.ncols {
+                    return Err(FormatError::Invalid(format!(
+                        "row {row} column {last} out of bounds"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// The column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
+        let range = self.rowptr[i]..self.rowptr[i + 1];
+        (&self.colidx[range.clone()], &self.vals[range])
+    }
+
+    /// Number of nonzeros in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// The value at `(row, col)`, if stored.
+    pub fn get(&self, row: usize, col: u32) -> Option<T> {
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&col).ok().map(|k| vals[k])
+    }
+
+    /// Transpose via counting sort on column indices: `O(nnz + n)`.
+    pub fn transpose(&self) -> Csr<T> {
+        let mut rowptr = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            rowptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut cursor = rowptr[..self.ncols].to_vec();
+        let mut colidx = vec![0u32; self.nnz()];
+        let mut vals = vec![T::ZERO; self.nnz()];
+        for row in 0..self.nrows {
+            let (cols, rvals) = self.row(row);
+            for (&c, &v) in cols.iter().zip(rvals) {
+                let dst = cursor[c as usize];
+                colidx[dst] = row as u32;
+                vals[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        // Scanning rows in ascending order makes each transposed row sorted.
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Triplet form of this matrix.
+    pub fn to_coo(&self) -> Coo<T> {
+        Coo::from_csr(self)
+    }
+
+    /// The number of multiply–add *operand pairs* of `self * other` per row
+    /// of `self`: `ub(i) = Σ_{j ∈ row i} nnz(other.row(j))`.
+    ///
+    /// This is the upper bound ("intermediate products") every binning
+    /// baseline uses, and twice it is the flop count the paper reports
+    /// (`#flops = 2 × Σ ub`, Table 2).
+    pub fn row_upper_bounds(&self, other: &Csr<T>) -> Vec<usize> {
+        assert_eq!(self.ncols, other.nrows, "inner dimensions must agree");
+        (0..self.nrows)
+            .into_par_iter()
+            .map(|i| {
+                let (cols, _) = self.row(i);
+                cols.iter().map(|&j| other.row_nnz(j as usize)).sum()
+            })
+            .collect()
+    }
+
+    /// Total flop count of `self * other` as the paper counts it
+    /// (2 floating-point ops per intermediate product).
+    pub fn spgemm_flops(&self, other: &Csr<T>) -> u64 {
+        2 * self
+            .row_upper_bounds(other)
+            .iter()
+            .map(|&u| u as u64)
+            .sum::<u64>()
+    }
+
+    /// Drops entries with `|v| <= threshold`, returning the pruned matrix.
+    pub fn prune(&self, threshold: T) -> Csr<T> {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        for row in 0..self.nrows {
+            let (cols, rvals) = self.row(row);
+            for (&c, &v) in cols.iter().zip(rvals) {
+                if v.abs() > threshold {
+                    colidx.push(c);
+                    vals.push(v);
+                }
+            }
+            rowptr[row + 1] = colidx.len();
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Drops stored entries whose value is exactly zero.
+    pub fn drop_numeric_zeros(&self) -> Csr<T> {
+        self.prune(T::ZERO)
+    }
+
+    /// True if the two matrices have the same shape and pattern, and values
+    /// agree within `tol` (absolute, compared in `f64`).
+    pub fn approx_eq(&self, other: &Csr<T>, tol: f64) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr == other.rowptr
+            && self.colidx == other.colidx
+            && self
+                .vals
+                .iter()
+                .zip(&other.vals)
+                .all(|(a, b)| (a.to_f64() - b.to_f64()).abs() <= tol)
+    }
+
+    /// Like [`Self::approx_eq`] but with a relative tolerance, and treating
+    /// stored exact zeros on either side as absent — appropriate when two
+    /// SpGEMM implementations may disagree about keeping cancelled entries.
+    pub fn approx_eq_ignoring_zeros(&self, other: &Csr<T>, rel_tol: f64) -> bool {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return false;
+        }
+        let a = self.drop_numeric_zeros();
+        let b = other.drop_numeric_zeros();
+        if a.rowptr != b.rowptr || a.colidx != b.colidx {
+            return false;
+        }
+        a.vals.iter().zip(&b.vals).all(|(x, y)| {
+            let (x, y) = (x.to_f64(), y.to_f64());
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= rel_tol * scale
+        })
+    }
+
+    /// Sparse matrix–vector product `y = A·x`.
+    pub fn spmv(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.ncols);
+        (0..self.nrows)
+            .into_par_iter()
+            .map(|i| {
+                let (cols, vals) = self.row(i);
+                let mut acc = T::ZERO;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * x[c as usize];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Maps every stored value through `f`, keeping the pattern.
+    pub fn map_values(&self, f: impl Fn(T) -> T + Sync) -> Csr<T> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.clone(),
+            vals: self.vals.par_iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Converts values to another scalar type, keeping the pattern.
+    pub fn cast<U: Scalar>(&self) -> Csr<U> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.clone(),
+            vals: self.vals.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Csr<f64> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let a = example();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(a.row_nnz(1), 0);
+        assert_eq!(a.get(2, 1), Some(4.0));
+        assert_eq!(a.get(2, 2), None);
+    }
+
+    #[test]
+    fn validation_catches_unsorted_rows() {
+        let err = Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::Invalid(_)));
+    }
+
+    #[test]
+    fn validation_catches_duplicate_columns() {
+        let err = Csr::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::Invalid(_)));
+    }
+
+    #[test]
+    fn validation_catches_bad_pointers() {
+        let err =
+            Csr::<f64>::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::Invalid(_)));
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_correct() {
+        let a = example();
+        let t = a.transpose();
+        assert_eq!(t.get(0, 0), Some(1.0));
+        assert_eq!(t.get(0, 2), Some(3.0));
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.get(1, 2), Some(4.0));
+        assert_eq!(t.transpose(), a);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn identity_multiplied_bounds() {
+        let i = Csr::<f64>::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.row_upper_bounds(&i), vec![1; 4]);
+        assert_eq!(i.spgemm_flops(&i), 8);
+    }
+
+    #[test]
+    fn upper_bounds_count_intermediate_products() {
+        let a = example();
+        // Row 0 references columns {0, 2}: nnz(row0)=2, nnz(row2)=2 -> 4.
+        // Row 2 references columns {0, 1}: nnz(row0)=2, nnz(row1)=0 -> 2.
+        assert_eq!(a.row_upper_bounds(&a), vec![4, 0, 2]);
+        assert_eq!(a.spgemm_flops(&a), 12);
+    }
+
+    #[test]
+    fn prune_and_zero_drop() {
+        let a = Csr::from_parts(
+            2,
+            2,
+            vec![0, 2, 3],
+            vec![0, 1, 0],
+            vec![0.0, 0.5, -2.0],
+        )
+        .unwrap();
+        let dropped = a.drop_numeric_zeros();
+        assert_eq!(dropped.nnz(), 2);
+        let pruned = a.prune(1.0);
+        assert_eq!(pruned.nnz(), 1);
+        assert_eq!(pruned.get(1, 0), Some(-2.0));
+    }
+
+    #[test]
+    fn approx_eq_ignoring_zeros_tolerates_explicit_zeros() {
+        let a = Csr::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 0.0]).unwrap();
+        let b = Csr::from_parts(1, 3, vec![0, 1], vec![0], vec![1.0 + 1e-14]).unwrap();
+        assert!(a.approx_eq_ignoring_zeros(&b, 1e-10));
+        assert!(!a.approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = example();
+        let y = a.spmv(&[1.0, 10.0, 100.0]);
+        assert_eq!(y, vec![201.0, 0.0, 43.0]);
+    }
+
+    #[test]
+    fn cast_round_trips_pattern() {
+        let a = example();
+        let f: Csr<f32> = a.cast();
+        assert_eq!(f.colidx, a.colidx);
+        assert_eq!(f.vals[3], 4.0f32);
+    }
+}

@@ -1,0 +1,169 @@
+//! Small dense matrices.
+//!
+//! The brute-force oracle for testing: every SpGEMM implementation in the
+//! workspace is property-tested against [`Dense::matmul`] on small random
+//! matrices.
+
+use crate::{Csr, Scalar};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<T = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row-major storage, length `nrows * ncols`.
+    pub data: Vec<T>,
+}
+
+impl<T: Scalar> Dense<T> {
+    /// An all-zero matrix.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![T::ZERO; nrows * ncols],
+        }
+    }
+
+    /// The value at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.data[r * self.ncols + c]
+    }
+
+    /// Sets the value at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// Densifies a CSR matrix.
+    pub fn from_csr(csr: &Csr<T>) -> Self {
+        let mut d = Self::zero(csr.nrows, csr.ncols);
+        for row in 0..csr.nrows {
+            let (cols, vals) = csr.row(row);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d.set(row, c as usize, v);
+            }
+        }
+        d
+    }
+
+    /// Sparsifies, keeping entries that are not exactly zero.
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                let v = self.get(r, c);
+                if v != T::ZERO {
+                    colidx.push(c as u32);
+                    vals.push(v);
+                }
+            }
+            rowptr[r + 1] = colidx.len();
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Naive O(n³) matrix multiplication — the correctness oracle.
+    pub fn matmul(&self, other: &Dense<T>) -> Dense<T> {
+        assert_eq!(self.ncols, other.nrows, "inner dimensions must agree");
+        let mut out = Dense::zero(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == T::ZERO {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Dense<T> {
+        let mut out = Dense::zero(self.ncols, self.nrows);
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference, in `f64`.
+    pub fn max_abs_diff(&self, other: &Dense<T>) -> f64 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_product() {
+        let mut a = Dense::zero(2, 3);
+        a.set(0, 0, 1.0);
+        a.set(0, 2, 2.0);
+        a.set(1, 1, 3.0);
+        let mut b = Dense::zero(3, 2);
+        b.set(0, 0, 4.0);
+        b.set(1, 1, 5.0);
+        b.set(2, 0, 6.0);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 16.0); // 1*4 + 2*6
+        assert_eq!(c.get(0, 1), 0.0);
+        assert_eq!(c.get(1, 1), 15.0);
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let csr = Csr::from_parts(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            vec![1.0, -2.0, 4.0],
+        )
+        .unwrap();
+        let d = Dense::from_csr(&csr);
+        assert_eq!(d.get(0, 2), -2.0);
+        assert_eq!(d.to_csr(), csr);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut a = Dense::zero(2, 3);
+        a.set(1, 2, 9.0);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 9.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_mismatch() {
+        let a = Dense::<f64>::zero(2, 2);
+        let mut b = Dense::zero(2, 2);
+        b.set(1, 0, 0.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

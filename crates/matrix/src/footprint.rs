@@ -1,0 +1,207 @@
+//! Byte-exact space accounting for Figure 11 (format space comparison) and
+//! the paper's artifact output line 7 ("data structure's space consumption").
+//!
+//! Each format reports the bytes of its index structure and payload exactly
+//! as stored: e.g. the tiled format pays `16 × u8` row pointers and
+//! `16 × u16` masks per tile on top of per-nonzero `u8` locals, which is why
+//! it sits above CSB but (for index data) below CSR's 4-byte column indices.
+
+use crate::{Coo, Csc, CsbI, CsbM, Csr, Scalar, TileMatrix, TILE_DIM};
+
+/// One labelled component of a format's storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Array name, matching the paper's terminology where it has one.
+    pub name: &'static str,
+    /// Bytes occupied.
+    pub bytes: usize,
+}
+
+/// Formats that can report their exact storage cost.
+pub trait Footprint {
+    /// Labelled per-array byte counts.
+    fn components(&self) -> Vec<Component>;
+
+    /// Total bytes.
+    fn bytes(&self) -> usize {
+        self.components().iter().map(|c| c.bytes).sum()
+    }
+}
+
+fn comp(name: &'static str, bytes: usize) -> Component {
+    Component { name, bytes }
+}
+
+impl<T: Scalar> Footprint for Csr<T> {
+    fn components(&self) -> Vec<Component> {
+        vec![
+            comp("rowptr", self.rowptr.len() * std::mem::size_of::<usize>()),
+            comp("colidx", self.colidx.len() * std::mem::size_of::<u32>()),
+            comp("vals", self.vals.len() * std::mem::size_of::<T>()),
+        ]
+    }
+}
+
+impl<T: Scalar> Footprint for Csc<T> {
+    fn components(&self) -> Vec<Component> {
+        vec![
+            comp("colptr", self.colptr.len() * std::mem::size_of::<usize>()),
+            comp("rowidx", self.rowidx.len() * std::mem::size_of::<u32>()),
+            comp("vals", self.vals.len() * std::mem::size_of::<T>()),
+        ]
+    }
+}
+
+impl<T: Scalar> Footprint for Coo<T> {
+    fn components(&self) -> Vec<Component> {
+        vec![comp(
+            "triplets",
+            self.entries.len() * std::mem::size_of::<(u32, u32, T)>(),
+        )]
+    }
+}
+
+impl<T: Scalar> Footprint for TileMatrix<T> {
+    fn components(&self) -> Vec<Component> {
+        vec![
+            comp("tilePtr", self.tile_ptr.len() * std::mem::size_of::<usize>()),
+            comp(
+                "tileColIdx",
+                self.tile_colidx.len() * std::mem::size_of::<u32>(),
+            ),
+            comp("tileNnz", self.tile_nnz.len() * std::mem::size_of::<usize>()),
+            comp("rowPtr", self.row_ptr.len()),
+            comp("rowIdx", self.row_idx.len()),
+            comp("colIdx", self.col_idx.len()),
+            comp("mask", self.masks.len() * std::mem::size_of::<u16>()),
+            comp("val", self.vals.len() * std::mem::size_of::<T>()),
+        ]
+    }
+}
+
+impl<T: Scalar> Footprint for CsbI<T> {
+    fn components(&self) -> Vec<Component> {
+        vec![
+            comp("blkptr", self.blkptr.len() * std::mem::size_of::<usize>()),
+            comp("lrow", self.lrow.len() * std::mem::size_of::<u16>()),
+            comp("lcol", self.lcol.len() * std::mem::size_of::<u16>()),
+            comp("vals", self.vals.len() * std::mem::size_of::<T>()),
+        ]
+    }
+}
+
+impl<T: Scalar> Footprint for CsbM<T> {
+    fn components(&self) -> Vec<Component> {
+        vec![
+            comp("blkptr", self.blkptr.len() * std::mem::size_of::<usize>()),
+            comp("lidx", self.lidx.len() * std::mem::size_of::<u16>()),
+            comp("vals", self.vals.len() * std::mem::size_of::<T>()),
+        ]
+    }
+}
+
+/// Index-only bytes (everything except values) — the quantity that actually
+/// differs between formats for a fixed matrix.
+pub fn index_bytes<F: Footprint>(f: &F) -> usize {
+    f.components()
+        .iter()
+        .filter(|c| c.name != "vals" && c.name != "val")
+        .map(|c| c.bytes)
+        .sum()
+}
+
+/// Space model documented in DESIGN.md: per-tile overhead of the tiled
+/// format (row pointers + masks) in bytes.
+pub const TILE_OVERHEAD_BYTES: usize = TILE_DIM + TILE_DIM * 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr<f64> {
+        let mut coo = Coo::new(64, 64);
+        let mut state = 0x9e3779b9u64;
+        for _ in 0..600 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            coo.push((state % 64) as u32, (state / 64 % 64) as u32, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_bytes_match_formula() {
+        let a = sample();
+        let expect = (a.nrows + 1) * 8 + a.nnz() * 4 + a.nnz() * 8;
+        assert_eq!(a.bytes(), expect);
+    }
+
+    #[test]
+    fn tiled_components_follow_the_paper_layout() {
+        let a = sample();
+        let t = TileMatrix::from_csr(&a);
+        let by_name: std::collections::BTreeMap<_, _> = t
+            .components()
+            .into_iter()
+            .map(|c| (c.name, c.bytes))
+            .collect();
+        assert_eq!(by_name["rowPtr"], t.tile_count() * 16);
+        assert_eq!(by_name["mask"], t.tile_count() * 32);
+        assert_eq!(by_name["rowIdx"], t.nnz());
+        assert_eq!(by_name["colIdx"], t.nnz());
+        assert_eq!(by_name["val"], t.nnz() * 8);
+    }
+
+    #[test]
+    fn csb_m_index_is_smaller_than_csb_i() {
+        let a = sample();
+        let m = CsbM::from_csr_with_beta(&a, 32).unwrap();
+        let i = CsbI::from_csr_with_beta(&a, 32).unwrap();
+        assert!(index_bytes(&m) < index_bytes(&i));
+        // Same values payload.
+        assert_eq!(m.bytes() - index_bytes(&m), i.bytes() - index_bytes(&i));
+    }
+
+    #[test]
+    fn figure11_csb_beats_tiled_on_scattered_structure() {
+        // On matrices whose nonzeros scatter into many sparse tiles, the
+        // tiled format's fixed 48 B/tile (rowPtr + mask) dominates, so both
+        // CSB variants — whose per-tile cost is one pointer-grid slot — use
+        // less index space. This is exactly the regime behind the paper's
+        // Figure 11 averages (tiled ≈ 113 MB and 82 MB above CSB-M/CSB-I).
+        let mut coo = Coo::new(2048, 2048);
+        let mut state = 0xabcdef12u64;
+        for _ in 0..4096 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            coo.push((state % 2048) as u32, (state / 4096 % 2048) as u32, 1.0);
+        }
+        let a = coo.to_csr();
+        let tiled = TileMatrix::from_csr(&a);
+        let csb_m = CsbM::from_csr(&a); // beta = 64 (≈ sqrt n)
+        let csb_i = CsbI::from_csr(&a);
+        assert!(index_bytes(&csb_m) < index_bytes(&csb_i));
+        assert!(index_bytes(&csb_i) < index_bytes(&tiled));
+    }
+
+    #[test]
+    fn figure11_tiled_beats_csr_on_clustered_structure() {
+        // Dense 16x16 blocks: 2 B of locals per nonzero plus well-amortised
+        // tile overhead undercut CSR's 4 B column indices — the regime where
+        // the paper reports the tiled format saving ~31 MB over CSR.
+        let mut coo = Coo::new(256, 256);
+        for b in 0..16u32 {
+            for r in 0..16u32 {
+                for c in 0..16u32 {
+                    coo.push(b * 16 + r, b * 16 + c, 1.0);
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let tiled = TileMatrix::from_csr(&a);
+        assert!(index_bytes(&tiled) < index_bytes(&a));
+    }
+}

@@ -1,0 +1,206 @@
+//! Software IEEE 754 binary16 ("half") conversion.
+//!
+//! §4.7 compares against tSparse in *half precision input, single precision
+//! output* — the tensor-core `hh→s` contract. Rust has no stable `f16`, so
+//! this module provides bit-exact `f32 ↔ binary16` conversion (round to
+//! nearest, ties to even, with subnormals, infinities and NaN) and a
+//! quantisation helper: the Figure 13/14 harness pushes both methods'
+//! *inputs* through binary16 and lets the arithmetic run in `f32`, exactly
+//! the tensor-core data path.
+
+use crate::{Csr, Scalar};
+
+/// Converts an `f32` to its binary16 bit pattern (round to nearest even).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN: keep a quiet-NaN payload bit so NaN stays NaN.
+        return sign | 0x7C00 | if frac != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent, rebiasing from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> infinity
+    }
+    if unbiased >= -14 {
+        // Normal half. 23 -> 10 fraction bits: round at bit 13.
+        let mantissa = frac >> 13;
+        let round_bits = frac & 0x1FFF;
+        let mut h = sign | (((unbiased + 15) as u16) << 10) | mantissa as u16;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mantissa & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into the exponent: correct
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // Subnormal half: implicit leading one becomes explicit.
+        let full = 0x0080_0000 | frac;
+        let shift = (-14 - unbiased) + 13;
+        let mantissa = full >> shift;
+        let round_mask = (1u32 << shift) - 1;
+        let round_bits = full & round_mask;
+        let half_point = 1u32 << (shift - 1);
+        let mut h = sign | mantissa as u16;
+        if round_bits > half_point || (round_bits == half_point && (mantissa & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // underflow -> signed zero
+}
+
+/// Converts a binary16 bit pattern to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let frac = (h & 0x03FF) as u32;
+    let bits = match (exp, frac) {
+        (0, 0) => sign,
+        (0, _) => {
+            // Subnormal: value = frac * 2^-24. Normalise: with the leading
+            // one of `frac` at bit p, the f32 exponent is p - 24 + 127 and
+            // shifting by `lead = 10 - p` moves that bit to position 10,
+            // where the `& 0x3FF` strips it off as the implicit one.
+            let lead = frac.leading_zeros() - 21;
+            let frac_n = (frac << lead) & 0x03FF;
+            let exp_n = 113 - lead;
+            sign | (exp_n << 23) | (frac_n << 13)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, _) => sign | 0x7FC0_0000 | (frac << 13),
+        _ => sign | ((exp + 127 - 15) << 23) | (frac << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds a value through binary16 and back (the precision loss of loading
+/// it into a tensor-core fragment).
+pub fn quantize_f16(v: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(v))
+}
+
+/// Quantises every stored value of a matrix through binary16, keeping the
+/// pattern. Values that round to ±0 are retained as explicit zeros (the
+/// hardware keeps the lanes).
+pub fn quantize_csr<T: Scalar>(a: &Csr<T>) -> Csr<f32> {
+    Csr {
+        nrows: a.nrows,
+        ncols: a.ncols,
+        rowptr: a.rowptr.clone(),
+        colidx: a.colidx.clone(),
+        vals: a
+            .vals
+            .iter()
+            .map(|v| quantize_f16(v.to_f64() as f32))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for v in [-8.0f32, -1.0, -0.5, 0.0, 0.25, 1.0, 2.0, 1024.0, 2048.0] {
+            assert_eq!(quantize_f16(v), v, "{v} should be exact in half");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly half-way between 1 and the next half value
+        // (1 + 2^-10); ties-to-even rounds down to 1.
+        assert_eq!(quantize_f16(1.0 + f32::powi(2.0, -11)), 1.0);
+        // Just above the tie rounds up.
+        assert_eq!(
+            quantize_f16(1.0 + f32::powi(2.0, -11) + f32::powi(2.0, -16)),
+            1.0 + f32::powi(2.0, -10)
+        );
+        // The next representable tie (1 + 3*2^-11) rounds up to even.
+        assert_eq!(
+            quantize_f16(1.0 + 3.0 * f32::powi(2.0, -11)),
+            1.0 + 2.0 * f32::powi(2.0, -10)
+        );
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(quantize_f16(70_000.0), f32::INFINITY);
+        assert_eq!(quantize_f16(-70_000.0), f32::NEG_INFINITY);
+        // Largest finite half value.
+        assert_eq!(quantize_f16(65_504.0), 65_504.0);
+    }
+
+    #[test]
+    fn subnormals_are_preserved() {
+        // Smallest positive subnormal half = 2^-24.
+        let tiny = f32::powi(2.0, -24);
+        assert_eq!(quantize_f16(tiny), tiny);
+        // Below half of it underflows to zero.
+        assert_eq!(quantize_f16(f32::powi(2.0, -26)), 0.0);
+        // A mid-range subnormal.
+        let sub = 3.0 * f32::powi(2.0, -24);
+        assert_eq!(quantize_f16(sub), sub);
+    }
+
+    #[test]
+    fn nan_and_inf_survive() {
+        assert!(quantize_f16(f32::NAN).is_nan());
+        assert_eq!(quantize_f16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(quantize_f16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_half_epsilon() {
+        // 2^-11 relative error bound for normal halves.
+        let mut state = 0x1234_5678u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = ((state % 130_000) as f32 / 1000.0) - 65.0;
+            if v == 0.0 {
+                continue;
+            }
+            let q = quantize_f16(v);
+            let rel = ((q - v) / v).abs();
+            assert!(rel <= f32::powi(2.0, -11), "v={v} q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn quantize_csr_keeps_pattern() {
+        let a = crate::Csr::from_parts(
+            2,
+            2,
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![1.0 + 1e-5, 70_000.0f64],
+        )
+        .unwrap();
+        let q = quantize_csr(&a);
+        assert_eq!(q.colidx, a.colidx);
+        assert_eq!(q.vals[0], 1.0); // 1e-5 is below half resolution at 1.0
+        assert_eq!(q.vals[1], f32::INFINITY);
+    }
+
+    #[test]
+    fn all_half_bit_patterns_round_trip_through_f32() {
+        // Exhaustive: every finite half value must convert to f32 and back
+        // to the identical bit pattern.
+        for h in 0u16..=0xFFFF {
+            let exp = (h >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // inf/NaN payloads handled separately
+            }
+            let f = f16_bits_to_f32(h);
+            let back = f32_to_f16_bits(f);
+            assert_eq!(back, h, "bit pattern {h:#06x} -> {f} -> {back:#06x}");
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Element-wise and structural operations on CSR matrices.
+//!
+//! These are the operations the paper's motivating applications need around
+//! SpGEMM: algebraic multigrid (Galerkin triple products need transposes and
+//! sums), triangle counting (Hadamard mask and trace), and Markov clustering
+//! (column normalisation, element-wise powers, pruning). The example binaries
+//! in the workspace root exercise them.
+
+use crate::{Csr, Scalar};
+use rayon::prelude::*;
+
+/// `C = alpha*A + beta*B` with matching shapes (two-pointer row merge).
+pub fn add<T: Scalar>(alpha: T, a: &Csr<T>, beta: T, b: &Csr<T>) -> Csr<T> {
+    assert_eq!((a.nrows, a.ncols), (b.nrows, b.ncols), "shape mismatch");
+    let rows: Vec<(Vec<u32>, Vec<T>)> = (0..a.nrows)
+        .into_par_iter()
+        .map(|i| {
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let mut cols = Vec::with_capacity(ac.len() + bc.len());
+            let mut vals = Vec::with_capacity(ac.len() + bc.len());
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() || q < bc.len() {
+                let take_a = q >= bc.len() || (p < ac.len() && ac[p] < bc[q]);
+                let take_b = p >= ac.len() || (q < bc.len() && bc[q] < ac[p]);
+                if take_a {
+                    cols.push(ac[p]);
+                    vals.push(alpha * av[p]);
+                    p += 1;
+                } else if take_b {
+                    cols.push(bc[q]);
+                    vals.push(beta * bv[q]);
+                    q += 1;
+                } else {
+                    let v = alpha * av[p] + beta * bv[q];
+                    if v != T::ZERO {
+                        cols.push(ac[p]);
+                        vals.push(v);
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+            (cols, vals)
+        })
+        .collect();
+    assemble(a.nrows, a.ncols, rows)
+}
+
+/// Element-wise (Hadamard) product `C = A ∘ B`.
+pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert_eq!((a.nrows, a.ncols), (b.nrows, b.ncols), "shape mismatch");
+    let rows: Vec<(Vec<u32>, Vec<T>)> = (0..a.nrows)
+        .into_par_iter()
+        .map(|i| {
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() && q < bc.len() {
+                match ac[p].cmp(&bc[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        let v = av[p] * bv[q];
+                        if v != T::ZERO {
+                            cols.push(ac[p]);
+                            vals.push(v);
+                        }
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            (cols, vals)
+        })
+        .collect();
+    assemble(a.nrows, a.ncols, rows)
+}
+
+fn assemble<T: Scalar>(nrows: usize, ncols: usize, rows: Vec<(Vec<u32>, Vec<T>)>) -> Csr<T> {
+    let mut rowptr = vec![0usize; nrows + 1];
+    for (i, (cols, _)) in rows.iter().enumerate() {
+        rowptr[i + 1] = rowptr[i] + cols.len();
+    }
+    let nnz = rowptr[nrows];
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for (cols, v) in rows {
+        colidx.extend_from_slice(&cols);
+        vals.extend_from_slice(&v);
+    }
+    Csr {
+        nrows,
+        ncols,
+        rowptr,
+        colidx,
+        vals,
+    }
+}
+
+/// Sum of diagonal entries.
+pub fn trace<T: Scalar>(a: &Csr<T>) -> T {
+    let mut acc = T::ZERO;
+    for i in 0..a.nrows.min(a.ncols) {
+        if let Some(v) = a.get(i, i as u32) {
+            acc += v;
+        }
+    }
+    acc
+}
+
+/// Sum of all stored values.
+pub fn sum_all<T: Scalar>(a: &Csr<T>) -> T {
+    let mut acc = T::ZERO;
+    for &v in &a.vals {
+        acc += v;
+    }
+    acc
+}
+
+/// Scales every column so it sums to one (columns summing to zero are left
+/// untouched). The Markov-clustering normalisation step.
+pub fn normalize_columns<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let mut colsum = vec![T::ZERO; a.ncols];
+    for row in 0..a.nrows {
+        let (cols, vals) = a.row(row);
+        for (&c, &v) in cols.iter().zip(vals) {
+            colsum[c as usize] += v;
+        }
+    }
+    let mut out = a.clone();
+    for row in 0..out.nrows {
+        let range = out.rowptr[row]..out.rowptr[row + 1];
+        for k in range {
+            let s = colsum[out.colidx[k] as usize];
+            if s != T::ZERO {
+                out.vals[k] = out.vals[k] / s;
+            }
+        }
+    }
+    out
+}
+
+/// Removes the diagonal.
+pub fn remove_diagonal<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let mut rowptr = vec![0usize; a.nrows + 1];
+    let mut colidx = Vec::with_capacity(a.nnz());
+    let mut vals = Vec::with_capacity(a.nnz());
+    for row in 0..a.nrows {
+        let (cols, rvals) = a.row(row);
+        for (&c, &v) in cols.iter().zip(rvals) {
+            if c as usize != row {
+                colidx.push(c);
+                vals.push(v);
+            }
+        }
+        rowptr[row + 1] = colidx.len();
+    }
+    Csr {
+        nrows: a.nrows,
+        ncols: a.ncols,
+        rowptr,
+        colidx,
+        vals,
+    }
+}
+
+/// Makes a pattern symmetric: `B = A ∪ Aᵀ` with all values one.
+pub fn symmetrize_pattern<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let ones = a.map_values(|_| T::ONE);
+    let t = ones.transpose();
+    // max(A, Aᵀ) over the union: adding then clamping to one does the job
+    // for 0/1 patterns.
+    add(T::ONE, &ones, T::ONE, &t).map_values(|_| T::ONE)
+}
+
+/// Frobenius norm of the difference, in `f64`.
+pub fn frobenius_diff<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> f64 {
+    let d = add(T::ONE, a, -T::ONE, b);
+    d.vals
+        .iter()
+        .map(|v| v.to_f64() * v.to_f64())
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Coo, Dense};
+
+    fn a() -> Csr<f64> {
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 1, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    fn b() -> Csr<f64> {
+        Csr::from_parts(3, 3, vec![0, 1, 3, 4], vec![1, 0, 1, 2], vec![10.0, 20.0, 30.0, 40.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn add_matches_dense() {
+        let c = add(2.0, &a(), -1.0, &b());
+        let expect = {
+            let mut d = Dense::from_csr(&a());
+            for v in d.data.iter_mut() {
+                *v *= 2.0;
+            }
+            let db = Dense::from_csr(&b());
+            for (x, y) in d.data.iter_mut().zip(&db.data) {
+                *x -= *y;
+            }
+            d.to_csr()
+        };
+        assert_eq!(c, expect);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn add_drops_exact_cancellations() {
+        let c = add(1.0, &a(), -1.0, &a());
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn hadamard_matches_dense() {
+        let c = hadamard(&a(), &b());
+        let da = Dense::from_csr(&a());
+        let db = Dense::from_csr(&b());
+        let mut expect = Dense::zero(3, 3);
+        for k in 0..9 {
+            expect.data[k] = da.data[k] * db.data[k];
+        }
+        assert_eq!(c, expect.to_csr());
+    }
+
+    #[test]
+    fn trace_and_sum() {
+        assert_eq!(trace(&a()), 1.0 + 3.0 + 5.0);
+        assert_eq!(sum_all(&a()), 15.0);
+    }
+
+    #[test]
+    fn column_normalisation_sums_to_one() {
+        let n = normalize_columns(&a());
+        let mut colsum = [0.0f64; 3];
+        for row in 0..3 {
+            let (cols, vals) = n.row(row);
+            for (&c, &v) in cols.iter().zip(vals) {
+                colsum[c as usize] += v;
+            }
+        }
+        for s in colsum {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn remove_diagonal_removes_only_diagonal() {
+        let r = remove_diagonal(&a());
+        assert_eq!(r.nnz(), 2);
+        assert_eq!(r.get(0, 1), Some(2.0));
+        assert_eq!(r.get(2, 0), Some(4.0));
+        assert_eq!(r.get(0, 0), None);
+    }
+
+    #[test]
+    fn symmetrize_pattern_is_symmetric() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 2, 5.0);
+        coo.push(1, 0, 2.0);
+        let s = symmetrize_pattern(&coo.to_csr());
+        assert_eq!(s.get(0, 2), Some(1.0));
+        assert_eq!(s.get(2, 0), Some(1.0));
+        assert_eq!(s.get(0, 1), Some(1.0));
+        assert_eq!(s.get(1, 0), Some(1.0));
+        assert_eq!(s, s.transpose());
+    }
+
+    #[test]
+    fn frobenius_diff_of_equal_is_zero() {
+        assert_eq!(frobenius_diff(&a(), &a()), 0.0);
+        assert!(frobenius_diff(&a(), &b()) > 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! CSR ↔ tiled conversion.
+//!
+//! The paper measures the CSR→tiled conversion cost in Figure 12 (it stays
+//! under roughly ten single SpGEMM runtimes) and otherwise assumes matrices
+//! live in tiled form (as AMG-style pipelines keep them). The build here is a
+//! two-pass, tile-row-parallel construction:
+//!
+//! 1. per tile row: walk the 16 covered CSR rows once to discover the
+//!    occupied tile columns and their nonzero counts;
+//! 2. after a scan produces `tile_ptr`/`tile_nnz`, walk the 16 rows again,
+//!    scattering each nonzero into its tile while recording local row
+//!    pointers and the row bitmasks.
+//!
+//! Because CSR rows are sorted and scanned top-to-bottom, each tile's
+//! nonzeros come out in `(local_row, local_col)` order — the order the
+//! paper's format stores.
+
+use super::{TileMatrix, TILE_DIM};
+use crate::{Csr, Scalar};
+use rayon::prelude::*;
+
+/// Tile-grid dimensions for a scalar shape.
+pub fn tile_dims(nrows: usize, ncols: usize) -> (usize, usize) {
+    (nrows.div_ceil(TILE_DIM), ncols.div_ceil(TILE_DIM))
+}
+
+/// Per-tile-row discovery result from pass 1.
+struct TileRowLayout {
+    /// Occupied tile columns, ascending.
+    cols: Vec<u32>,
+    /// Nonzero count per occupied tile column.
+    counts: Vec<u32>,
+}
+
+fn discover_tile_row<T: Scalar>(csr: &Csr<T>, ti: usize) -> TileRowLayout {
+    let row_lo = ti * TILE_DIM;
+    let row_hi = (row_lo + TILE_DIM).min(csr.nrows);
+    // Each CSR row is sorted, so its tile columns appear as non-decreasing
+    // runs; collect (tile_col, run_len) pairs then merge by sorting. The
+    // number of runs is bounded by the row's nnz, typically far smaller.
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for row in row_lo..row_hi {
+        let (cols, _) = csr.row(row);
+        let mut k = 0;
+        while k < cols.len() {
+            let tc = cols[k] / TILE_DIM as u32;
+            let mut len = 1u32;
+            while k + (len as usize) < cols.len() && cols[k + len as usize] / TILE_DIM as u32 == tc
+            {
+                len += 1;
+            }
+            runs.push((tc, len));
+            k += len as usize;
+        }
+    }
+    runs.sort_unstable_by_key(|&(tc, _)| tc);
+    let mut cols = Vec::new();
+    let mut counts = Vec::new();
+    for (tc, len) in runs {
+        if cols.last() == Some(&tc) {
+            *counts.last_mut().unwrap() += len;
+        } else {
+            cols.push(tc);
+            counts.push(len);
+        }
+    }
+    TileRowLayout { cols, counts }
+}
+
+impl<T: Scalar> TileMatrix<T> {
+    /// Converts a sorted CSR matrix into the sparse-tile format.
+    pub fn from_csr(csr: &Csr<T>) -> TileMatrix<T> {
+        let (tile_m, tile_n) = tile_dims(csr.nrows, csr.ncols);
+
+        // Pass 1: per-tile-row layouts, in parallel.
+        let layouts: Vec<TileRowLayout> = (0..tile_m)
+            .into_par_iter()
+            .map(|ti| discover_tile_row(csr, ti))
+            .collect();
+
+        // High-level structure from the layouts.
+        let mut tile_ptr = vec![0usize; tile_m + 1];
+        for (ti, l) in layouts.iter().enumerate() {
+            tile_ptr[ti + 1] = tile_ptr[ti] + l.cols.len();
+        }
+        let num_tiles = tile_ptr[tile_m];
+        let mut tile_colidx = vec![0u32; num_tiles];
+        let mut tile_nnz = vec![0usize; num_tiles + 1];
+        for (ti, l) in layouts.iter().enumerate() {
+            let base = tile_ptr[ti];
+            tile_colidx[base..base + l.cols.len()].copy_from_slice(&l.cols);
+            for (k, &c) in l.counts.iter().enumerate() {
+                tile_nnz[base + k + 1] = c as usize;
+            }
+        }
+        for t in 0..num_tiles {
+            tile_nnz[t + 1] += tile_nnz[t];
+        }
+        let nnz = tile_nnz[num_tiles];
+        debug_assert_eq!(nnz, csr.nnz());
+
+        // Pass 2: scatter nonzeros, build local pointers and masks.
+        let mut row_ptr = vec![0u8; num_tiles * TILE_DIM];
+        let mut masks = vec![0u16; num_tiles * TILE_DIM];
+        let mut row_idx = vec![0u8; nnz];
+        let mut col_idx = vec![0u8; nnz];
+        let mut vals = vec![T::ZERO; nnz];
+
+        // Split the big arrays into per-tile-row windows so tile rows can be
+        // filled independently in parallel.
+        let tile_bounds: Vec<usize> = tile_ptr.iter().map(|&t| t * TILE_DIM).collect();
+        let nnz_bounds: Vec<usize> = tile_ptr.iter().map(|&t| tile_nnz[t]).collect();
+        let row_ptr_w = tsg_split(&mut row_ptr, &tile_bounds);
+        let masks_w = tsg_split(&mut masks, &tile_bounds);
+        let row_idx_w = tsg_split(&mut row_idx, &nnz_bounds);
+        let col_idx_w = tsg_split(&mut col_idx, &nnz_bounds);
+        let vals_w = tsg_split(&mut vals, &nnz_bounds);
+
+        layouts
+            .par_iter()
+            .enumerate()
+            .zip(row_ptr_w)
+            .zip(masks_w)
+            .zip(row_idx_w)
+            .zip(col_idx_w)
+            .zip(vals_w)
+            .for_each(
+                |((((((ti, layout), row_ptr_w), masks_w), row_idx_w), col_idx_w), vals_w)| {
+                    fill_tile_row(
+                        csr, ti, layout, tile_nnz_rel(&tile_nnz, &tile_ptr, ti), row_ptr_w,
+                        masks_w, row_idx_w, col_idx_w, vals_w,
+                    );
+                },
+            );
+
+        let out = TileMatrix {
+            nrows: csr.nrows,
+            ncols: csr.ncols,
+            tile_m,
+            tile_n,
+            tile_ptr,
+            tile_colidx,
+            tile_nnz,
+            row_ptr,
+            row_idx,
+            col_idx,
+            vals,
+            masks,
+        };
+        debug_assert!(out.validate().is_ok(), "from_csr produced invalid tiles");
+        out
+    }
+
+    /// Converts back to a sorted CSR matrix.
+    pub fn to_csr(&self) -> Csr<T> {
+        // Count nonzeros per scalar row (parallel over tile rows), scan,
+        // then fill; concatenating tiles left-to-right within a tile row
+        // yields sorted columns because tile columns are ascending.
+        let mut counts = vec![0usize; self.nrows];
+        counts
+            .par_chunks_mut(TILE_DIM)
+            .enumerate()
+            .for_each(|(ti, rows)| {
+                for t in self.tile_row_range(ti) {
+                    let tile = self.tile(t);
+                    for (r, row_count) in rows.iter_mut().enumerate() {
+                        *row_count += tile.row_range(r).len();
+                    }
+                }
+            });
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        tsg_runtime_scan(&counts, &mut rowptr);
+        let nnz = rowptr[self.nrows];
+        let mut colidx = vec![0u32; nnz];
+        let mut vals = vec![T::ZERO; nnz];
+        let row_bounds: Vec<usize> = (0..=self.tile_m)
+            .map(|ti| rowptr[(ti * TILE_DIM).min(self.nrows)])
+            .collect();
+        let colidx_w = tsg_split(&mut colidx, &row_bounds);
+        let vals_w = tsg_split(&mut vals, &row_bounds);
+        (0..self.tile_m)
+            .into_par_iter()
+            .zip(colidx_w)
+            .zip(vals_w)
+            .for_each(|((ti, colidx_w), vals_w)| {
+                let base = rowptr[(ti * TILE_DIM).min(self.nrows)];
+                let row_lo = ti * TILE_DIM;
+                let row_hi = (row_lo + TILE_DIM).min(self.nrows);
+                let mut cursor: Vec<usize> =
+                    (row_lo..row_hi).map(|row| rowptr[row] - base).collect();
+                for t in self.tile_row_range(ti) {
+                    let tc = self.tile_colidx[t];
+                    let tile = self.tile(t);
+                    for (r, cur) in cursor.iter_mut().enumerate() {
+                        for k in tile.row_range(r) {
+                            colidx_w[*cur] = tc * TILE_DIM as u32 + tile.col_idx[k] as u32;
+                            vals_w[*cur] = tile.vals[k];
+                            *cur += 1;
+                        }
+                    }
+                }
+            });
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+}
+
+/// Relative nonzero offsets of tile row `ti`'s tiles (first tile at 0).
+fn tile_nnz_rel<'a>(tile_nnz: &'a [usize], tile_ptr: &[usize], ti: usize) -> &'a [usize] {
+    &tile_nnz[tile_ptr[ti]..=tile_ptr[ti + 1]]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill_tile_row<T: Scalar>(
+    csr: &Csr<T>,
+    ti: usize,
+    layout: &TileRowLayout,
+    tile_offsets: &[usize],
+    row_ptr_w: &mut [u8],
+    masks_w: &mut [u16],
+    row_idx_w: &mut [u8],
+    col_idx_w: &mut [u8],
+    vals_w: &mut [T],
+) {
+    let base = tile_offsets[0];
+    // Per-tile write cursor, relative to this tile row's window.
+    let mut cursor: Vec<usize> = tile_offsets[..layout.cols.len()]
+        .iter()
+        .map(|&o| o - base)
+        .collect();
+    let row_lo = ti * TILE_DIM;
+    let row_hi = (row_lo + TILE_DIM).min(csr.nrows);
+    for r in 0..TILE_DIM {
+        // Record each tile's local row pointer before consuming row r.
+        for (k, &cur) in cursor.iter().enumerate() {
+            let rel = cur - (tile_offsets[k] - base);
+            debug_assert!(rel <= u8::MAX as usize);
+            row_ptr_w[k * TILE_DIM + r] = rel as u8;
+        }
+        let row = row_lo + r;
+        if row >= row_hi {
+            continue;
+        }
+        let (cols, vals) = csr.row(row);
+        let mut k = 0usize; // position in layout.cols, tile columns ascend
+        for (&c, &v) in cols.iter().zip(vals) {
+            let tc = c / TILE_DIM as u32;
+            while layout.cols[k] != tc {
+                k += 1;
+            }
+            let dst = cursor[k];
+            row_idx_w[dst] = r as u8;
+            col_idx_w[dst] = (c % TILE_DIM as u32) as u8;
+            vals_w[dst] = v;
+            cursor[k] += 1;
+            masks_w[k * TILE_DIM + r] |= 1 << (c % TILE_DIM as u32);
+        }
+    }
+}
+
+// Thin local aliases so this file reads without a hard dependency on the
+// runtime crate (tsg-matrix must stay a leaf below tsg-runtime).
+fn tsg_split<'a, T>(data: &'a mut [T], offsets: &[usize]) -> Vec<&'a mut [T]> {
+    let mut windows = Vec::with_capacity(offsets.len().saturating_sub(1));
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for w in offsets.windows(2) {
+        let (head, tail) = rest.split_at_mut(w[1] - consumed);
+        windows.push(head);
+        rest = tail;
+        consumed = w[1];
+        debug_assert!(w[0] <= w[1]);
+    }
+    windows
+}
+
+fn tsg_runtime_scan(counts: &[usize], out: &mut [usize]) {
+    let mut running = 0usize;
+    for (o, &c) in out.iter_mut().zip(counts.iter()) {
+        *o = running;
+        running += c;
+    }
+    out[counts.len()] = running;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn random_csr(n: usize, m: usize, nnz: usize, seed: u64) -> Csr<f64> {
+        // Tiny xorshift so the matrix crate needs no rand dev-dependency here.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coo = Coo::new(n, m);
+        for _ in 0..nnz {
+            let r = (next() % n as u64) as u32;
+            let c = (next() % m as u64) as u32;
+            let v = (next() % 17) as f64 - 8.0;
+            if v != 0.0 {
+                coo.push(r, c, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn round_trip_identity_on_random_matrices() {
+        for (n, m, nnz, seed) in [
+            (1usize, 1usize, 1usize, 3u64),
+            (16, 16, 40, 5),
+            (17, 33, 100, 7),
+            (100, 100, 900, 11),
+            (257, 129, 3000, 13),
+            (64, 1000, 2000, 17),
+        ] {
+            let csr = random_csr(n, m, nnz, seed);
+            let tiled = TileMatrix::from_csr(&csr);
+            tiled.validate().unwrap();
+            assert_eq!(tiled.to_csr(), csr, "round trip failed for {n}x{m}");
+        }
+    }
+
+    #[test]
+    fn tile_dims_rounding() {
+        assert_eq!(tile_dims(16, 16), (1, 1));
+        assert_eq!(tile_dims(17, 16), (2, 1));
+        assert_eq!(tile_dims(1, 1), (1, 1));
+        assert_eq!(tile_dims(0, 0), (0, 0));
+        assert_eq!(tile_dims(256, 31), (16, 2));
+    }
+
+    #[test]
+    fn empty_matrix_builds_no_tiles() {
+        let csr = Csr::<f64>::zero(40, 40);
+        let t = TileMatrix::from_csr(&csr);
+        t.validate().unwrap();
+        assert_eq!(t.tile_count(), 0);
+        assert_eq!(t.to_csr(), csr);
+    }
+
+    #[test]
+    fn full_tile_has_256_nonzeros() {
+        let mut coo = Coo::new(16, 16);
+        for r in 0..16u32 {
+            for c in 0..16u32 {
+                coo.push(r, c, (r * 16 + c) as f64 + 1.0);
+            }
+        }
+        let csr = coo.to_csr();
+        let t = TileMatrix::from_csr(&csr);
+        t.validate().unwrap();
+        assert_eq!(t.tile_count(), 1);
+        assert_eq!(t.tile_nnz_of(0), 256);
+        assert_eq!(t.tile(0).masks, &[0xFFFFu16; 16]);
+        assert_eq!(t.to_csr(), csr);
+    }
+
+    #[test]
+    fn single_column_matrix_tiles_correctly() {
+        let mut coo = Coo::new(100, 1);
+        for r in 0..100u32 {
+            coo.push(r, 0, r as f64 + 1.0);
+        }
+        let csr = coo.to_csr();
+        let t = TileMatrix::from_csr(&csr);
+        t.validate().unwrap();
+        assert_eq!(t.tile_m, 7);
+        assert_eq!(t.tile_n, 1);
+        assert_eq!(t.tile_count(), 7);
+        assert_eq!(t.to_csr(), csr);
+    }
+
+    #[test]
+    fn diagonal_matrix_has_one_tile_per_diagonal_block() {
+        let csr = Csr::<f64>::identity(64);
+        let t = TileMatrix::from_csr(&csr);
+        assert_eq!(t.tile_count(), 4);
+        for tile_id in 0..4 {
+            assert_eq!(t.tile_nnz_of(tile_id), 16);
+        }
+        assert_eq!(t.to_csr(), csr);
+    }
+}

@@ -1,0 +1,127 @@
+//! Atomic floating-point adds.
+//!
+//! The paper's numeric phase (Algorithm 3) uses CUDA `atomicAdd` to let the 32
+//! threads of a warp accumulate intermediate products into one tile. On the
+//! CPU side one Rayon task owns a tile, so most accumulation is plain; the
+//! atomic variants are needed where baselines share an accumulation buffer
+//! across tasks (e.g. the ESC expansion counters and AAᵀ transpose scatter).
+//! Implemented as the classic compare-exchange loop over the bit pattern.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+macro_rules! atomic_float {
+    ($name:ident, $float:ty, $bits:ty, $atomic:ty) => {
+        /// Atomic floating-point cell supporting relaxed add/load/store.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            bits: $atomic,
+        }
+
+        impl $name {
+            /// A new cell holding `value`.
+            pub fn new(value: $float) -> Self {
+                Self {
+                    bits: <$atomic>::new(value.to_bits()),
+                }
+            }
+
+            /// Relaxed load.
+            pub fn load(&self) -> $float {
+                <$float>::from_bits(self.bits.load(Ordering::Relaxed))
+            }
+
+            /// Relaxed store.
+            pub fn store(&self, value: $float) {
+                self.bits.store(value.to_bits(), Ordering::Relaxed);
+            }
+
+            /// Atomically adds `rhs`, returning the previous value.
+            pub fn fetch_add(&self, rhs: $float) -> $float {
+                let mut current = self.bits.load(Ordering::Relaxed);
+                loop {
+                    let next = (<$float>::from_bits(current) + rhs).to_bits();
+                    match self.bits.compare_exchange_weak(
+                        current,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return <$float>::from_bits(current),
+                        Err(observed) => current = observed,
+                    }
+                }
+            }
+
+            /// Reinterprets a mutable float slice as atomic cells.
+            ///
+            /// Safe because the atomic type has the same size and alignment
+            /// as the float's bit representation and lives only as long as
+            /// the exclusive borrow.
+            pub fn from_mut_slice(slice: &mut [$float]) -> &[$name] {
+                const _: () = assert!(
+                    std::mem::size_of::<$float>() == std::mem::size_of::<$name>()
+                        && std::mem::align_of::<$float>() <= std::mem::align_of::<$name>()
+                );
+                // SAFETY: $name is repr-compatible with $bits which is the
+                // bit representation of $float; exclusivity of the borrow
+                // guarantees no non-atomic aliasing for the lifetime.
+                unsafe { std::slice::from_raw_parts(slice.as_ptr().cast::<$name>(), slice.len()) }
+            }
+        }
+    };
+}
+
+atomic_float!(AtomicF64, f64, u64, AtomicU64);
+atomic_float!(AtomicF32, f32, u32, AtomicU32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.fetch_add(2.5), 1.5);
+        assert_eq!(a.load(), 4.0);
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let a = AtomicF32::new(0.0);
+        a.store(-7.25);
+        assert_eq!(a.load(), -7.25);
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly_for_representable_values() {
+        let a = AtomicF64::new(0.0);
+        // 0.5 sums are exact in binary floating point, so the result is
+        // deterministic regardless of interleaving.
+        (0..10_000).into_par_iter().for_each(|_| {
+            a.fetch_add(0.5);
+        });
+        assert_eq!(a.load(), 5_000.0);
+    }
+
+    #[test]
+    fn from_mut_slice_lets_parallel_tasks_scatter() {
+        let mut values = vec![0.0f64; 64];
+        {
+            let cells = AtomicF64::from_mut_slice(&mut values);
+            (0..640).into_par_iter().for_each(|i| {
+                cells[i % 64].fetch_add(1.0);
+            });
+        }
+        assert!(values.iter().all(|&v| v == 10.0));
+    }
+
+    #[test]
+    fn f32_concurrent_adds() {
+        let a = AtomicF32::new(0.0);
+        (0..1024).into_par_iter().for_each(|_| {
+            a.fetch_add(0.25);
+        });
+        assert_eq!(a.load(), 256.0);
+    }
+}

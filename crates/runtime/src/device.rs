@@ -1,0 +1,143 @@
+//! Simulated device models.
+//!
+//! The paper evaluates on two NVIDIA Ampere GPUs: an RTX 3060 (3,584 CUDA
+//! cores, 12 GB, 360 GB/s) and an RTX 3090 (10,496 CUDA cores, 24 GB,
+//! 936 GB/s) — roughly a 3x gap in both compute and bandwidth, which is the
+//! ratio the paper's scalability study (Figure 6, bottom row) measures
+//! against.
+//!
+//! We have no GPU; per the reproduction's substitution rule a *device* here is
+//! a named Rayon thread-pool configuration plus a memory budget:
+//!
+//! * `rtx3090-sim` uses every available logical core and the full memory
+//!   budget;
+//! * `rtx3060-sim` uses one third of the cores (rounded up) and half of the
+//!   memory budget, mirroring the paper's 3x compute and 2x capacity gaps.
+//!
+//! The memory budget does not limit the host allocator; it is enforced by the
+//! [`crate::tracker::MemTracker`], so that methods which would exceed device
+//! memory in the paper (e.g. bhSPARSE's intermediate-product buffer on
+//! `gupta3`) fail in the same place here, producing the paper's "0.00" bars
+//! in Figure 7.
+
+use std::num::NonZeroUsize;
+
+/// A simulated execution device: a thread count and a device-memory budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    /// Human-readable device name, used in reports (e.g. `rtx3090-sim`).
+    pub name: String,
+    /// Number of worker threads in this device's pool.
+    pub threads: usize,
+    /// Device memory budget in bytes, enforced by the memory tracker.
+    pub mem_budget: usize,
+}
+
+/// Default full-device memory budget used by the simulated RTX 3090.
+///
+/// The paper's dataset peaks around a few GB on a 24 GB card; our synthetic
+/// dataset is roughly two orders of magnitude smaller, so the budget scales
+/// down accordingly. 1 GiB (3090-sim) / 512 MiB (3060-sim) keeps the same
+/// methods failing on the same matrix classes.
+pub const FULL_MEM_BUDGET: usize = 1 << 30;
+
+fn logical_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl Device {
+    /// A device with an explicit thread count and memory budget.
+    pub fn new(name: impl Into<String>, threads: usize, mem_budget: usize) -> Self {
+        Self {
+            name: name.into(),
+            threads: threads.max(1),
+            mem_budget,
+        }
+    }
+
+    /// The simulated RTX 3090: all logical cores, full memory budget.
+    pub fn rtx3090_sim() -> Self {
+        Self::new("rtx3090-sim", logical_cores(), FULL_MEM_BUDGET)
+    }
+
+    /// The simulated RTX 3060: one third of the cores, half the memory.
+    pub fn rtx3060_sim() -> Self {
+        let threads = logical_cores().div_ceil(3);
+        Self::new("rtx3060-sim", threads, FULL_MEM_BUDGET / 2)
+    }
+
+    /// A single-threaded device, useful for deterministic debugging.
+    pub fn serial() -> Self {
+        Self::new("serial", 1, usize::MAX)
+    }
+
+    /// A device using the ambient Rayon pool (however it is configured).
+    pub fn ambient() -> Self {
+        Self::new("ambient", logical_cores(), usize::MAX)
+    }
+}
+
+/// Runs `f` inside a dedicated Rayon pool sized for `device`.
+///
+/// Every figure harness runs each measurement through this function so that
+/// the `rtx3090-sim` / `rtx3060-sim` scalability comparison uses controlled
+/// pools rather than the ambient global pool.
+pub fn run_on<R: Send>(device: &Device, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(device.threads)
+        .thread_name(|i| format!("tsg-worker-{i}"))
+        .build()
+        .expect("building rayon pool for simulated device");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn device_thread_counts_are_positive_and_ordered() {
+        let big = Device::rtx3090_sim();
+        let small = Device::rtx3060_sim();
+        assert!(big.threads >= 1);
+        assert!(small.threads >= 1);
+        assert!(small.threads <= big.threads);
+        assert!(small.mem_budget < big.mem_budget);
+    }
+
+    #[test]
+    fn run_on_uses_requested_thread_count() {
+        let device = Device::new("two-threads", 2, usize::MAX);
+        let observed = run_on(&device, rayon::current_num_threads);
+        assert_eq!(observed, 2);
+    }
+
+    #[test]
+    fn run_on_serial_still_executes_parallel_iterators() {
+        let device = Device::serial();
+        let sum: u64 = run_on(&device, || (0u64..1000).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn run_on_returns_closure_value() {
+        let device = Device::new("x", 3, 0);
+        assert_eq!(run_on(&device, || 42), 42);
+    }
+
+    #[test]
+    fn nested_run_on_pools_are_independent() {
+        let outer = Device::new("outer", 2, usize::MAX);
+        let inner = Device::new("inner", 1, usize::MAX);
+        let (o, i) = run_on(&outer, || {
+            let o = rayon::current_num_threads();
+            let i = run_on(&inner, rayon::current_num_threads);
+            (o, i)
+        });
+        assert_eq!(o, 2);
+        assert_eq!(i, 1);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # tsg-runtime — parallel runtime substrate for the TileSpGEMM reproduction
+//!
+//! The TileSpGEMM paper (PPoPP '22) evaluates GPU kernels: one warp per sparse
+//! tile, scratchpad-resident accumulators, `cudaMalloc` cost accounting, and a
+//! two-GPU scalability study (RTX 3060 vs RTX 3090). This crate provides the
+//! CPU-side stand-ins for all of those concerns so that the algorithm crates
+//! can be written against a uniform interface:
+//!
+//! * [`device`] — simulated device models: named thread-pool configurations
+//!   with a memory budget, mirroring the paper's two test GPUs.
+//! * [`tracker`] — a memory tracker recording current/peak "device" bytes and
+//!   an allocation-time account, reproducing the paper's Figure 9 (peak space
+//!   over time) and the "memory allocation" slice of Figures 10/14.
+//! * [`timer`] — the per-step runtime breakdown record used by every SpGEMM
+//!   implementation in this workspace.
+//! * [`scan`] — serial and parallel exclusive prefix sums (the paper uses a
+//!   prefix-sum scan to turn per-tile-row mask popcounts into row pointers).
+//! * [`atomicf64`] — a CAS-loop atomic `f64`/`f32` add, the CPU analogue of
+//!   CUDA `atomicAdd` used by the paper's numeric phase.
+//! * [`split`] — safe splitting of one output buffer into disjoint mutable
+//!   per-tile windows, the CPU analogue of warps writing disjoint global
+//!   memory ranges.
+//! * [`binning`] — row binning by work estimate, used by the row-row baseline
+//!   methods (bhSPARSE's 38 bins, NSPARSE's two-round binning, spECK's
+//!   lightweight analysis).
+
+pub mod atomicf64;
+pub mod binning;
+pub mod device;
+pub mod scan;
+pub mod split;
+pub mod timer;
+pub mod tracker;
+
+pub use atomicf64::{AtomicF32, AtomicF64};
+pub use binning::{bin_rows_by, Bins};
+pub use device::{run_on, Device};
+pub use scan::{exclusive_scan_in_place, exclusive_scan_to, par_exclusive_scan_in_place};
+pub use split::{split_mut_by_offsets, split_mut_uniform};
+pub use timer::{time, Breakdown, Step};
+pub use tracker::{MemTracker, TrackedBuf};

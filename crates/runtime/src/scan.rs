@@ -1,0 +1,129 @@
+//! Exclusive prefix sums.
+//!
+//! TileSpGEMM turns per-tile mask popcounts into per-tile row pointers, and
+//! per-tile nnz counts into the `tileNnz` offset array, with prefix-sum scans
+//! (paper §3.3, step 2). The row-row baselines use the same primitive to turn
+//! per-row nnz counts into CSR row pointers. Both a serial and a two-pass
+//! parallel variant are provided; the parallel variant is used automatically
+//! above a length threshold.
+
+use rayon::prelude::*;
+
+/// Below this length the parallel scan falls back to the serial one; the
+/// two-pass overhead dominates for short arrays.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// In-place exclusive scan: `values[i]` becomes the sum of the original
+/// `values[..i]`. Returns the total sum of the original array.
+pub fn exclusive_scan_in_place(values: &mut [usize]) -> usize {
+    let mut running = 0usize;
+    for v in values.iter_mut() {
+        let next = running + *v;
+        *v = running;
+        running = next;
+    }
+    running
+}
+
+/// Exclusive scan of `counts` into `out`, where `out.len() == counts.len() + 1`
+/// and `out[counts.len()]` receives the total. This is the common
+/// "counts → CSR row pointer" shape. Returns the total.
+pub fn exclusive_scan_to(counts: &[usize], out: &mut [usize]) -> usize {
+    assert_eq!(
+        out.len(),
+        counts.len() + 1,
+        "output of exclusive_scan_to must have one extra slot"
+    );
+    let mut running = 0usize;
+    for (o, &c) in out.iter_mut().zip(counts.iter()) {
+        *o = running;
+        running += c;
+    }
+    out[counts.len()] = running;
+    running
+}
+
+/// Parallel in-place exclusive scan (two-pass, chunked). Semantics match
+/// [`exclusive_scan_in_place`]. Returns the total.
+pub fn par_exclusive_scan_in_place(values: &mut [usize]) -> usize {
+    let n = values.len();
+    if n < PAR_THRESHOLD {
+        return exclusive_scan_in_place(values);
+    }
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    // Pass 1: per-chunk sums.
+    let mut chunk_sums: Vec<usize> = values
+        .par_chunks(chunk)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    let total = exclusive_scan_in_place(&mut chunk_sums);
+    // Pass 2: scan each chunk with its offset.
+    values
+        .par_chunks_mut(chunk)
+        .zip(chunk_sums.par_iter())
+        .for_each(|(c, &offset)| {
+            let mut running = offset;
+            for v in c.iter_mut() {
+                let next = running + *v;
+                *v = running;
+                running = next;
+            }
+        });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_scan_basic() {
+        let mut v = vec![3, 0, 2, 5];
+        let total = exclusive_scan_in_place(&mut v);
+        assert_eq!(v, vec![0, 3, 3, 5]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scan_to_produces_row_pointer_shape() {
+        let counts = [2usize, 0, 4, 1];
+        let mut out = [0usize; 5];
+        let total = exclusive_scan_to(&counts, &mut out);
+        assert_eq!(out, [0, 2, 2, 6, 7]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn scan_of_empty_is_zero() {
+        let mut v: Vec<usize> = vec![];
+        assert_eq!(exclusive_scan_in_place(&mut v), 0);
+        let mut out = [0usize; 1];
+        assert_eq!(exclusive_scan_to(&[], &mut out), 0);
+        assert_eq!(out, [0]);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_on_large_input() {
+        let original: Vec<usize> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
+        let mut serial = original.clone();
+        let mut parallel = original.clone();
+        let ts = exclusive_scan_in_place(&mut serial);
+        let tp = par_exclusive_scan_in_place(&mut parallel);
+        assert_eq!(ts, tp);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_scan_small_input_falls_back() {
+        let mut v = vec![1usize; 8];
+        assert_eq!(par_exclusive_scan_in_place(&mut v), 8);
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "one extra slot")]
+    fn scan_to_rejects_wrong_output_length() {
+        let mut out = [0usize; 3];
+        exclusive_scan_to(&[1, 2, 3], &mut out);
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-step runtime breakdown.
+//!
+//! The paper reports a four-way breakdown for TileSpGEMM (Figure 10): step 1
+//! (tile-structure SpGEMM, <5% on average), step 2 (per-tile symbolic, ~15%),
+//! step 3 (per-tile numeric, ~70%), and CPU & GPU memory allocation (~20% in
+//! some cases). Figure 14 reports the same breakdown for tSparse. The row-row
+//! baselines map their symbolic phase to step 2 and their numeric phase to
+//! step 3 so all methods share one report format.
+
+use std::time::{Duration, Instant};
+
+/// Which breakdown slice a timed region belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Tile-structure (or row-structure) symbolic SpGEMM.
+    Step1,
+    /// Per-tile (or per-row) symbolic phase: nnz counting, masks, pointers.
+    Step2,
+    /// Numeric phase: computing values.
+    Step3,
+    /// Memory allocation on "CPU & GPU".
+    Alloc,
+}
+
+/// Accumulated wall time for each breakdown slice.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Step-1 time (tile/row structure symbolic multiply).
+    pub step1: Duration,
+    /// Step-2 time (per-tile symbolic / per-row nnz counting).
+    pub step2: Duration,
+    /// Step-3 time (numeric accumulation).
+    pub step3: Duration,
+    /// Memory-allocation time.
+    pub alloc: Duration,
+}
+
+impl Breakdown {
+    /// Sum of all slices.
+    pub fn total(&self) -> Duration {
+        self.step1 + self.step2 + self.step3 + self.alloc
+    }
+
+    /// Adds `d` to the slice identified by `step`.
+    pub fn add(&mut self, step: Step, d: Duration) {
+        match step {
+            Step::Step1 => self.step1 += d,
+            Step::Step2 => self.step2 += d,
+            Step::Step3 => self.step3 += d,
+            Step::Alloc => self.alloc += d,
+        }
+    }
+
+    /// Runs `f`, charging its wall time to `step`.
+    pub fn timed<T>(&mut self, step: Step, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(step, start.elapsed());
+        out
+    }
+
+    /// Fractions of the total per slice, in step order
+    /// `[step1, step2, step3, alloc]`. Returns zeros for an empty breakdown.
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.step1.as_secs_f64() / total,
+            self.step2.as_secs_f64() / total,
+            self.step3.as_secs_f64() / total,
+            self.alloc.as_secs_f64() / total,
+        ]
+    }
+
+    /// Element-wise sum, used to average breakdowns over repetitions.
+    pub fn merge(&self, other: &Breakdown) -> Breakdown {
+        Breakdown {
+            step1: self.step1 + other.step1,
+            step2: self.step2 + other.step2,
+            step3: self.step3 + other.step3,
+            alloc: self.alloc + other.alloc,
+        }
+    }
+
+    /// Divides every slice by `n`, used to average over repetitions.
+    pub fn scale_down(&self, n: u32) -> Breakdown {
+        Breakdown {
+            step1: self.step1 / n,
+            step2: self.step2 / n,
+            step3: self.step3 / n,
+            alloc: self.alloc / n,
+        }
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_charges_the_right_slice() {
+        let mut b = Breakdown::default();
+        let v = b.timed(Step::Step2, || {
+            std::thread::sleep(Duration::from_millis(1));
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(b.step2 >= Duration::from_millis(1));
+        assert_eq!(b.step1, Duration::ZERO);
+        assert_eq!(b.step3, Duration::ZERO);
+        assert_eq!(b.alloc, Duration::ZERO);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_nonempty() {
+        let mut b = Breakdown::default();
+        b.add(Step::Step1, Duration::from_millis(10));
+        b.add(Step::Step2, Duration::from_millis(30));
+        b.add(Step::Step3, Duration::from_millis(50));
+        b.add(Step::Alloc, Duration::from_millis(10));
+        let f = b.fractions();
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((f[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_of_empty_breakdown_are_zero() {
+        assert_eq!(Breakdown::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn merge_and_scale_down_round_trip() {
+        let mut a = Breakdown::default();
+        a.add(Step::Step3, Duration::from_millis(40));
+        let doubled = a.merge(&a);
+        assert_eq!(doubled.step3, Duration::from_millis(80));
+        assert_eq!(doubled.scale_down(2).step3, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn time_returns_value_and_duration() {
+        let (v, d) = time(|| 5usize);
+        assert_eq!(v, 5);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,365 @@
+//! Device-memory tracking.
+//!
+//! Figure 9 of the paper plots, for each SpGEMM method, the *peak runtime
+//! space cost* against completion time; Figures 10 and 14 attribute a
+//! "CPU & GPU memory allocation" slice of the runtime breakdown. Both require
+//! the algorithms to route their significant buffer allocations through a
+//! common accounting layer, which this module provides.
+//!
+//! A [`MemTracker`] records:
+//! * `current` — bytes currently attributed to the device,
+//! * `peak` — the high-water mark of `current`,
+//! * an optional *timeline* of `(elapsed, current)` points (Figure 9's x/y
+//!   series),
+//! * an *allocation time* account: wall time spent inside
+//!   [`MemTracker::timed_alloc`] closures (the breakdown's allocation slice),
+//! * a *budget*: exceeding it makes allocation attempts fail, emulating GPU
+//!   out-of-memory, which is how the paper's "0.00" bars arise in Figure 7.
+//!
+//! Temporary buffers use [`TrackedBuf`], an owning wrapper that credits the
+//! tracker on drop; long-lived outputs use [`MemTracker::on_alloc`] directly
+//! and stay accounted until [`MemTracker::reset`].
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Error returned when a tracked allocation would exceed the device budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Bytes the failed allocation requested.
+    pub requested: usize,
+    /// Bytes already attributed when the request was made.
+    pub in_use: usize,
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device memory budget exceeded: requested {} B with {} B in use (budget {} B)",
+            self.requested, self.in_use, self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// One sample of the Figure-9 memory timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Time since the tracker was created or last reset.
+    pub at: Duration,
+    /// Bytes attributed to the device at that moment.
+    pub current_bytes: usize,
+}
+
+/// Thread-safe device-memory accountant.
+#[derive(Debug)]
+pub struct MemTracker {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    alloc_nanos: AtomicU64,
+    budget: AtomicUsize,
+    epoch: Mutex<Instant>,
+    timeline: Mutex<Vec<TimelinePoint>>,
+    record_timeline: bool,
+}
+
+impl Default for MemTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemTracker {
+    /// A tracker with an unlimited budget and no timeline recording.
+    pub fn new() -> Self {
+        Self::with_budget(usize::MAX)
+    }
+
+    /// A tracker enforcing `budget` bytes, without timeline recording.
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            alloc_nanos: AtomicU64::new(0),
+            budget: AtomicUsize::new(budget),
+            epoch: Mutex::new(Instant::now()),
+            timeline: Mutex::new(Vec::new()),
+            record_timeline: false,
+        }
+    }
+
+    /// A tracker that also records the Figure-9 timeline on every event.
+    pub fn with_timeline(budget: usize) -> Self {
+        Self {
+            record_timeline: true,
+            ..Self::with_budget(budget)
+        }
+    }
+
+    /// Clears all counters and restarts the timeline epoch. The budget is
+    /// preserved.
+    pub fn reset(&self) {
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+        self.alloc_nanos.store(0, Ordering::Relaxed);
+        *self.epoch.lock() = Instant::now();
+        self.timeline.lock().clear();
+    }
+
+    /// Replaces the budget (bytes).
+    pub fn set_budget(&self, budget: usize) {
+        self.budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently attributed to the device.
+    pub fn current_bytes(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of attributed bytes since the last reset.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent inside [`Self::timed_alloc`] closures.
+    pub fn alloc_time(&self) -> Duration {
+        Duration::from_nanos(self.alloc_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Attributes `bytes` to the device, failing if the budget would be
+    /// exceeded.
+    pub fn on_alloc(&self, bytes: usize) -> Result<(), BudgetExceeded> {
+        let budget = self.budget();
+        let prev = self.current.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev.saturating_add(bytes);
+        if now > budget {
+            self.current.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(BudgetExceeded {
+                requested: bytes,
+                in_use: prev,
+                budget,
+            });
+        }
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.sample(now);
+        Ok(())
+    }
+
+    /// Credits `bytes` back to the device.
+    pub fn on_free(&self, bytes: usize) {
+        let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "memory tracker freed more than allocated");
+        self.sample(prev.saturating_sub(bytes));
+    }
+
+    fn sample(&self, current: usize) {
+        if self.record_timeline {
+            let at = self.epoch.lock().elapsed();
+            self.timeline.lock().push(TimelinePoint {
+                at,
+                current_bytes: current,
+            });
+        }
+    }
+
+    /// A copy of the recorded timeline (empty unless created with
+    /// [`Self::with_timeline`]).
+    pub fn timeline(&self) -> Vec<TimelinePoint> {
+        self.timeline.lock().clone()
+    }
+
+    /// Runs `f`, adding its wall time to the allocation-time account.
+    ///
+    /// Algorithms wrap their buffer constructions (`vec![0; n]`, …) in this so
+    /// the breakdown figures can attribute allocation cost, mirroring the
+    /// `cudaMalloc` slice the paper reports (≈20% of runtime on average,
+    /// echoing Gelado & Garland's observation the paper cites).
+    pub fn timed_alloc<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.alloc_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Allocates a zero-initialised tracked buffer of `len` elements.
+    pub fn tracked_zeroed<T: Default + Clone>(
+        &self,
+        len: usize,
+    ) -> Result<TrackedBuf<'_, T>, BudgetExceeded> {
+        let bytes = len * std::mem::size_of::<T>();
+        self.on_alloc(bytes)?;
+        let data = self.timed_alloc(|| vec![T::default(); len]);
+        Ok(TrackedBuf {
+            data,
+            bytes,
+            tracker: self,
+        })
+    }
+
+    /// Wraps an existing vector as a tracked buffer.
+    pub fn track_vec<T>(&self, data: Vec<T>) -> Result<TrackedBuf<'_, T>, BudgetExceeded> {
+        let bytes = data.capacity() * std::mem::size_of::<T>();
+        self.on_alloc(bytes)?;
+        Ok(TrackedBuf {
+            data,
+            bytes,
+            tracker: self,
+        })
+    }
+}
+
+/// An owning buffer whose bytes are attributed to a [`MemTracker`] for its
+/// lifetime. Dropping the buffer credits the tracker.
+#[derive(Debug)]
+pub struct TrackedBuf<'t, T> {
+    data: Vec<T>,
+    bytes: usize,
+    tracker: &'t MemTracker,
+}
+
+impl<'t, T> TrackedBuf<'t, T> {
+    /// Consumes the wrapper, credits the tracker, and returns the vector.
+    ///
+    /// Use this for buffers that become part of the (separately accounted)
+    /// output matrix.
+    pub fn into_inner(self) -> Vec<T> {
+        // Drop impl handles the credit; move the data out first.
+        let mut this = std::mem::ManuallyDrop::new(self);
+        this.tracker.on_free(this.bytes);
+        std::mem::take(&mut this.data)
+    }
+
+    /// Bytes attributed to the tracker by this buffer.
+    pub fn tracked_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl<T> std::ops::Deref for TrackedBuf<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedBuf<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for TrackedBuf<'_, T> {
+    fn drop(&mut self) {
+        self.tracker.on_free(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let t = MemTracker::new();
+        t.on_alloc(100).unwrap();
+        t.on_alloc(50).unwrap();
+        t.on_free(120);
+        t.on_alloc(10).unwrap();
+        assert_eq!(t.current_bytes(), 40);
+        assert_eq!(t.peak_bytes(), 150);
+    }
+
+    #[test]
+    fn budget_is_enforced_and_rolls_back() {
+        let t = MemTracker::with_budget(128);
+        t.on_alloc(100).unwrap();
+        let err = t.on_alloc(64).unwrap_err();
+        assert_eq!(err.requested, 64);
+        assert_eq!(err.in_use, 100);
+        assert_eq!(err.budget, 128);
+        // Failed allocation must not leak into the accounting.
+        assert_eq!(t.current_bytes(), 100);
+        t.on_alloc(28).unwrap();
+        assert_eq!(t.current_bytes(), 128);
+    }
+
+    #[test]
+    fn tracked_buf_frees_on_drop() {
+        let t = MemTracker::new();
+        {
+            let buf = t.tracked_zeroed::<u64>(16).unwrap();
+            assert_eq!(buf.tracked_bytes(), 128);
+            assert_eq!(t.current_bytes(), 128);
+        }
+        assert_eq!(t.current_bytes(), 0);
+        assert_eq!(t.peak_bytes(), 128);
+    }
+
+    #[test]
+    fn tracked_buf_into_inner_credits_tracker() {
+        let t = MemTracker::new();
+        let buf = t.track_vec(vec![1u8, 2, 3]).unwrap();
+        let v = buf.into_inner();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    #[test]
+    fn timeline_records_every_event() {
+        let t = MemTracker::with_timeline(usize::MAX);
+        t.on_alloc(10).unwrap();
+        t.on_alloc(20).unwrap();
+        t.on_free(30);
+        let tl = t.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].current_bytes, 10);
+        assert_eq!(tl[1].current_bytes, 30);
+        assert_eq!(tl[2].current_bytes, 0);
+        assert!(tl.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_budget() {
+        let t = MemTracker::with_budget(1000);
+        t.on_alloc(500).unwrap();
+        t.reset();
+        assert_eq!(t.current_bytes(), 0);
+        assert_eq!(t.peak_bytes(), 0);
+        assert_eq!(t.budget(), 1000);
+    }
+
+    #[test]
+    fn timed_alloc_accumulates() {
+        let t = MemTracker::new();
+        let v = t.timed_alloc(|| vec![0u8; 1 << 16]);
+        assert_eq!(v.len(), 1 << 16);
+        // The measured duration is nonzero at nanosecond resolution in
+        // practice, but all we require is monotonic accumulation.
+        let first = t.alloc_time();
+        t.timed_alloc(|| std::thread::sleep(Duration::from_millis(2)));
+        assert!(t.alloc_time() >= first + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn concurrent_accounting_is_consistent() {
+        use rayon::prelude::*;
+        let t = MemTracker::new();
+        (0..1000usize).into_par_iter().for_each(|_| {
+            t.on_alloc(8).unwrap();
+            t.on_free(8);
+        });
+        assert_eq!(t.current_bytes(), 0);
+        assert!(t.peak_bytes() >= 8);
+    }
+}

@@ -1,0 +1,69 @@
+//! Method shootout: run every SpGEMM implementation in the workspace on one
+//! dataset matrix and compare time, throughput, and peak tracked memory.
+//!
+//! ```text
+//! cargo run --release --example method_shootout -- webbase-1M-like
+//! cargo run --release --example method_shootout -- rma10-like --aat
+//! cargo run --release --example method_shootout -- --list
+//! ```
+
+use tilespgemm::baselines::{MethodKind, PreparedOperands};
+use tilespgemm::gen::suite::{all_entries, by_name};
+use tilespgemm::runtime::MemTracker;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for e in all_entries() {
+            println!("{}", e.name);
+        }
+        return;
+    }
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "pdb1HYS-like".to_string());
+    let aat = args.iter().any(|a| a == "--aat");
+
+    let entry = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown matrix {name:?}; try --list");
+        std::process::exit(1);
+    });
+
+    println!("building {} ...", entry.name);
+    let a = entry.build();
+    let op = if aat { "A*A^T" } else { "A^2" };
+    let prep = if aat {
+        PreparedOperands::aat(a)
+    } else {
+        PreparedOperands::squared(a)
+    };
+    let stats = tilespgemm::gen::matrix_stats(&prep.a, &prep.b);
+    println!(
+        "{}: n={} nnz={} flops({op})={} nnz(C)={} compression rate {:.2}",
+        entry.name, stats.n, stats.nnz_a, stats.flops, stats.nnz_c, stats.compression_rate
+    );
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>12} {:>12}",
+        "method", "time (ms)", "GFlops", "peak (MB)", "nnz(C)"
+    );
+    for kind in MethodKind::all() {
+        let tracker = MemTracker::new();
+        let start = std::time::Instant::now();
+        match prep.run(kind, &tracker) {
+            Ok((_, nnz_c, peak)) => {
+                let t = start.elapsed();
+                println!(
+                    "{:<16} {:>10.2} {:>10.2} {:>12.2} {:>12}",
+                    kind.name(),
+                    t.as_secs_f64() * 1e3,
+                    stats.flops as f64 / t.as_secs_f64() / 1e9,
+                    peak as f64 / 1e6,
+                    nnz_c
+                );
+            }
+            Err(e) => println!("{:<16} failed: {e}", kind.name()),
+        }
+    }
+}

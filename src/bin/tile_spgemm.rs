@@ -1,0 +1,173 @@
+//! Artifact-style command-line driver, mirroring the interface and output
+//! of the paper's artifact (appendix A.7/A.8):
+//!
+//! ```text
+//! cargo run --release --bin tile_spgemm -- -d 0 -aat 0 path/to/matrix.mtx
+//! cargo run --release --bin tile_spgemm -- -aat 1 webbase-1M-like
+//! ```
+//!
+//! `-d` selects the simulated device (`0` = rtx3090-sim, `1` = rtx3060-sim);
+//! `-aat` selects `C = A²` (0) or `C = A·Aᵀ` (1). The final argument is a
+//! Matrix Market file or the name of a built-in synthetic dataset entry.
+//!
+//! The output lines follow appendix A.8: matrix information, load time,
+//! tile size, flop count, conversion time, tiled-structure space, the
+//! three step times plus allocation time, `C`'s tile and nonzero counts,
+//! total runtime with GFlops, and a correctness check against the serial
+//! reference implementation.
+
+use std::time::Instant;
+use tilespgemm::baselines::reference::reference_spgemm;
+use tilespgemm::matrix::Footprint;
+use tilespgemm::prelude::*;
+use tilespgemm::runtime::{run_on, Device};
+
+struct Args {
+    device: usize,
+    aat: bool,
+    input: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        device: 0,
+        aat: false,
+        input: String::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-d" => {
+                args.device = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("expected a device index after -d"));
+                i += 2;
+            }
+            "-aat" => {
+                let v: usize = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("expected 0 or 1 after -aat"));
+                args.aat = v != 0;
+                i += 2;
+            }
+            other if !other.starts_with('-') => {
+                args.input = other.to_string();
+                i += 1;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.input.is_empty() {
+        die("usage: tile_spgemm [-d 0|1] [-aat 0|1] <matrix.mtx | dataset-name>");
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let device = match args.device {
+        0 => Device::rtx3090_sim(),
+        1 => Device::rtx3060_sim(),
+        other => die(&format!("unknown device {other}; use 0 (3090) or 1 (3060)")),
+    };
+
+    // Lines 1-3: input matrix information and load time.
+    let load_start = Instant::now();
+    let a: Csr<f64> = if args.input.ends_with(".mtx") {
+        tilespgemm::matrix::io::read_matrix_market_file::<f64>(&args.input)
+            .unwrap_or_else(|e| die(&format!("failed to read {}: {e}", args.input)))
+            .to_csr()
+    } else {
+        tilespgemm::gen::suite::by_name(&args.input)
+            .unwrap_or_else(|| die(&format!("unknown dataset entry {:?}", args.input)))
+            .build()
+    };
+    let load_time = load_start.elapsed();
+    println!("input matrix: {}", args.input);
+    println!(
+        "the number of rows, columns and nonzeros: {} x {}, nnz = {}",
+        a.nrows,
+        a.ncols,
+        a.nnz()
+    );
+    println!("load time: {:.6} s", load_time.as_secs_f64());
+
+    // Line 4: tile size.
+    println!("tile size: {TILE_DIM} x {TILE_DIM}");
+
+    let b = if args.aat { a.transpose() } else { a.clone() };
+
+    // Line 5: flop count.
+    let flops = a.spgemm_flops(&b);
+    println!(
+        "the number of floating point operations (C = {}): {flops}",
+        if args.aat { "A*A^T" } else { "A^2" }
+    );
+
+    // Line 6: CSR -> tiled conversion time (Figure 12's quantity).
+    let (ta, conv) = tilespgemm::core::timed_csr_to_tile(&a);
+    let tb = if args.aat {
+        TileMatrix::from_csr(&b)
+    } else {
+        ta.clone()
+    };
+    println!(
+        "CSR -> tiled conversion time: {:.3} ms ({} tiles)",
+        conv.conversion.as_secs_f64() * 1e3,
+        conv.tiles
+    );
+
+    // Line 7: tiled structure space consumption (Figure 11's quantity).
+    println!(
+        "tiled data structure space: {:.3} MB (CSR: {:.3} MB)",
+        ta.bytes() as f64 / 1e6,
+        a.bytes() as f64 / 1e6
+    );
+
+    // Lines 8-14: the three steps and allocation time on the chosen device.
+    let tracker = MemTracker::with_budget(device.mem_budget);
+    let start = Instant::now();
+    let result = run_on(&device, || {
+        tilespgemm::core::multiply(&ta, &tb, &Config::default(), &tracker)
+    });
+    let total = start.elapsed();
+    let out = match result {
+        Ok(out) => out,
+        Err(e) => die(&format!("TileSpGEMM failed on {}: {e}", device.name)),
+    };
+    let bd = out.breakdown;
+    println!("device: {} ({} threads)", device.name, device.threads);
+    println!("step 1 (tile structure SpGEMM): {:.3} ms", bd.step1.as_secs_f64() * 1e3);
+    println!("step 2 (per-tile symbolic):     {:.3} ms", bd.step2.as_secs_f64() * 1e3);
+    println!("step 3 (per-tile numeric):      {:.3} ms", bd.step3.as_secs_f64() * 1e3);
+    println!("CPU & GPU memory allocation:    {:.3} ms", bd.alloc.as_secs_f64() * 1e3);
+    println!("peak tracked device memory:     {:.3} MB", out.peak_bytes as f64 / 1e6);
+
+    // Lines 15-17: result structure and throughput.
+    println!("the number of tiles of C: {}", out.c.tile_count());
+    println!("the number of nonzeros of C: {}", out.c.nnz());
+    println!(
+        "TileSpGEMM runtime: {:.3} ms, performance: {:.3} GFlops",
+        total.as_secs_f64() * 1e3,
+        flops as f64 / total.as_secs_f64() / 1e9
+    );
+
+    // Line 18: correctness check (the artifact compares against cuSPARSE;
+    // we compare against the serial gold reference).
+    let want = reference_spgemm(&a, &b).drop_numeric_zeros();
+    let got = out.c.to_csr().drop_numeric_zeros();
+    if got.approx_eq_ignoring_zeros(&want, 1e-9) {
+        println!("check passed! (matches the serial reference)");
+    } else {
+        println!("check FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # tilespgemm — Rust reproduction of TileSpGEMM (PPoPP '22)
+//!
+//! A from-scratch implementation of *TileSpGEMM: A Tiled Algorithm for
+//! Parallel Sparse General Matrix-Matrix Multiplication on GPUs* (Niu, Lu,
+//! Ji, Song, Jin, Liu — PPoPP 2022), together with every substrate its
+//! evaluation depends on: the sparse-tile format, four row-row baseline
+//! methods (cuSPARSE/bhSPARSE/NSPARSE/spECK analogues), a tSparse-like
+//! dense-tile method, CSB formats, synthetic dataset generators, a simulated
+//! two-device runtime with memory budgeting, and a figure-by-figure
+//! benchmark harness.
+//!
+//! This facade crate re-exports the workspace members under stable paths:
+//!
+//! * [`matrix`] — formats: [`matrix::Csr`], [`matrix::TileMatrix`], CSB, …
+//! * [`core`] — the TileSpGEMM algorithm: [`core::multiply`]
+//! * [`baselines`] — competing methods: [`baselines::run_method`]
+//! * [`gen`] — dataset generators and registries
+//! * [`runtime`] — devices, memory tracking, breakdowns
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tilespgemm::prelude::*;
+//!
+//! // A small sparse matrix in CSR form.
+//! let a = tilespgemm::gen::stencil::grid_2d_5pt(32, 32);
+//! // Convert once to the paper's tiled format...
+//! let tiled = TileMatrix::from_csr(&a);
+//! // ...and multiply with the three-step tiled algorithm.
+//! let out = tilespgemm::core::multiply(
+//!     &tiled,
+//!     &tiled,
+//!     &Config::default(),
+//!     &MemTracker::new(),
+//! )
+//! .unwrap();
+//! // A² of the 5-point stencil has the 13-point pattern.
+//! assert_eq!(out.c.to_csr().row_nnz(17 * 32 + 17), 13);
+//! ```
+
+pub use tilespgemm_core as core;
+pub use tsg_baselines as baselines;
+pub use tsg_gen as gen;
+pub use tsg_matrix as matrix;
+pub use tsg_runtime as runtime;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use tilespgemm_core::{multiply, multiply_csr, Config, SpGemmError};
+    pub use tsg_matrix::{Coo, Csr, Scalar, TileMatrix, TILE_DIM};
+    pub use tsg_runtime::{Device, MemTracker};
+}

@@ -1,0 +1,116 @@
+//! Cross-method correctness: every SpGEMM implementation in the workspace
+//! must produce the same product as the serial gold reference, on every
+//! generator family, for both `A²` and `A·Aᵀ`.
+
+use tilespgemm::baselines::reference::reference_spgemm;
+use tilespgemm::baselines::{run_method, MethodKind};
+use tilespgemm::gen::suite::GenSpec;
+use tilespgemm::prelude::*;
+
+fn family_zoo() -> Vec<(&'static str, Csr<f64>)> {
+    use GenSpec::*;
+    let specs: Vec<(&'static str, GenSpec)> = vec![
+        ("fem", Fem { nodes: 120, block: 5, couplings: 4, spread: 8, seed: 1 }),
+        ("banded", Banded { n: 700, bandwidth: 12, per_row: 6, seed: 2 }),
+        ("grid5", Grid5 { nx: 23, ny: 31 }),
+        ("grid9", Grid9 { nx: 17, ny: 19 }),
+        ("grid-upwind", GridUpwind { nx: 21, ny: 14 }),
+        ("grid27", Grid27 { nx: 7, ny: 8, nz: 6 }),
+        ("rmat", Rmat { scale: 9, edges: 4000, mild: false, seed: 3 }),
+        ("rmat-mild", Rmat { scale: 9, edges: 5000, mild: true, seed: 4 }),
+        ("scatter", Scatter { n: 600, per_row: 4, seed: 5 }),
+        ("arrow", Arrow { n: 300, border: 3, body_per_row: 5, seed: 6 }),
+        ("cluster", PowerFlow { clusters: 6, cluster_size: 18, links: 60, seed: 7 }),
+        ("kron", KronGridBlock { nx: 9, ny: 9, block: 3, seed: 8 }),
+    ];
+    specs.into_iter().map(|(n, s)| (n, s.build())).collect()
+}
+
+#[test]
+fn all_methods_match_reference_on_a_squared() {
+    for (name, a) in family_zoo() {
+        let want = reference_spgemm(&a, &a).drop_numeric_zeros();
+        for kind in MethodKind::all() {
+            let got = run_method(kind, &a, &a, &MemTracker::new())
+                .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", kind.name()));
+            assert!(
+                got.c.approx_eq_ignoring_zeros(&want, 1e-9),
+                "{} disagrees with reference on {name} (A^2)",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_methods_match_reference_on_aat() {
+    for (name, a) in family_zoo() {
+        let at = a.transpose();
+        let want = reference_spgemm(&a, &at).drop_numeric_zeros();
+        for kind in MethodKind::all() {
+            let got = run_method(kind, &a, &at, &MemTracker::new())
+                .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", kind.name()));
+            assert!(
+                got.c.approx_eq_ignoring_zeros(&want, 1e-9),
+                "{} disagrees with reference on {name} (A*A^T)",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn rectangular_chain_products_agree() {
+    // A (60x90) * B (90x40): only the tiled method and the reference take
+    // arbitrary rectangles through the public `multiply_csr` API.
+    let a = tilespgemm::gen::random::erdos_renyi(60, 90, 500, 11);
+    let b = tilespgemm::gen::random::erdos_renyi(90, 40, 400, 12);
+    let want = reference_spgemm(&a, &b).drop_numeric_zeros();
+    let (got, _) = multiply_csr(&a, &b, &Config::default(), &MemTracker::new()).unwrap();
+    assert!(got.approx_eq_ignoring_zeros(&want, 1e-10));
+}
+
+#[test]
+fn tilespgemm_matches_reference_under_every_config() {
+    use tilespgemm::core::{AccumulatorKind, IntersectionKind};
+    let a = tilespgemm::gen::fem::fem_blocks(40, 6, 4, 6, 9);
+    let want = reference_spgemm(&a, &a).drop_numeric_zeros();
+    for intersection in [IntersectionKind::BinarySearch, IntersectionKind::Merge] {
+        for accumulator in [
+            AccumulatorKind::Adaptive,
+            AccumulatorKind::AlwaysSparse,
+            AccumulatorKind::AlwaysDense,
+        ] {
+            let cfg = Config {
+                tnnz_threshold: 192,
+                intersection,
+                accumulator,
+                ..Config::default()
+            };
+            let (got, _) = multiply_csr(&a, &a, &cfg, &MemTracker::new()).unwrap();
+            assert!(
+                got.approx_eq_ignoring_zeros(&want, 1e-9),
+                "config {cfg:?} disagrees"
+            );
+        }
+    }
+}
+
+#[test]
+fn chained_products_stay_in_tiled_form() {
+    // (A*A)*A == A*(A*A) — exercises reusing a TileSpGEMM output matrix as
+    // an operand without round-tripping through CSR.
+    let a_csr = tilespgemm::gen::stencil::grid_2d_5pt(40, 40);
+    let a = TileMatrix::from_csr(&a_csr);
+    let cfg = Config::default();
+    let t = MemTracker::new();
+    let a2 = tilespgemm::core::multiply(&a, &a, &cfg, &t).unwrap().c;
+    let left = tilespgemm::core::multiply(&a2, &a, &cfg, &t).unwrap().c;
+    let right_in = tilespgemm::core::multiply(&a, &a2, &cfg, &t).unwrap().c;
+    let l = left.to_csr().drop_numeric_zeros();
+    let r = right_in.to_csr().drop_numeric_zeros();
+    assert!(l.approx_eq_ignoring_zeros(&r, 1e-9));
+    // And equals the reference A^3.
+    let want = reference_spgemm(&reference_spgemm(&a_csr, &a_csr), &a_csr).drop_numeric_zeros();
+    assert!(l.approx_eq_ignoring_zeros(&want, 1e-9));
+}

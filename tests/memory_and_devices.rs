@@ -1,0 +1,187 @@
+//! Integration tests of the memory-budget / device substrate as the
+//! figure harness uses it: OOM classification, tracker consistency across
+//! whole runs, and device pools.
+
+use tilespgemm::baselines::{run_method, MethodKind};
+use tilespgemm::gen::suite::GenSpec;
+use tilespgemm::prelude::*;
+use tilespgemm::runtime::{run_on, Device};
+
+/// A flop-heavy dense-cluster matrix (small n, enormous intermediate count)
+/// — the `gupta3` regime.
+fn flop_heavy() -> tilespgemm::matrix::Csr<f64> {
+    GenSpec::PowerFlow {
+        clusters: 6,
+        cluster_size: 60,
+        links: 100,
+        seed: 3,
+    }
+    .build()
+}
+
+#[test]
+fn row_row_methods_oom_on_tight_budgets_but_tilespgemm_survives() {
+    let a = flop_heavy();
+    // products ~ 360 * 3600 = 1.3M -> row-row work buffers ~15 MB.
+    let budget = 4 << 20;
+    for kind in [
+        MethodKind::CuSparseLike,
+        MethodKind::BhSparseLike,
+        MethodKind::NSparseLike,
+    ] {
+        let tracker = MemTracker::with_budget(budget);
+        let err = run_method(kind, &a, &a, &tracker).unwrap_err();
+        assert!(
+            matches!(err, SpGemmError::OutOfMemory(_)),
+            "{} should OOM under {budget} bytes",
+            kind.name()
+        );
+    }
+    // TileSpGEMM's working set is the tiled operands + output only.
+    let tracker = MemTracker::with_budget(budget);
+    let out = run_method(MethodKind::TileSpGemm, &a, &a, &tracker).unwrap();
+    assert!(out.peak_bytes <= budget);
+}
+
+#[test]
+fn tracker_balances_to_output_only_after_each_method() {
+    let a = GenSpec::Banded {
+        n: 400,
+        bandwidth: 10,
+        per_row: 5,
+        seed: 1,
+    }
+    .build();
+    for kind in MethodKind::all() {
+        let tracker = MemTracker::new();
+        let _ = run_method(kind, &a, &a, &tracker).unwrap();
+        // Temporaries and inputs must be credited back; what remains
+        // attributed is at most the output's allocation.
+        let leftover = tracker.current_bytes();
+        assert!(
+            leftover <= tracker.peak_bytes(),
+            "{}: leftover {} exceeds peak {}",
+            kind.name(),
+            leftover,
+            tracker.peak_bytes()
+        );
+        assert!(tracker.peak_bytes() > 0, "{} tracked nothing", kind.name());
+    }
+}
+
+#[test]
+fn timeline_is_monotone_in_time_and_bounded_by_peak() {
+    let a = flop_heavy();
+    let tracker = MemTracker::with_timeline(usize::MAX);
+    let _ = run_method(MethodKind::BhSparseLike, &a, &a, &tracker).unwrap();
+    let tl = tracker.timeline();
+    assert!(!tl.is_empty());
+    assert!(tl.windows(2).all(|w| w[0].at <= w[1].at));
+    let max_current = tl.iter().map(|p| p.current_bytes).max().unwrap();
+    assert_eq!(max_current, tracker.peak_bytes());
+}
+
+#[test]
+fn device_budgets_split_the_failure_frontier() {
+    // A matrix whose row-row work buffer fits the 3090-sim budget but not
+    // the 3060-sim's half budget: 3090 completes, 3060 fails — the paper's
+    // per-device completion difference in Figure 6.
+    let a = GenSpec::PowerFlow {
+        clusters: 40,
+        cluster_size: 110,
+        links: 500,
+        seed: 9,
+    }
+    .build();
+    // products ≈ 4400 * 110² = 53M -> cuSPARSE-like buffer ≈ 640 MB,
+    // between the 3060-sim (512 MiB) and 3090-sim (1 GiB) budgets.
+    let d3090 = Device::rtx3090_sim();
+    let d3060 = Device::rtx3060_sim();
+    let ok = run_on(&d3090, || {
+        run_method(
+            MethodKind::CuSparseLike,
+            &a,
+            &a,
+            &MemTracker::with_budget(d3090.mem_budget),
+        )
+    });
+    assert!(ok.is_ok(), "3090-sim should complete");
+    let err = run_on(&d3060, || {
+        run_method(
+            MethodKind::CuSparseLike,
+            &a,
+            &a,
+            &MemTracker::with_budget(d3060.mem_budget),
+        )
+    });
+    assert!(
+        matches!(err, Err(SpGemmError::OutOfMemory(_))),
+        "3060-sim should fail"
+    );
+}
+
+#[test]
+fn oom_failures_leave_no_partial_output() {
+    let a = flop_heavy();
+    let tracker = MemTracker::with_budget(1 << 20);
+    let before = tracker.current_bytes();
+    let _ = run_method(MethodKind::BhSparseLike, &a, &a, &tracker).unwrap_err();
+    // The budget-exceeding allocation must have been rolled back.
+    assert!(tracker.current_bytes() >= before);
+    assert!(tracker.current_bytes() <= tracker.budget());
+}
+
+#[test]
+fn serial_and_parallel_devices_agree_bitwise_for_tilespgemm() {
+    // One task owns each tile, so TileSpGEMM's accumulation order is
+    // deterministic regardless of the worker count.
+    let a = GenSpec::Fem {
+        nodes: 60,
+        block: 6,
+        couplings: 4,
+        spread: 6,
+        seed: 4,
+    }
+    .build();
+    let run = |device: &Device| {
+        run_on(device, || {
+            run_method(MethodKind::TileSpGemm, &a, &a, &MemTracker::new())
+                .unwrap()
+                .c
+        })
+    };
+    let serial = run(&Device::serial());
+    let parallel = run(&Device::new("four", 4, usize::MAX));
+    assert_eq!(serial.rowptr, parallel.rowptr);
+    assert_eq!(serial.colidx, parallel.colidx);
+    assert_eq!(serial.vals, parallel.vals, "bitwise determinism violated");
+}
+
+#[test]
+fn tilespgemm_peak_is_bounded_by_operands_plus_output() {
+    // The paper's central memory claim: no global intermediate-product
+    // buffer, so the peak is operands + output structure + O(tiles), never
+    // O(intermediate products). The flop-heavy cluster matrix has ~30x more
+    // products than output nonzeros, so an intermediate buffer would blow
+    // this bound immediately.
+    use tilespgemm::matrix::Footprint;
+    let a = flop_heavy();
+    let ta = TileMatrix::from_csr(&a);
+    let tracker = MemTracker::new();
+    let out = tilespgemm::core::multiply(&ta, &ta, &Config::default(), &tracker).unwrap();
+    let operands = 2 * ta.bytes();
+    let output = out.c.bytes();
+    let slack = 64 * out.c.tile_count() + (1 << 20);
+    assert!(
+        out.peak_bytes <= operands + output + slack,
+        "peak {} exceeds operands {} + output {} + slack {}",
+        out.peak_bytes,
+        operands,
+        output,
+        slack
+    );
+    // Sanity that the bound is meaningfully tight: the intermediate-product
+    // volume is far larger.
+    let products_bytes = (a.spgemm_flops(&a) / 2) as usize * 12;
+    assert!(products_bytes > 2 * (operands + output + slack));
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the storage formats: round-trips and structural
+//! invariants under arbitrary sparse matrices.
+
+use proptest::prelude::*;
+use tilespgemm::matrix::{Coo, CsbI, CsbM, Csc, Csr, Dense, TileMatrix, TILE_DIM};
+
+/// Strategy: an arbitrary sparse matrix with shape up to 96x96 and up to
+/// ~300 entries (duplicates allowed — conversion folds them).
+fn arb_csr() -> impl Strategy<Value = Csr<f64>> {
+    (1usize..96, 1usize..96).prop_flat_map(|(nrows, ncols)| {
+        let entry = (0..nrows as u32, 0..ncols as u32, -8i32..=8);
+        proptest::collection::vec(entry, 0..300).prop_map(move |entries| {
+            let mut coo = Coo::new(nrows, ncols);
+            for (r, c, v) in entries {
+                if v != 0 {
+                    coo.push(r, c, v as f64 * 0.5);
+                }
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_validates(a in arb_csr()) {
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn tile_round_trip_is_identity(a in arb_csr()) {
+        let tiled = TileMatrix::from_csr(&a);
+        tiled.validate().unwrap();
+        prop_assert_eq!(tiled.to_csr(), a);
+    }
+
+    #[test]
+    fn tile_invariants(a in arb_csr()) {
+        let tiled = TileMatrix::from_csr(&a);
+        prop_assert_eq!(tiled.nnz(), a.nnz());
+        let mut seen_nnz = 0usize;
+        for t in 0..tiled.tile_count() {
+            let tile = tiled.tile(t);
+            prop_assert!(tile.nnz() >= 1, "stored tiles must be non-empty after conversion");
+            prop_assert!(tile.nnz() <= 256);
+            // Mask popcount equals nnz; row pointers monotone.
+            let pop: u32 = tile.masks.iter().map(|m| m.count_ones()).sum();
+            prop_assert_eq!(pop as usize, tile.nnz());
+            for r in 0..TILE_DIM - 1 {
+                prop_assert!(tile.row_ptr[r] <= tile.row_ptr[r + 1]);
+            }
+            seen_nnz += tile.nnz();
+        }
+        prop_assert_eq!(seen_nnz, a.nnz());
+    }
+
+    #[test]
+    fn tile_col_index_is_consistent(a in arb_csr()) {
+        let tiled = TileMatrix::from_csr(&a);
+        let ci = tiled.col_index();
+        // Every (tile row, tile col, id) triple from the column index must
+        // agree with the row-major layout.
+        let rowidx = tiled.expand_tile_rowidx();
+        let mut seen = 0usize;
+        for tj in 0..tiled.tile_n {
+            let (rows, ids) = ci.col(tj);
+            for (&ti, &id) in rows.iter().zip(ids) {
+                prop_assert_eq!(tiled.tile_colidx[id as usize], tj as u32);
+                prop_assert_eq!(rowidx[id as usize], ti);
+                seen += 1;
+            }
+            // Ascending tile rows within a column.
+            prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        }
+        prop_assert_eq!(seen, tiled.tile_count());
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_csr()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn csc_round_trip(a in arb_csr()) {
+        prop_assert_eq!(Csc::from_csr(&a).to_csr(), a);
+    }
+
+    #[test]
+    fn csb_round_trips(a in arb_csr()) {
+        prop_assert_eq!(CsbI::from_csr(&a).to_csr(), a.clone());
+        prop_assert_eq!(CsbM::from_csr(&a).to_csr(), a);
+    }
+
+    #[test]
+    fn dense_round_trip(a in arb_csr()) {
+        prop_assert_eq!(Dense::from_csr(&a).to_csr(), a);
+    }
+
+    #[test]
+    fn matrix_market_round_trip(a in arb_csr()) {
+        let mut buf = Vec::new();
+        tilespgemm::matrix::io::write_matrix_market(&a, &mut buf).unwrap();
+        let back = tilespgemm::matrix::io::read_matrix_market::<f64, _>(buf.as_slice())
+            .unwrap()
+            .to_csr();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn footprint_totals_are_sums_of_components(a in arb_csr()) {
+        use tilespgemm::matrix::Footprint;
+        let tiled = TileMatrix::from_csr(&a);
+        let total: usize = tiled.components().iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(total, tiled.bytes());
+        // Per-nonzero payload scales exactly with nnz.
+        let by_name: std::collections::BTreeMap<_, _> =
+            tiled.components().into_iter().map(|c| (c.name, c.bytes)).collect();
+        prop_assert_eq!(by_name["val"], a.nnz() * 8);
+        prop_assert_eq!(by_name["rowIdx"], a.nnz());
+    }
+}

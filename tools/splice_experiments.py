@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Splices measured results from a figure-harness transcript into
+EXPERIMENTS.md, replacing the @@TOKEN@@ placeholders.
+
+Usage: python3 tools/splice_experiments.py [figures_output.txt] [EXPERIMENTS.md]
+"""
+import re
+import sys
+
+
+def section(text, start, end):
+    """Lines between the banner containing `start` and the one with `end`."""
+    lines = text.splitlines()
+    out, active = [], False
+    for line in lines:
+        if start in line:
+            active = True
+            continue
+        if active and (end in line or line.startswith(">>> running")):
+            break
+        if active:
+            out.append(line)
+    return [l for l in out if not l.startswith("csv,")]
+
+
+def code_block(lines):
+    body = "\n".join(l.rstrip() for l in lines if l.strip())
+    return "```\n" + body + "\n```"
+
+
+def main():
+    transcript = sys.argv[1] if len(sys.argv) > 1 else "figures_output.txt"
+    target = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    text = open(transcript).read()
+    doc = open(target).read()
+
+    # Table 2: the aligned table rows.
+    t2 = section(text, "Table 2:", "==== Figure")
+    doc = doc.replace("@@TABLE2@@", code_block(t2))
+
+    # Figure 6 summary block.
+    f6 = section(text, "Figure 6 summary", "Note:")
+    doc = doc.replace("@@FIG6@@", code_block(f6))
+
+    # Figure 7 table.
+    f7 = section(text, "Figure 7:", "(0.00 = method")
+    doc = doc.replace("@@FIG7@@", code_block(f7))
+    peaks = [
+        float(m.group(1))
+        for m in re.finditer(
+            r"csv,fig7,TSOPF[^,]*,TileSpGEMM,[^,]*,[^,]*,[^,]*,([0-9.]+)", text
+        )
+    ]
+    doc = doc.replace("@@FIG7PEAK@@", f"{max(peaks):.2f}" if peaks else "n/a")
+
+    # Figure 8 table.
+    f8 = section(text, "Figure 8:", "==== Figure 9")
+    doc = doc.replace("@@FIG8@@", code_block(f8))
+
+    # Figure 9: pick three illustrative matrices.
+    f9_all = section(text, "Figure 9:", "==== Figure 10")
+    keep, current = [], False
+    for line in f9_all:
+        name = line.strip()
+        if name and not line.startswith(" "):
+            current = name in ("pdb1HYS-like", "cant-like", "cop20k_A-like")
+        if current:
+            keep.append(line)
+    doc = doc.replace("@@FIG9@@", code_block(keep))
+
+    # Figure 10 average row.
+    avg = next((l for l in text.splitlines() if l.startswith("AVERAGE")), "")
+    doc = doc.replace("@@FIG10@@", code_block([
+        "matrix                     step1 %   step2 %   step3 %   alloc %",
+        avg,
+    ]))
+
+    # Figure 11 totals.
+    f11 = section(text, "Figure 11:", "Paper: tiled")
+    header = [l for l in f11 if l.startswith("matrix")]
+    total = [l for l in f11 if l.startswith("TOTAL")]
+    doc = doc.replace("@@FIG11@@", code_block(header + total))
+
+    # Figure 12 summary line.
+    f12 = next((l for l in text.splitlines() if l.startswith("conversion/spgemm")), "")
+    doc = doc.replace("@@FIG12@@", f"`{f12}`")
+
+    # Figure 13 table + summary.
+    f13 = section(text, "Figure 13:", "geomean speedup")
+    doc = doc.replace("@@FIG13@@", code_block(f13))
+    m = re.search(r"geomean speedup ([0-9.]+)x, max ([0-9.]+)x", text)
+    speedups = [
+        float(x.group(1))
+        for x in re.finditer(r"csv,fig13,[^,]*,[^,]*,[^,]*,([0-9.]+)", text)
+    ]
+    wins = sum(1 for s in speedups if s > 1.0)
+    doc = doc.replace("@@FIG13WINS@@", str(wins))
+    doc = doc.replace("@@FIG13GEO@@", f"{m.group(1)}×" if m else "n/a")
+    doc = doc.replace("@@FIG13MAX@@", f"{m.group(2)}×" if m else "n/a")
+
+    # Figure 14: the mc2depi-t block.
+    f14_lines = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if line.strip() == "mc2depi-t":
+            f14_lines = [l for l in lines[i : i + 4] if not l.startswith("csv,")]
+            break
+    doc = doc.replace("@@FIG14@@", "\n" + code_block(f14_lines) + "\n")
+
+    open(target, "w").write(doc)
+    leftover = re.findall(r"@@[A-Z0-9]+@@", doc)
+    if leftover:
+        print(f"WARNING: unresolved placeholders: {leftover}")
+    else:
+        print(f"spliced {transcript} into {target}")
+
+
+if __name__ == "__main__":
+    main()
