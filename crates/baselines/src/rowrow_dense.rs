@@ -90,34 +90,30 @@ pub fn multiply(
     breakdown.timed(Step::Step3, || {
         let col_w = split_mut_by_offsets(&mut colidx, &rowptr);
         let val_w = split_mut_by_offsets(&mut vals, &rowptr);
-        col_w
-            .into_par_iter()
-            .zip(val_w)
-            .enumerate()
-            .for_each_init(
-                || (vec![0f64; b.ncols], vec![false; b.ncols], Vec::<u32>::new()),
-                |(spa, flags, touched), (i, (col_w, val_w))| {
-                    let (acols, avals) = a.row(i);
-                    touched.clear();
-                    for (&j, &av) in acols.iter().zip(avals) {
-                        let (bcols, bvals) = b.row(j as usize);
-                        for (&k, &bv) in bcols.iter().zip(bvals) {
-                            if !flags[k as usize] {
-                                flags[k as usize] = true;
-                                touched.push(k);
-                            }
-                            spa[k as usize] += av * bv;
+        col_w.into_par_iter().zip(val_w).enumerate().for_each_init(
+            || (vec![0f64; b.ncols], vec![false; b.ncols], Vec::<u32>::new()),
+            |(spa, flags, touched), (i, (col_w, val_w))| {
+                let (acols, avals) = a.row(i);
+                touched.clear();
+                for (&j, &av) in acols.iter().zip(avals) {
+                    let (bcols, bvals) = b.row(j as usize);
+                    for (&k, &bv) in bcols.iter().zip(bvals) {
+                        if !flags[k as usize] {
+                            flags[k as usize] = true;
+                            touched.push(k);
                         }
+                        spa[k as usize] += av * bv;
                     }
-                    touched.sort_unstable();
-                    for (out, &k) in touched.iter().enumerate() {
-                        col_w[out] = k;
-                        val_w[out] = spa[k as usize];
-                        spa[k as usize] = 0.0;
-                        flags[k as usize] = false;
-                    }
-                },
-            );
+                }
+                touched.sort_unstable();
+                for (out, &k) in touched.iter().enumerate() {
+                    col_w[out] = k;
+                    val_w[out] = spa[k as usize];
+                    spa[k as usize] = 0.0;
+                    flags[k as usize] = false;
+                }
+            },
+        );
     });
 
     let peak_bytes = tracker.peak_bytes();
@@ -159,7 +155,11 @@ mod tests {
         let mut coo = Coo::new(n, n);
         for r in 0..n as u32 {
             for _ in 0..per_row {
-                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.25);
+                coo.push(
+                    r,
+                    (next() % n as u64) as u32,
+                    ((next() % 9) + 1) as f64 * 0.25,
+                );
             }
         }
         coo.to_csr()

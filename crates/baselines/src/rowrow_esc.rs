@@ -20,7 +20,9 @@
 use rayon::prelude::*;
 use tilespgemm_core::SpGemmError;
 use tsg_matrix::Csr;
-use tsg_runtime::{bin_rows_by, exclusive_scan_to, split_mut_by_offsets, Breakdown, MemTracker, Step};
+use tsg_runtime::{
+    bin_rows_by, exclusive_scan_to, split_mut_by_offsets, Breakdown, MemTracker, Step,
+};
 
 /// Upper bound treated by the local (on-chip) ESC kernel.
 const LOCAL_ESC_MAX: usize = 64;
@@ -233,7 +235,11 @@ mod tests {
         let mut coo = Coo::new(n, n);
         for r in 0..n as u32 {
             for _ in 0..per_row {
-                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.5);
+                coo.push(
+                    r,
+                    (next() % n as u64) as u32,
+                    ((next() % 9) + 1) as f64 * 0.5,
+                );
             }
         }
         coo.to_csr()

@@ -20,7 +20,9 @@
 use rayon::prelude::*;
 use tilespgemm_core::SpGemmError;
 use tsg_matrix::Csr;
-use tsg_runtime::{bin_rows_by, exclusive_scan_to, split_mut_by_offsets, Breakdown, MemTracker, Step};
+use tsg_runtime::{
+    bin_rows_by, exclusive_scan_to, split_mut_by_offsets, Breakdown, MemTracker, Step,
+};
 
 /// Hash-table slots that fit the modelled 48 kB shared memory (12-byte
 /// entries): bounds at or below this stay "on chip" and are not charged to
@@ -54,9 +56,7 @@ pub fn multiply(
 
     // Round-1 analysis: upper bounds and binning (Step1 = setup analysis).
     let ubs = breakdown.timed(Step::Step1, || a.row_upper_bounds(b));
-    let _bins = breakdown.timed(Step::Step1, || {
-        bin_rows_by(a.nrows, 24, |i| ubs[i])
-    });
+    let _bins = breakdown.timed(Step::Step1, || bin_rows_by(a.nrows, 24, |i| ubs[i]));
 
     // Global hash-table space for rows above shared capacity. NSPARSE
     // processes the global bins one at a time, in batches of rows; every
@@ -131,63 +131,57 @@ pub fn multiply(
     breakdown.timed(Step::Step3, || {
         let col_w = split_mut_by_offsets(&mut colidx, &rowptr);
         let val_w = split_mut_by_offsets(&mut vals, &rowptr);
-        col_w
-            .into_par_iter()
-            .zip(val_w)
-            .enumerate()
-            .for_each_init(
-                || (Vec::<u32>::new(), Vec::<f64>::new()),
-                |(keys, accum), (i, (col_w, val_w))| {
-                    if col_w.is_empty() {
-                        return;
-                    }
-                    let capacity = (2 * ubs[i]).next_power_of_two();
-                    let mask = capacity - 1;
-                    keys.clear();
-                    keys.resize(capacity, EMPTY);
-                    accum.clear();
-                    accum.resize(capacity, 0.0);
-                    let (acols, avals) = a.row(i);
-                    for (&j, &av) in acols.iter().zip(avals) {
-                        let (bcols, bvals) = b.row(j as usize);
-                        for (&k, &bv) in bcols.iter().zip(bvals) {
-                            let mut slot = hash_slot(k, mask);
-                            loop {
-                                let cur = keys[slot];
-                                if cur == k {
-                                    accum[slot] += av * bv;
-                                    break;
-                                }
-                                if cur == EMPTY {
-                                    keys[slot] = k;
-                                    accum[slot] = av * bv;
-                                    break;
-                                }
-                                slot = (slot + 1) & mask;
+        col_w.into_par_iter().zip(val_w).enumerate().for_each_init(
+            || (Vec::<u32>::new(), Vec::<f64>::new()),
+            |(keys, accum), (i, (col_w, val_w))| {
+                if col_w.is_empty() {
+                    return;
+                }
+                let capacity = (2 * ubs[i]).next_power_of_two();
+                let mask = capacity - 1;
+                keys.clear();
+                keys.resize(capacity, EMPTY);
+                accum.clear();
+                accum.resize(capacity, 0.0);
+                let (acols, avals) = a.row(i);
+                for (&j, &av) in acols.iter().zip(avals) {
+                    let (bcols, bvals) = b.row(j as usize);
+                    for (&k, &bv) in bcols.iter().zip(bvals) {
+                        let mut slot = hash_slot(k, mask);
+                        loop {
+                            let cur = keys[slot];
+                            if cur == k {
+                                accum[slot] += av * bv;
+                                break;
                             }
+                            if cur == EMPTY {
+                                keys[slot] = k;
+                                accum[slot] = av * bv;
+                                break;
+                            }
+                            slot = (slot + 1) & mask;
                         }
                     }
-                    // Extract occupied slots, sort by column.
-                    let mut out = 0usize;
-                    for slot in 0..capacity {
-                        if keys[slot] != EMPTY {
-                            col_w[out] = keys[slot];
-                            val_w[out] = accum[slot];
-                            out += 1;
-                        }
+                }
+                // Extract occupied slots, sort by column.
+                let mut out = 0usize;
+                for slot in 0..capacity {
+                    if keys[slot] != EMPTY {
+                        col_w[out] = keys[slot];
+                        val_w[out] = accum[slot];
+                        out += 1;
                     }
-                    debug_assert_eq!(out, col_w.len());
-                    // Co-sort the two windows by column index.
-                    let mut perm: Vec<u32> = (0..out as u32).collect();
-                    perm.sort_unstable_by_key(|&p| col_w[p as usize]);
-                    let sorted_cols: Vec<u32> =
-                        perm.iter().map(|&p| col_w[p as usize]).collect();
-                    let sorted_vals: Vec<f64> =
-                        perm.iter().map(|&p| val_w[p as usize]).collect();
-                    col_w.copy_from_slice(&sorted_cols);
-                    val_w.copy_from_slice(&sorted_vals);
-                },
-            );
+                }
+                debug_assert_eq!(out, col_w.len());
+                // Co-sort the two windows by column index.
+                let mut perm: Vec<u32> = (0..out as u32).collect();
+                perm.sort_unstable_by_key(|&p| col_w[p as usize]);
+                let sorted_cols: Vec<u32> = perm.iter().map(|&p| col_w[p as usize]).collect();
+                let sorted_vals: Vec<f64> = perm.iter().map(|&p| val_w[p as usize]).collect();
+                col_w.copy_from_slice(&sorted_cols);
+                val_w.copy_from_slice(&sorted_vals);
+            },
+        );
     });
 
     let peak_bytes = tracker.peak_bytes();

@@ -118,26 +118,22 @@ pub fn multiply(
     breakdown.timed(Step::Step3, || {
         let col_w = split_mut_by_offsets(&mut colidx, &rowptr);
         let val_w = split_mut_by_offsets(&mut vals, &rowptr);
-        col_w
-            .into_par_iter()
-            .zip(val_w)
-            .enumerate()
-            .for_each_init(
-                || Scratch::new(b.ncols),
-                |scratch, (i, (col_w, val_w))| {
-                    if col_w.is_empty() {
-                        return;
-                    }
-                    let ub = ubs[i];
-                    if ub <= SORT_KERNEL_MAX {
-                        numeric_sort(a, b, i, scratch, col_w, val_w);
-                    } else if (ub as f64) / (b.ncols as f64) >= DENSE_DENSITY {
-                        numeric_dense(a, b, i, scratch, col_w, val_w);
-                    } else {
-                        numeric_hash(a, b, i, ub, scratch, col_w, val_w);
-                    }
-                },
-            );
+        col_w.into_par_iter().zip(val_w).enumerate().for_each_init(
+            || Scratch::new(b.ncols),
+            |scratch, (i, (col_w, val_w))| {
+                if col_w.is_empty() {
+                    return;
+                }
+                let ub = ubs[i];
+                if ub <= SORT_KERNEL_MAX {
+                    numeric_sort(a, b, i, scratch, col_w, val_w);
+                } else if (ub as f64) / (b.ncols as f64) >= DENSE_DENSITY {
+                    numeric_dense(a, b, i, scratch, col_w, val_w);
+                } else {
+                    numeric_hash(a, b, i, ub, scratch, col_w, val_w);
+                }
+            },
+        );
     });
 
     let peak_bytes = tracker.peak_bytes();
@@ -347,7 +343,11 @@ mod tests {
         let mut coo = Coo::new(n, n);
         for r in 0..n as u32 {
             for _ in 0..per_row {
-                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.5);
+                coo.push(
+                    r,
+                    (next() % n as u64) as u32,
+                    ((next() % 9) + 1) as f64 * 0.5,
+                );
             }
         }
         coo.to_csr()
@@ -375,7 +375,10 @@ mod tests {
                 ubs[i] > SORT_KERNEL_MAX && (ubs[i] as f64) / (a.ncols as f64) < DENSE_DENSITY
             })
             .count();
-        assert!(hash_rows > 1000, "dataset exercises only {hash_rows} hash rows");
+        assert!(
+            hash_rows > 1000,
+            "dataset exercises only {hash_rows} hash rows"
+        );
         let got = multiply(&a, &a, &MemTracker::new()).unwrap();
         let want = reference_spgemm(&a, &a).drop_numeric_zeros();
         assert!(got.c.approx_eq_ignoring_zeros(&want, 1e-10));

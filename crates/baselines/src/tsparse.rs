@@ -241,7 +241,11 @@ mod tests {
         let mut coo = Coo::<f32>::new(n, n);
         for r in 0..n as u32 {
             for _ in 0..per_row {
-                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f32 * 0.25);
+                coo.push(
+                    r,
+                    (next() % n as u64) as u32,
+                    ((next() % 9) + 1) as f32 * 0.25,
+                );
             }
         }
         coo.to_csr()
@@ -252,9 +256,7 @@ mod tests {
         for (n, k, s) in [(48usize, 4usize, 1u64), (100, 6, 2)] {
             let a = random_f32(n, k, s);
             let got = multiply_csr_f32(&a, &a, &MemTracker::new()).unwrap();
-            let want = reference_spgemm(&a, &a)
-                .cast::<f64>()
-                .drop_numeric_zeros();
+            let want = reference_spgemm(&a, &a).cast::<f64>().drop_numeric_zeros();
             assert!(
                 got.c.approx_eq_ignoring_zeros(&want, 1e-4),
                 "n={n} (f32 tolerance)"

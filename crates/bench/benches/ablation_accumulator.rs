@@ -19,7 +19,12 @@ fn bench_accumulators(c: &mut Criterion) {
     let cases = [
         (
             "dense-tiles",
-            GenSpec::PowerFlow { clusters: 10, cluster_size: 60, links: 100, seed: 1 },
+            GenSpec::PowerFlow {
+                clusters: 10,
+                cluster_size: 60,
+                links: 100,
+                seed: 1,
+            },
         ),
         ("sparse-tiles", GenSpec::Grid5 { nx: 90, ny: 90 }),
     ];

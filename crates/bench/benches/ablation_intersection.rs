@@ -71,7 +71,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             tnnz_threshold: 192,
             intersection: kind,
             accumulator: AccumulatorKind::Adaptive,
-                ..Config::default()
+            ..Config::default()
         };
         group.bench_function(format!("{kind:?}"), |b| {
             b.iter(|| tilespgemm_core::multiply(&ta, &ta, &cfg, &MemTracker::new()).unwrap());

@@ -1,7 +1,9 @@
 //! Ablation of the task granularity: the paper's one-warp-per-tile mapping
 //! (issue #1: bounded work per task, so no load imbalance) against a
-//! coarser one-task-per-tile-row decomposition on a power-law matrix whose
-//! tile rows are wildly uneven.
+//! coarser one-task-per-tile-row decomposition and the work-binned
+//! heaviest-first dispatch, on a power-law matrix whose tile rows are wildly
+//! uneven — each crossed with the pair-reuse knob (reuse vs the paper's
+//! recompute-in-step-3 path).
 //!
 //! On a multi-core host the per-tile-row variant loses on skewed matrices
 //! because the heavy tile rows straggle; on a single-core host both collapse
@@ -21,7 +23,12 @@ fn bench_scheduling(c: &mut Criterion) {
     let cases = [
         (
             "skewed-powerlaw",
-            GenSpec::Rmat { scale: 12, edges: 25_000, mild: false, seed: 1 },
+            GenSpec::Rmat {
+                scale: 12,
+                edges: 25_000,
+                mild: false,
+                seed: 1,
+            },
         ),
         ("uniform-stencil", GenSpec::Grid5 { nx: 90, ny: 90 }),
     ];
@@ -33,14 +40,19 @@ fn bench_scheduling(c: &mut Criterion) {
         for (label, scheduling) in [
             ("per-tile", Scheduling::PerTile),
             ("per-tile-row", Scheduling::PerTileRow),
+            ("binned", Scheduling::Binned),
         ] {
-            let cfg = Config {
-                scheduling,
-                ..Config::default()
-            };
-            group.bench_with_input(BenchmarkId::new(label, regime), &ta, |b, ta| {
-                b.iter(|| tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).unwrap());
-            });
+            for pair_reuse in [true, false] {
+                let cfg = Config {
+                    scheduling,
+                    pair_reuse,
+                    ..Config::default()
+                };
+                let variant = format!("{label}-{}", if pair_reuse { "reuse" } else { "recompute" });
+                group.bench_with_input(BenchmarkId::new(variant, regime), &ta, |b, ta| {
+                    b.iter(|| tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).unwrap());
+                });
+            }
         }
     }
     group.finish();

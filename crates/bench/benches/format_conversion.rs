@@ -14,9 +14,26 @@ use tsg_runtime::MemTracker;
 fn bench_conversion(c: &mut Criterion) {
     use GenSpec::*;
     let cases = [
-        ("fem", Fem { nodes: 500, block: 6, couplings: 4, spread: 20, seed: 1 }),
+        (
+            "fem",
+            Fem {
+                nodes: 500,
+                block: 6,
+                couplings: 4,
+                spread: 20,
+                seed: 1,
+            },
+        ),
         ("stencil", Grid5 { nx: 80, ny: 80 }),
-        ("powerlaw", Rmat { scale: 12, edges: 25_000, mild: false, seed: 2 }),
+        (
+            "powerlaw",
+            Rmat {
+                scale: 12,
+                edges: 25_000,
+                mild: false,
+                seed: 2,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("conversion");
     group.sample_size(10);

@@ -13,11 +13,43 @@ use tsg_runtime::MemTracker;
 fn class_zoo() -> Vec<(&'static str, GenSpec)> {
     use GenSpec::*;
     vec![
-        ("fem", Fem { nodes: 500, block: 6, couplings: 4, spread: 20, seed: 1 }),
+        (
+            "fem",
+            Fem {
+                nodes: 500,
+                block: 6,
+                couplings: 4,
+                spread: 20,
+                seed: 1,
+            },
+        ),
         ("stencil", Grid5 { nx: 80, ny: 80 }),
-        ("powerlaw", Rmat { scale: 12, edges: 25_000, mild: false, seed: 2 }),
-        ("hypersparse", Scatter { n: 4_000, per_row: 4, seed: 3 }),
-        ("cluster", PowerFlow { clusters: 10, cluster_size: 50, links: 200, seed: 4 }),
+        (
+            "powerlaw",
+            Rmat {
+                scale: 12,
+                edges: 25_000,
+                mild: false,
+                seed: 2,
+            },
+        ),
+        (
+            "hypersparse",
+            Scatter {
+                n: 4_000,
+                per_row: 4,
+                seed: 3,
+            },
+        ),
+        (
+            "cluster",
+            PowerFlow {
+                clusters: 10,
+                cluster_size: 50,
+                links: 200,
+                seed: 4,
+            },
+        ),
     ]
 }
 
@@ -30,13 +62,9 @@ fn bench_methods(c: &mut Criterion) {
         let prep = PreparedOperands::squared(a);
         group.throughput(criterion::Throughput::Elements(flops));
         for kind in MethodKind::all() {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), class),
-                &prep,
-                |b, prep| {
-                    b.iter(|| prep.run(kind, &MemTracker::new()).expect("multiply"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), class), &prep, |b, prep| {
+                b.iter(|| prep.run(kind, &MemTracker::new()).expect("multiply"));
+            });
         }
     }
     group.finish();

@@ -1,18 +1,156 @@
 //! Criterion counterpart of Figure 10: the TileSpGEMM pipeline end to end
-//! and its individual steps, on a FEM-class matrix.
+//! and its individual steps, on a FEM-class matrix — plus a machine-readable
+//! `BENCH_pipeline.json` at the workspace root comparing the pair-reuse and
+//! scheduling variants on an R-MAT/power-law suite.
 //!
 //! ```text
 //! cargo bench -p tsg-bench --bench tile_pipeline
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 use tilespgemm_core::step1::tile_structure_spgemm;
-use tilespgemm_core::Config;
+use tilespgemm_core::{Config, Scheduling};
 use tsg_gen::suite::GenSpec;
 use tsg_matrix::TileMatrix;
-use tsg_runtime::MemTracker;
+use tsg_runtime::{Breakdown, MemTracker};
+
+/// One measured pipeline configuration, serialized into BENCH_pipeline.json.
+struct Record {
+    matrix: &'static str,
+    scheduling: &'static str,
+    pair_reuse: bool,
+    wall_ms: f64,
+    peak_bytes: usize,
+    breakdown: Breakdown,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"matrix\":\"{}\",\"method\":\"tilespgemm\",",
+                "\"scheduling\":\"{}\",\"pair_reuse\":{},",
+                "\"wall_ms\":{:.4},\"peak_bytes\":{},",
+                "\"step1_ms\":{:.4},\"step2_ms\":{:.4},",
+                "\"step3_ms\":{:.4},\"alloc_ms\":{:.4}}}"
+            ),
+            self.matrix,
+            self.scheduling,
+            self.pair_reuse,
+            self.wall_ms,
+            self.peak_bytes,
+            ms(self.breakdown.step1),
+            ms(self.breakdown.step2),
+            ms(self.breakdown.step3),
+            ms(self.breakdown.alloc),
+        )
+    }
+}
+
+/// Best-of-`reps` wall time (plus the matching breakdown and peak bytes)
+/// for one configuration, after one warmup run.
+fn measure(
+    ta: &TileMatrix<f64>,
+    matrix: &'static str,
+    scheduling: (&'static str, Scheduling),
+    pair_reuse: bool,
+    reps: usize,
+) -> Record {
+    let cfg = Config {
+        scheduling: scheduling.1,
+        pair_reuse,
+        ..Config::default()
+    };
+    tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("warmup multiply");
+    let mut best: Option<Record> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("multiply");
+        let wall_ms = ms(t0.elapsed());
+        if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
+            best = Some(Record {
+                matrix,
+                scheduling: scheduling.0,
+                pair_reuse,
+                wall_ms,
+                peak_bytes: out.peak_bytes,
+                breakdown: out.breakdown,
+            });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Measures every (matrix, scheduling, pair_reuse) combination of the suite
+/// and writes BENCH_pipeline.json at the workspace root.
+fn emit_bench_json() {
+    let suite: [(&'static str, GenSpec); 3] = [
+        (
+            "fem-500",
+            GenSpec::Fem {
+                nodes: 500,
+                block: 6,
+                couplings: 4,
+                spread: 20,
+                seed: 1,
+            },
+        ),
+        (
+            "rmat-skewed",
+            GenSpec::Rmat {
+                scale: 12,
+                edges: 25_000,
+                mild: false,
+                seed: 1,
+            },
+        ),
+        (
+            "webbase-like",
+            GenSpec::Rmat {
+                scale: 14,
+                edges: 80_000,
+                mild: false,
+                seed: 112,
+            },
+        ),
+    ];
+    let schedulings = [
+        ("per-tile", Scheduling::PerTile),
+        ("binned", Scheduling::Binned),
+    ];
+    let mut records = Vec::new();
+    for (name, spec) in suite {
+        let ta = TileMatrix::from_csr(&spec.build());
+        for &scheduling in &schedulings {
+            for pair_reuse in [true, false] {
+                records.push(measure(&ta, name, scheduling, pair_reuse, 5));
+            }
+        }
+    }
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {path} ({} records)", records.len());
+    for r in &records {
+        println!(
+            "  {:<14} {:<10} reuse={:<5} {:>9.3} ms (peak {} B)",
+            r.matrix, r.scheduling, r.pair_reuse, r.wall_ms, r.peak_bytes
+        );
+    }
+}
 
 fn bench_pipeline(c: &mut Criterion) {
+    emit_bench_json();
+
     let a = GenSpec::Fem {
         nodes: 500,
         block: 6,
@@ -31,6 +169,14 @@ fn bench_pipeline(c: &mut Criterion) {
             tilespgemm_core::multiply(&ta, &ta, &Config::default(), &MemTracker::new())
                 .expect("multiply")
         });
+    });
+
+    group.bench_function("full_multiply_recompute_pairs", |b| {
+        let cfg = Config {
+            pair_reuse: false,
+            ..Config::default()
+        };
+        b.iter(|| tilespgemm_core::multiply(&ta, &ta, &cfg, &MemTracker::new()).expect("multiply"));
     });
 
     group.bench_function("step1_tile_structure", |b| {

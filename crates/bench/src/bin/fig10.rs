@@ -26,7 +26,14 @@ fn main() {
     let mut count = 0usize;
     for entry in entries {
         let (prep, stats) = prepare(&entry, false);
-        let m = measure(&entry.name, &prep, MethodKind::TileSpGemm, "A2", &device, &stats);
+        let m = measure(
+            &entry.name,
+            &prep,
+            MethodKind::TileSpGemm,
+            "A2",
+            &device,
+            &stats,
+        );
         let f = m.breakdown.fractions();
         println!(
             "{:<24} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",

@@ -38,8 +38,8 @@ fn main() {
         let t_tsparse = start.elapsed();
 
         let start = std::time::Instant::now();
-        let tile = tilespgemm_core::multiply(&ta, &ta, &Config::default(), &MemTracker::new())
-            .unwrap();
+        let tile =
+            tilespgemm_core::multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
         let t_tile = start.elapsed();
         assert_eq!(
             ts.c.to_csr().drop_numeric_zeros().colidx,

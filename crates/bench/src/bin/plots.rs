@@ -100,7 +100,10 @@ fn perf_bars(rows: &[Vec<String>], device: &str) -> (Vec<String>, Vec<Series>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let transcript = args.first().map(String::as_str).unwrap_or("figures_output.txt");
+    let transcript = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("figures_output.txt");
     let out_dir = args.get(1).map(String::as_str).unwrap_or("plots");
     std::fs::create_dir_all(out_dir).expect("create plots directory");
     let tables = parse(transcript);
@@ -216,11 +219,17 @@ fn main() {
         let series = vec![
             Series {
                 name: "conversion".into(),
-                points: rows.iter().map(|r| (f(&r[1]).max(1.0), f(&r[2]).max(1e-3))).collect(),
+                points: rows
+                    .iter()
+                    .map(|r| (f(&r[1]).max(1.0), f(&r[2]).max(1e-3)))
+                    .collect(),
             },
             Series {
                 name: "one TileSpGEMM".into(),
-                points: rows.iter().map(|r| (f(&r[1]).max(1.0), f(&r[3]).max(1e-3))).collect(),
+                points: rows
+                    .iter()
+                    .map(|r| (f(&r[1]).max(1.0), f(&r[3]).max(1e-3)))
+                    .collect(),
             },
         ];
         save(
@@ -261,7 +270,13 @@ fn main() {
         // matrix, method, step1_ms..alloc_ms; groups = matrix/method pairs.
         let groups: Vec<String> = rows
             .iter()
-            .map(|r| format!("{} ({})", r[0], if r[1] == "tSparse" { "tS" } else { "Tile" }))
+            .map(|r| {
+                format!(
+                    "{} ({})",
+                    r[0],
+                    if r[1] == "tSparse" { "tS" } else { "Tile" }
+                )
+            })
             .collect();
         let labels = ["step 1", "step 2", "step 3", "allocation"];
         let series: Vec<Series> = labels

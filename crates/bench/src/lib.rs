@@ -113,7 +113,9 @@ pub fn reps() -> u32 {
 
 /// Whether the quick (subsampled) mode is on.
 pub fn quick() -> bool {
-    std::env::var("TSG_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("TSG_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Runs one `(matrix, method, op, device)` cell.

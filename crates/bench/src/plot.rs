@@ -97,7 +97,9 @@ fn tick_label(v: f64, scale: Scale) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// A scatter plot with optional log axes.
@@ -126,7 +128,9 @@ pub fn scatter(
     let sy = |v: f64| MARGIN_T + plot_h - (v - y_lo) / (y_hi - y_lo) * plot_h;
 
     let mut svg = svg_header(title);
-    axes(&mut svg, x_lo, x_hi, y_lo, y_hi, x_scale, y_scale, xlabel, ylabel, &sx, &sy);
+    axes(
+        &mut svg, x_lo, x_hi, y_lo, y_hi, x_scale, y_scale, xlabel, ylabel, &sx, &sy,
+    );
     for (si, s) in series.iter().enumerate() {
         let color = PALETTE[si % PALETTE.len()];
         for &(x, y) in &s.points {
@@ -241,7 +245,12 @@ pub fn stacked_bars(
     series: &[Series],
 ) -> String {
     let totals: Vec<f64> = (0..group_labels.len())
-        .map(|g| series.iter().map(|s| s.points.get(g).map(|p| p.1).unwrap_or(0.0)).sum())
+        .map(|g| {
+            series
+                .iter()
+                .map(|s| s.points.get(g).map(|p| p.1).unwrap_or(0.0))
+                .sum()
+        })
         .collect();
     let y_hi = totals.iter().copied().fold(0.0f64, f64::max).max(1e-9) * 1.08;
     let plot_w = WIDTH - MARGIN_L - MARGIN_R;
@@ -451,8 +460,14 @@ mod tests {
     fn stacked_bars_stack_to_totals() {
         let labels = vec!["m1".to_string(), "m2".into()];
         let series = vec![
-            Series { name: "s1".into(), points: vec![(0.0, 1.0), (0.0, 2.0)] },
-            Series { name: "s2".into(), points: vec![(0.0, 3.0), (0.0, 1.0)] },
+            Series {
+                name: "s1".into(),
+                points: vec![(0.0, 1.0), (0.0, 2.0)],
+            },
+            Series {
+                name: "s2".into(),
+                points: vec![(0.0, 3.0), (0.0, 1.0)],
+            },
         ];
         let svg = stacked_bars("t", "ms", &labels, &series);
         assert!(svg.contains("</svg>"));
@@ -477,7 +492,14 @@ mod tests {
 
     #[test]
     fn escaping_prevents_broken_markup() {
-        let svg = scatter("a<b & c", "x", "y", Scale::Linear, Scale::Linear, &demo_series());
+        let svg = scatter(
+            "a<b & c",
+            "x",
+            "y",
+            Scale::Linear,
+            Scale::Linear,
+            &demo_series(),
+        );
         assert!(svg.contains("a&lt;b &amp; c"));
     }
 

@@ -114,8 +114,10 @@ pub fn add<T: Scalar>(alpha: T, a: &TileMatrix<T>, beta: T, b: &TileMatrix<T>) -
     let mut row_idx = vec![0u8; nnz];
     let mut col_idx = vec![0u8; nnz];
     let mut vals = vec![T::ZERO; nnz];
-    let sources_flat: Vec<(Option<u32>, Option<u32>)> =
-        plans.iter().flat_map(|p| p.sources.iter().copied()).collect();
+    let sources_flat: Vec<(Option<u32>, Option<u32>)> = plans
+        .iter()
+        .flat_map(|p| p.sources.iter().copied())
+        .collect();
     {
         let windows = tsg_runtime::split_mut_by_offsets(&mut vals, &tile_nnz);
         let ri_w = tsg_runtime::split_mut_by_offsets(&mut row_idx, &tile_nnz);

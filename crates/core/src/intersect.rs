@@ -26,12 +26,7 @@ pub type MatchedPair = (u32, u32);
 
 /// Intersects `a` and `b` (both strictly ascending), pushing `(pos_a,
 /// pos_b)` pairs for every common value, using the configured kernel.
-pub fn intersect_into(
-    kind: IntersectionKind,
-    a: &[u32],
-    b: &[u32],
-    out: &mut Vec<MatchedPair>,
-) {
+pub fn intersect_into(kind: IntersectionKind, a: &[u32], b: &[u32], out: &mut Vec<MatchedPair>) {
     out.clear();
     match kind {
         IntersectionKind::BinarySearch => intersect_binary_search(a, b, out),
@@ -155,7 +150,10 @@ mod tests {
         let v: Vec<u32> = (0..50).map(|i| i * 3).collect();
         let pairs = run(IntersectionKind::BinarySearch, &v, &v);
         assert_eq!(pairs.len(), 50);
-        assert!(pairs.iter().enumerate().all(|(i, &(a, b))| a as usize == i && b as usize == i));
+        assert!(pairs
+            .iter()
+            .enumerate()
+            .all(|(i, &(a, b))| a as usize == i && b as usize == i));
     }
 
     #[test]

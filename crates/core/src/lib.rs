@@ -52,6 +52,7 @@ pub use intersect::IntersectionKind;
 pub use masked::multiply_masked;
 pub use pipeline::{multiply, multiply_csr, Output};
 pub use spmv::{spmv, spmv_masked};
+pub use step2::PairBuffer;
 pub use step3::AccumulatorKind;
 
 /// Tuning knobs of the algorithm. `Config::default()` is the paper's
@@ -70,6 +71,11 @@ pub struct Config {
     /// per-tile-row variant exists to demonstrate the load-imbalance the
     /// paper's issue #1 attributes to row-level decomposition).
     pub scheduling: Scheduling,
+    /// Persist the matched-pair lists found by step 2 in a compact CSR-like
+    /// buffer and reuse them in step 3, instead of re-running the set
+    /// intersection per tile as the paper's kernels do. On by default; turn
+    /// off to get the paper-faithful recompute path for ablation benches.
+    pub pair_reuse: bool,
 }
 
 impl Default for Config {
@@ -79,6 +85,7 @@ impl Default for Config {
             intersection: IntersectionKind::BinarySearch,
             accumulator: AccumulatorKind::Adaptive,
             scheduling: Scheduling::PerTile,
+            pair_reuse: true,
         }
     }
 }
@@ -92,6 +99,11 @@ pub enum Scheduling {
     /// One parallel task per output *tile row* — a coarser, imbalance-prone
     /// decomposition kept for the scheduling ablation bench.
     PerTileRow,
+    /// Per-tile tasks dispatched heaviest bucket first: tiles are binned by
+    /// a cheap spECK-style work estimate (matched-pair count × tile nnz for
+    /// step 3) and the self-scheduling chunk queue consumes the heaviest
+    /// bins first, so giant tail tiles cannot defeat work stealing.
+    Binned,
 }
 
 /// Errors surfaced by the SpGEMM pipelines in this workspace.
@@ -113,11 +125,9 @@ impl std::fmt::Display for SpGemmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SpGemmError::OutOfMemory(e) => write!(f, "{e}"),
-            SpGemmError::ShapeMismatch { a, b } => write!(
-                f,
-                "cannot multiply {}x{} by {}x{}",
-                a.0, a.1, b.0, b.1
-            ),
+            SpGemmError::ShapeMismatch { a, b } => {
+                write!(f, "cannot multiply {}x{} by {}x{}", a.0, a.1, b.0, b.1)
+            }
         }
     }
 }
@@ -141,11 +151,17 @@ mod tests {
         assert_eq!(c.intersection, IntersectionKind::BinarySearch);
         assert_eq!(c.accumulator, AccumulatorKind::Adaptive);
         assert_eq!(c.scheduling, Scheduling::PerTile);
+        // The one deliberate departure from the paper: matched pairs found
+        // in step 2 are reused in step 3 by default (DESIGN.md §7).
+        assert!(c.pair_reuse);
     }
 
     #[test]
     fn error_display() {
-        let e = SpGemmError::ShapeMismatch { a: (2, 3), b: (4, 5) };
+        let e = SpGemmError::ShapeMismatch {
+            a: (2, 3),
+            b: (4, 5),
+        };
         assert!(e.to_string().contains("2x3"));
     }
 }

@@ -44,8 +44,7 @@ pub fn multiply_masked<T: Scalar>(
         });
     }
     let mut breakdown = Breakdown::default();
-    let input_bytes =
-        crate::pipeline::tile_matrix_bytes(a) + crate::pipeline::tile_matrix_bytes(b);
+    let input_bytes = crate::pipeline::tile_matrix_bytes(a) + crate::pipeline::tile_matrix_bytes(b);
     tracker.on_alloc(input_bytes)?;
 
     // Step 1 under a mask degenerates to M's own tile layout: a product
@@ -175,6 +174,7 @@ pub fn multiply_masked<T: Scalar>(
         c,
         breakdown,
         peak_bytes,
+        pair_buffer: None,
     })
 }
 
@@ -194,7 +194,11 @@ mod tests {
         let mut coo = Coo::new(n, n);
         for r in 0..n as u32 {
             for _ in 0..per_row {
-                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.5);
+                coo.push(
+                    r,
+                    (next() % n as u64) as u32,
+                    ((next() % 9) + 1) as f64 * 0.5,
+                );
             }
         }
         coo.to_csr()
@@ -280,8 +284,7 @@ mod tests {
     fn shape_mismatch_is_rejected() {
         let a = TileMatrix::from_csr(&Csr::<f64>::identity(32));
         let m = TileMatrix::from_csr(&Csr::<f64>::identity(48));
-        let err =
-            multiply_masked(&a, &a, &m, &Config::default(), &MemTracker::new()).unwrap_err();
+        let err = multiply_masked(&a, &a, &m, &Config::default(), &MemTracker::new()).unwrap_err();
         assert!(matches!(err, SpGemmError::ShapeMismatch { .. }));
     }
 }

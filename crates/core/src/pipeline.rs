@@ -4,12 +4,14 @@
 
 use crate::intersect::MatchedPair;
 use crate::step1::tile_structure_spgemm;
-use crate::step2::{matched_pairs, symbolic_tile};
+use crate::step2::{matched_pairs, symbolic_tile, PairBuffer};
 use crate::step3::{fill_indices_from_masks, numeric_tile_dense, numeric_tile_sparse};
 use crate::{Config, SpGemmError};
 use rayon::prelude::*;
 use tsg_matrix::{Csr, Scalar, TileMatrix, TILE_DIM};
-use tsg_runtime::{split_mut_by_offsets, Breakdown, MemTracker, Step};
+use tsg_runtime::{
+    bin_rows_by, split_mut_by_offsets, split_mut_uniform, Bins, Breakdown, MemTracker, Step,
+};
 
 /// The result of a TileSpGEMM multiplication.
 #[derive(Debug)]
@@ -21,6 +23,59 @@ pub struct Output<T> {
     pub breakdown: Breakdown,
     /// Peak tracked device bytes during this multiplication.
     pub peak_bytes: usize,
+    /// The matched-pair lists step 2 persisted and step 3 consumed; present
+    /// iff [`Config::pair_reuse`] was on. Exposed for tests and ablations.
+    pub pair_buffer: Option<PairBuffer>,
+}
+
+/// Bucket count for [`crate::Scheduling::Binned`]: keys up to `2^18` get
+/// their own power-of-two bucket, larger ones clamp into the last.
+const BINNED_BUCKETS: usize = 20;
+
+/// Flattens bins heaviest bucket first. The runtime's self-scheduling chunk
+/// queue consumes the permutation front to back, so dispatching heavy tiles
+/// first approximates longest-processing-time-first scheduling and keeps a
+/// giant tail tile from serializing the end of the phase.
+fn heavy_first(bins: &Bins) -> Vec<u32> {
+    let mut order = Vec::with_capacity(bins.rows.len());
+    for b in (0..bins.bucket_count()).rev() {
+        order.extend_from_slice(bins.bucket(b));
+    }
+    order
+}
+
+/// Deals a heavy-first sequence round-robin into `ways` buckets and
+/// concatenates them. The executor hands out contiguous chunks, so a plain
+/// heavy-first order would concentrate every heavy tile into the first chunk
+/// and serialize them on one worker; dealing gives each chunk an even share
+/// of heavy and light tiles with the heavy ones still leading.
+fn deal(order: &[u32], ways: usize) -> Vec<u32> {
+    let ways = ways.clamp(1, order.len().max(1));
+    let mut out = Vec::with_capacity(order.len());
+    for start in 0..ways {
+        out.extend(order.iter().skip(start).step_by(ways));
+    }
+    out
+}
+
+/// The dispatch order for [`crate::Scheduling::Binned`]: heaviest bucket
+/// first, dealt across as many buckets as the executor makes chunks.
+fn binned_order(bins: &Bins) -> Vec<u32> {
+    deal(&heavy_first(bins), rayon::current_num_threads().max(1) * 4)
+}
+
+/// Reorders per-tile windows by `order`, a permutation of `0..windows.len()`.
+fn permuted<W>(windows: Vec<W>, order: &[u32]) -> Vec<W> {
+    debug_assert_eq!(windows.len(), order.len());
+    let mut slots: Vec<Option<W>> = windows.into_iter().map(Some).collect();
+    order
+        .iter()
+        .map(|&t| {
+            slots[t as usize]
+                .take()
+                .expect("order must be a permutation")
+        })
+        .collect()
 }
 
 /// Runs `C = A·B` on tiled operands with the paper's three-step algorithm.
@@ -73,29 +128,45 @@ pub fn multiply<T: Scalar>(
         let c_row_ptr = vec![0u8; num_tiles * TILE_DIM];
         (b_cols, c_rowidx, c_masks, c_row_ptr)
     });
-    tracker.on_alloc(
-        c_pattern.nnz() * 4
-            + b_cols.colptr.len() * 8
-            + b_cols.rowidx.len() * 8
-            + num_tiles * (4 + TILE_DIM * 3 + 8)
-            + 8,
-    )?;
+    let step2_temp_bytes = c_pattern.nnz() * 4
+        + b_cols.colptr.len() * 8
+        + b_cols.rowidx.len() * 8
+        + num_tiles * (4 + TILE_DIM * 3 + 8)
+        + 8;
+    if let Err(e) = tracker.on_alloc(step2_temp_bytes) {
+        tracker.on_free(input_bytes);
+        return Err(e.into());
+    }
 
     // ---- Step 2: per-tile symbolic (Algorithm 2). ----
     let mut c_counts = vec![0usize; num_tiles];
+    // Matched-pair count per tile: always recorded (one word per tile) — it
+    // feeds the Binned step-3 work estimate and the pair-buffer offsets.
+    let mut pair_counts = vec![0usize; num_tiles];
+    // With pair reuse on, step 2 parks each tile's matched pairs here; they
+    // are flattened into the compact PairBuffer right after the phase.
+    let mut pair_slots: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_tiles];
     let step2_tile = |scratch: &mut Vec<MatchedPair>,
                       pairs: &mut Vec<(u32, u32)>,
                       t: usize,
                       mask_w: &mut [u16],
                       row_ptr_w: &mut [u8],
-                      count: &mut usize| {
+                      count: &mut usize,
+                      pair_count: &mut usize,
+                      slot: &mut Vec<(u32, u32)>| {
         let ti = c_rowidx[t] as usize;
         let tj = c_pattern.idx[t] as usize;
         matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
+        *pair_count = pairs.len();
         let sym = symbolic_tile(a, b, pairs);
         mask_w.copy_from_slice(&sym.masks);
         row_ptr_w.copy_from_slice(&sym.row_ptr);
         *count = sym.nnz;
+        if config.pair_reuse {
+            // Move, don't copy: `pairs` takes the slot's empty vector and is
+            // cleared by the next `matched_pairs` call anyway.
+            std::mem::swap(slot, pairs);
+        }
     };
     breakdown.timed(Step::Step2, || match config.scheduling {
         crate::Scheduling::PerTile => {
@@ -103,11 +174,15 @@ pub fn multiply<T: Scalar>(
                 .par_chunks_mut(TILE_DIM)
                 .zip(c_row_ptr.par_chunks_mut(TILE_DIM))
                 .zip(c_counts.par_iter_mut())
+                .zip(pair_counts.par_iter_mut())
+                .zip(pair_slots.par_iter_mut())
                 .enumerate()
                 .for_each_init(
                     || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs), (t, ((mask_w, row_ptr_w), count))| {
-                        step2_tile(scratch, pairs, t, mask_w, row_ptr_w, count);
+                    |(scratch, pairs), (t, ((((mask_w, row_ptr_w), count), pair_count), slot))| {
+                        step2_tile(
+                            scratch, pairs, t, mask_w, row_ptr_w, count, pair_count, slot,
+                        );
                     },
                 );
         }
@@ -116,14 +191,19 @@ pub fn multiply<T: Scalar>(
             let masks_rows = split_mut_by_offsets(&mut c_masks, &elem_bounds);
             let rowptr_rows = split_mut_by_offsets(&mut c_row_ptr, &elem_bounds);
             let counts_rows = split_mut_by_offsets(&mut c_counts, &c_pattern.ptr);
+            let paircnt_rows = split_mut_by_offsets(&mut pair_counts, &c_pattern.ptr);
+            let slots_rows = split_mut_by_offsets(&mut pair_slots, &c_pattern.ptr);
             masks_rows
                 .into_par_iter()
                 .zip(rowptr_rows)
                 .zip(counts_rows)
+                .zip(paircnt_rows)
+                .zip(slots_rows)
                 .enumerate()
                 .for_each_init(
                     || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs), (ti, ((masks_r, rowptr_r), counts_r))| {
+                    |(scratch, pairs),
+                     (ti, ((((masks_r, rowptr_r), counts_r), paircnt_r), slots_r))| {
                         let base = c_pattern.ptr[ti];
                         for (k, count) in counts_r.iter_mut().enumerate() {
                             step2_tile(
@@ -133,8 +213,43 @@ pub fn multiply<T: Scalar>(
                                 &mut masks_r[k * TILE_DIM..(k + 1) * TILE_DIM],
                                 &mut rowptr_r[k * TILE_DIM..(k + 1) * TILE_DIM],
                                 count,
+                                &mut paircnt_r[k],
+                                &mut slots_r[k],
                             );
                         }
+                    },
+                );
+        }
+        crate::Scheduling::Binned => {
+            if num_tiles == 0 {
+                return;
+            }
+            // Pre-estimate: candidate pair count before intersection, i.e.
+            // |A's tile row| + |B's tile column| — both O(1) lookups.
+            let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, |t| {
+                let ti = c_rowidx[t] as usize;
+                let tj = c_pattern.idx[t] as usize;
+                a.tile_row_range(ti).len() + b_cols.col(tj).0.len()
+            });
+            let order = binned_order(&bins);
+            let masks_w = permuted(split_mut_uniform(&mut c_masks, num_tiles), &order);
+            let rowptr_w = permuted(split_mut_uniform(&mut c_row_ptr, num_tiles), &order);
+            let counts_w = permuted(c_counts.iter_mut().collect(), &order);
+            let paircnt_w = permuted(pair_counts.iter_mut().collect(), &order);
+            let slots_w = permuted(pair_slots.iter_mut().collect(), &order);
+            order
+                .par_iter()
+                .zip(masks_w)
+                .zip(rowptr_w)
+                .zip(counts_w)
+                .zip(paircnt_w)
+                .zip(slots_w)
+                .for_each_init(
+                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                    |(scratch, pairs), (((((&t, mask_w), row_ptr_w), count), pair_count), slot)| {
+                        step2_tile(
+                            scratch, pairs, t as usize, mask_w, row_ptr_w, count, pair_count, slot,
+                        );
                     },
                 );
         }
@@ -144,17 +259,57 @@ pub fn multiply<T: Scalar>(
     // the paper ends step 2 with — then allocate C's nonzero arrays.
     let mut c_offsets = vec![0usize; num_tiles + 1];
     let nnz_c = breakdown.timed(Step::Step2, || {
-        tsg_runtime::exclusive_scan_to(&c_counts, &mut c_offsets)
+        tsg_runtime::par_exclusive_scan_to(&c_counts, &mut c_offsets)
     });
 
-    let (mut c_row_idx, mut c_col_idx, mut c_vals) = breakdown.timed(Step::Alloc, || {
-        tracker.on_alloc(nnz_c * (2 + std::mem::size_of::<T>()) + (num_tiles + 1) * 8)?;
+    // Flatten the per-tile pair lists into the compact CSR-shaped buffer
+    // step 3 will read. The per-tile staging vectors are host-side scratch;
+    // only the compact buffer is tracked as device memory.
+    let pair_buffer: Option<PairBuffer> = if config.pair_reuse {
+        let res = breakdown.timed(Step::Alloc, || {
+            let mut offsets = vec![0usize; num_tiles + 1];
+            let total_pairs = tsg_runtime::par_exclusive_scan_to(&pair_counts, &mut offsets);
+            tracker
+                .on_alloc(total_pairs * std::mem::size_of::<(u32, u32)>() + (num_tiles + 1) * 8)?;
+            let mut flat = vec![(0u32, 0u32); total_pairs];
+            split_mut_by_offsets(&mut flat, &offsets)
+                .into_par_iter()
+                .zip(pair_slots.par_iter())
+                .for_each(|(w, slot)| w.copy_from_slice(slot));
+            Ok::<_, SpGemmError>(PairBuffer {
+                offsets,
+                pairs: flat,
+            })
+        });
+        match res {
+            Ok(buf) => Some(buf),
+            Err(e) => {
+                tracker.on_free(input_bytes + step2_temp_bytes);
+                return Err(e);
+            }
+        }
+    } else {
+        None
+    };
+    drop(pair_slots);
+    let pair_bytes = pair_buffer.as_ref().map_or(0, PairBuffer::bytes);
+
+    let output_bytes = nnz_c * (2 + std::mem::size_of::<T>()) + (num_tiles + 1) * 8;
+    let alloc_res = breakdown.timed(Step::Alloc, || {
+        tracker.on_alloc(output_bytes)?;
         Ok::<_, SpGemmError>((
             tracker.timed_alloc(|| vec![0u8; nnz_c]),
             tracker.timed_alloc(|| vec![0u8; nnz_c]),
             tracker.timed_alloc(|| vec![T::ZERO; nnz_c]),
         ))
-    })?;
+    });
+    let (mut c_row_idx, mut c_col_idx, mut c_vals) = match alloc_res {
+        Ok(v) => v,
+        Err(e) => {
+            tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes);
+            return Err(e);
+        }
+    };
 
     // ---- Step 3: numeric (Algorithm 3). ----
     let step3_tile = |scratch: &mut Vec<MatchedPair>,
@@ -163,20 +318,28 @@ pub fn multiply<T: Scalar>(
                       row_idx_w: &mut [u8],
                       col_idx_w: &mut [u8],
                       vals_w: &mut [T]| {
-        let ti = c_rowidx[t] as usize;
-        let tj = c_pattern.idx[t] as usize;
         let masks = &c_masks[t * TILE_DIM..(t + 1) * TILE_DIM];
         let row_ptr = &c_row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM];
         let filled = fill_indices_from_masks(masks, row_idx_w, col_idx_w);
         debug_assert_eq!(filled, vals_w.len());
-        matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
+        // With pair reuse on, step 2's persisted list replaces the second
+        // intersection of A's tile row with B's tile column.
+        let pair_list: &[(u32, u32)] = match &pair_buffer {
+            Some(buf) => buf.tile(t),
+            None => {
+                let ti = c_rowidx[t] as usize;
+                let tj = c_pattern.idx[t] as usize;
+                matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
+                pairs
+            }
+        };
         if config
             .accumulator
             .use_dense(vals_w.len(), config.tnnz_threshold)
         {
-            numeric_tile_dense(a, b, pairs, masks, vals_w);
+            numeric_tile_dense(a, b, pair_list, masks, vals_w);
         } else {
-            numeric_tile_sparse(a, b, pairs, masks, row_ptr, vals_w);
+            numeric_tile_sparse(a, b, pair_list, masks, row_ptr, vals_w);
         }
     };
     breakdown.timed(Step::Step3, || match config.scheduling {
@@ -197,8 +360,7 @@ pub fn multiply<T: Scalar>(
                 );
         }
         crate::Scheduling::PerTileRow => {
-            let row_bounds: Vec<usize> =
-                c_pattern.ptr.iter().map(|&t| c_offsets[t]).collect();
+            let row_bounds: Vec<usize> = c_pattern.ptr.iter().map(|&t| c_offsets[t]).collect();
             let row_idx_rows = split_mut_by_offsets(&mut c_row_idx, &row_bounds);
             let col_idx_rows = split_mut_by_offsets(&mut c_col_idx, &row_bounds);
             let vals_rows = split_mut_by_offsets(&mut c_vals, &row_bounds);
@@ -228,6 +390,29 @@ pub fn multiply<T: Scalar>(
                     },
                 );
         }
+        crate::Scheduling::Binned => {
+            if num_tiles == 0 {
+                return;
+            }
+            // The spECK-style estimate the issue calls for: matched-pair
+            // count × tile nnz, both exact by now and free to read.
+            let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, |t| pair_counts[t] * c_counts[t]);
+            let order = binned_order(&bins);
+            let row_idx_w = permuted(split_mut_by_offsets(&mut c_row_idx, &c_offsets), &order);
+            let col_idx_w = permuted(split_mut_by_offsets(&mut c_col_idx, &c_offsets), &order);
+            let vals_w = permuted(split_mut_by_offsets(&mut c_vals, &c_offsets), &order);
+            order
+                .par_iter()
+                .zip(row_idx_w)
+                .zip(col_idx_w)
+                .zip(vals_w)
+                .for_each_init(
+                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
+                    |(scratch, pairs), (((&t, row_idx_w), col_idx_w), vals_w)| {
+                        step3_tile(scratch, pairs, t as usize, row_idx_w, col_idx_w, vals_w);
+                    },
+                );
+        }
     });
 
     // Assemble the output structure.
@@ -247,13 +432,17 @@ pub fn multiply<T: Scalar>(
     };
 
     let peak_bytes = tracker.peak_bytes().max(peak_start);
-    // Inputs and temporaries are released at the end of the operation.
-    tracker.on_free(input_bytes);
+    // Everything this product allocated is released: inputs, step-2
+    // temporaries, the pair buffer, and the output arrays (handed back to
+    // the host). The tracker's current-bytes count returns to its pre-call
+    // level — DESIGN.md §5's balanced alloc/free rule.
+    tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes + output_bytes);
 
     Ok(Output {
         c,
         breakdown,
         peak_bytes,
+        pair_buffer,
     })
 }
 
@@ -294,7 +483,11 @@ mod tests {
         let mut coo = Coo::new(n, n);
         for r in 0..n as u32 {
             for _ in 0..per_row {
-                coo.push(r, (next() % n as u64) as u32, ((next() % 9) + 1) as f64 * 0.5);
+                coo.push(
+                    r,
+                    (next() % n as u64) as u32,
+                    ((next() % 9) + 1) as f64 * 0.5,
+                );
             }
         }
         coo.to_csr()
@@ -330,8 +523,10 @@ mod tests {
         let reference = multiply_csr(&a, &a, &Config::default(), &MemTracker::new())
             .unwrap()
             .0;
-        for intersection in [crate::IntersectionKind::BinarySearch, crate::IntersectionKind::Merge]
-        {
+        for intersection in [
+            crate::IntersectionKind::BinarySearch,
+            crate::IntersectionKind::Merge,
+        ] {
             for accumulator in [
                 crate::AccumulatorKind::Adaptive,
                 crate::AccumulatorKind::AlwaysSparse,
@@ -356,15 +551,147 @@ mod tests {
 
     #[test]
     fn scheduling_variants_agree_bitwise() {
-        let a = random_csr(150, 6, 21);
+        use tsg_gen::suite::GenSpec;
+        // Skewed R-MAT inputs (a Graph500-parameter one and a webbase-like
+        // one) on top of the uniform random matrix: binning and pair reuse
+        // must be invisible in the output on every input family.
+        let inputs: Vec<(&str, Csr<f64>)> = vec![
+            ("uniform-random", random_csr(150, 6, 21)),
+            (
+                "rmat-skewed",
+                GenSpec::Rmat {
+                    scale: 11,
+                    edges: 18_000,
+                    mild: false,
+                    seed: 7,
+                }
+                .build(),
+            ),
+            (
+                "webbase-like",
+                GenSpec::Rmat {
+                    scale: 12,
+                    edges: 30_000,
+                    mild: false,
+                    seed: 112,
+                }
+                .build(),
+            ),
+        ];
+        for (name, a) in &inputs {
+            let ta = TileMatrix::from_csr(a);
+            let reference = multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
+            for scheduling in [
+                crate::Scheduling::PerTile,
+                crate::Scheduling::PerTileRow,
+                crate::Scheduling::Binned,
+            ] {
+                for pair_reuse in [true, false] {
+                    let cfg = Config {
+                        scheduling,
+                        pair_reuse,
+                        ..Config::default()
+                    };
+                    let out = multiply(&ta, &ta, &cfg, &MemTracker::new()).unwrap();
+                    assert_eq!(
+                        reference.c, out.c,
+                        "{name}: {scheduling:?}/pair_reuse={pair_reuse} must agree bitwise"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_buffer_matches_recomputed_pairs() {
+        let a = random_csr(120, 5, 29);
         let ta = TileMatrix::from_csr(&a);
-        let per_tile = multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
-        let cfg_rows = Config {
-            scheduling: crate::Scheduling::PerTileRow,
+        let out = multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
+        let buf = out.pair_buffer.expect("pair_reuse is on by default");
+        assert_eq!(buf.tile_count(), out.c.tile_count());
+        let b_cols = ta.col_index();
+        let mut scratch = Vec::new();
+        let mut pairs = Vec::new();
+        for ti in 0..out.c.tile_m {
+            for t in out.c.tile_ptr[ti]..out.c.tile_ptr[ti + 1] {
+                let tj = out.c.tile_colidx[t] as usize;
+                matched_pairs(
+                    &ta,
+                    &b_cols,
+                    ti,
+                    tj,
+                    crate::IntersectionKind::BinarySearch,
+                    &mut scratch,
+                    &mut pairs,
+                );
+                assert_eq!(buf.tile(t), pairs.as_slice(), "tile {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_reuse_off_returns_no_buffer() {
+        let a = random_csr(64, 4, 5);
+        let ta = TileMatrix::from_csr(&a);
+        let cfg = Config {
+            pair_reuse: false,
             ..Config::default()
         };
-        let per_row = multiply(&ta, &ta, &cfg_rows, &MemTracker::new()).unwrap();
-        assert_eq!(per_tile.c, per_row.c, "schedulings must agree bitwise");
+        let out = multiply(&ta, &ta, &cfg, &MemTracker::new()).unwrap();
+        assert!(out.pair_buffer.is_none());
+    }
+
+    #[test]
+    fn tracker_returns_to_zero_after_multiply() {
+        let a = random_csr(120, 5, 33);
+        let ta = TileMatrix::from_csr(&a);
+        for scheduling in [
+            crate::Scheduling::PerTile,
+            crate::Scheduling::PerTileRow,
+            crate::Scheduling::Binned,
+        ] {
+            for pair_reuse in [true, false] {
+                let cfg = Config {
+                    scheduling,
+                    pair_reuse,
+                    ..Config::default()
+                };
+                let tracker = MemTracker::new();
+                let out = multiply(&ta, &ta, &cfg, &tracker).unwrap();
+                assert!(out.peak_bytes > 0);
+                assert_eq!(
+                    tracker.current_bytes(),
+                    0,
+                    "unbalanced alloc/free for {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_first_order_is_a_permutation_heaviest_leading() {
+        let keys = [0usize, 3, 100, 2, 7, 0];
+        let bins = bin_rows_by(keys.len(), 8, |t| keys[t]);
+        let order = heavy_first(&bins);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..keys.len() as u32).collect::<Vec<_>>());
+        assert_eq!(order[0], 2, "the heaviest tile must be dispatched first");
+    }
+
+    #[test]
+    fn dealt_order_stays_a_permutation() {
+        let order: Vec<u32> = (0..97).rev().collect();
+        for ways in [1usize, 2, 7, 96, 97, 200] {
+            let dealt = deal(&order, ways);
+            let mut sorted = dealt.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..97).collect::<Vec<_>>(), "ways={ways}");
+        }
+        // Each bucket leads with the heaviest tile it was dealt.
+        let dealt = deal(&order, 4);
+        assert_eq!(dealt[0], order[0]);
+        assert!(deal(&[], 4).is_empty());
     }
 
     #[test]

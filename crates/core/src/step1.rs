@@ -191,8 +191,9 @@ mod tests {
                 let mut a_ptr = vec![0usize];
                 let mut a_idx = Vec::new();
                 for _ in 0..rows {
-                    let mut cols: Vec<u32> =
-                        (0..density).map(|_| (next() % rows as u64) as u32).collect();
+                    let mut cols: Vec<u32> = (0..density)
+                        .map(|_| (next() % rows as u64) as u32)
+                        .collect();
                     cols.sort_unstable();
                     cols.dedup();
                     a_idx.extend_from_slice(&cols);

@@ -17,6 +17,38 @@
 use crate::intersect::{intersect_into, IntersectionKind, MatchedPair};
 use tsg_matrix::{Scalar, TileColIndex, TileMatrix, TILE_DIM};
 
+/// The matched `(a_tile_id, b_tile_id)` pairs of every output tile, in CSR
+/// shape: tile `t`'s pairs are `pairs[offsets[t]..offsets[t + 1]]`.
+///
+/// Step 2 persists this when [`crate::Config::pair_reuse`] is on, so step 3
+/// reads the lists back instead of re-running the tile-row/tile-column set
+/// intersection (the paper's kernels recompute it; see DESIGN.md §7).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairBuffer {
+    /// Per-tile offsets into `pairs`, length `num_tiles + 1`.
+    pub offsets: Vec<usize>,
+    /// Flat matched `(a_tile_id, b_tile_id)` lists, grouped per output tile.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl PairBuffer {
+    /// The matched pairs of output tile `t`.
+    pub fn tile(&self, t: usize) -> &[(u32, u32)] {
+        &self.pairs[self.offsets[t]..self.offsets[t + 1]]
+    }
+
+    /// Number of output tiles covered.
+    pub fn tile_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Tracked size of the buffer in bytes.
+    pub fn bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<(u32, u32)>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+}
+
 /// The per-tile symbolic result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileSymbolic {
@@ -78,7 +110,11 @@ pub fn symbolic_tile<T: Scalar>(
         row_ptr[r] = nnz as u8;
         nnz += masks[r].count_ones() as usize;
     }
-    TileSymbolic { masks, row_ptr, nnz }
+    TileSymbolic {
+        masks,
+        row_ptr,
+        nnz,
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +157,12 @@ mod tests {
             state ^= state << 17;
             state
         };
-        let ea: Vec<(u32, u32)> = (0..150).map(|_| ((next() % 32) as u32, (next() % 32) as u32)).collect();
-        let eb: Vec<(u32, u32)> = (0..150).map(|_| ((next() % 32) as u32, (next() % 32) as u32)).collect();
+        let ea: Vec<(u32, u32)> = (0..150)
+            .map(|_| ((next() % 32) as u32, (next() % 32) as u32))
+            .collect();
+        let eb: Vec<(u32, u32)> = (0..150)
+            .map(|_| ((next() % 32) as u32, (next() % 32) as u32))
+            .collect();
         let a = tiled(&ea);
         let b = tiled(&eb);
         // Dense positive-values oracle (no numeric cancellation possible).

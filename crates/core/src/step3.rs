@@ -44,11 +44,7 @@ impl AccumulatorKind {
 
 /// Fills `row_idx`/`col_idx` for a tile from its row masks, in the
 /// `(row, col)` order the format stores. Returns the nonzero count.
-pub fn fill_indices_from_masks(
-    masks: &[u16],
-    row_idx: &mut [u8],
-    col_idx: &mut [u8],
-) -> usize {
+pub fn fill_indices_from_masks(masks: &[u16], row_idx: &mut [u8], col_idx: &mut [u8]) -> usize {
     let mut k = 0usize;
     for (r, &m) in masks.iter().enumerate() {
         let mut bits = m;
@@ -197,7 +193,9 @@ mod tests {
     #[test]
     fn both_accumulators_match_dense_oracle_full_tile() {
         let all_a: Vec<(u32, u32, f64)> = (0..16u32)
-            .flat_map(|r| (0..16u32).map(move |c| (r, c, (r as f64 + 1.0) * 0.25 - c as f64 * 0.125)))
+            .flat_map(|r| {
+                (0..16u32).map(move |c| (r, c, (r as f64 + 1.0) * 0.25 - c as f64 * 0.125))
+            })
             .collect();
         let all_b: Vec<(u32, u32, f64)> = (0..16u32)
             .flat_map(|r| (0..16u32).map(move |c| c as f64 - r as f64 * 0.5 + 1.0))

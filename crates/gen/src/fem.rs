@@ -15,7 +15,13 @@ use tsg_matrix::{Coo, Csr};
 /// (`n = nodes * block`), each node coupled to itself and `couplings`
 /// neighbours within `spread` nodes of the diagonal; every coupling is a
 /// dense `block × block` sub-matrix. Symmetric by construction.
-pub fn fem_blocks(nodes: usize, block: usize, couplings: usize, spread: usize, seed: u64) -> Csr<f64> {
+pub fn fem_blocks(
+    nodes: usize,
+    block: usize,
+    couplings: usize,
+    spread: usize,
+    seed: u64,
+) -> Csr<f64> {
     let mut r = rng(seed);
     let n = nodes * block;
     let mut coo = Coo::new(n, n);

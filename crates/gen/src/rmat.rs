@@ -132,6 +132,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed one")]
     fn invalid_params_panic() {
-        rmat(4, 10, RmatParams { a: 0.6, b: 0.3, c: 0.3 }, 1);
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.6,
+                b: 0.3,
+                c: 0.3,
+            },
+            1,
+        );
     }
 }

@@ -36,7 +36,11 @@ pub fn arrow(n: usize, border: usize, body_per_row: usize, seed: u64) -> Csr<f64
         for _ in 0..body_per_row {
             let lo = row.saturating_sub(30).max(border);
             let hi = (row + 30).min(n - 1);
-            coo.push(row as u32, r.gen_range(lo..=hi) as u32, nonzero_value(&mut r));
+            coo.push(
+                row as u32,
+                r.gen_range(lo..=hi) as u32,
+                nonzero_value(&mut r),
+            );
         }
     }
     coo.to_csr()

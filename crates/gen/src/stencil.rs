@@ -104,7 +104,11 @@ pub fn grid_3d_27pt(nx: usize, ny: usize, nz: usize) -> Csr<f64> {
                             {
                                 continue;
                             }
-                            let v = if dx == 0 && dy == 0 && dz == 0 { 26.0 } else { -1.0 };
+                            let v = if dx == 0 && dy == 0 && dz == 0 {
+                                26.0
+                            } else {
+                                -1.0
+                            };
                             coo.push(c, id(xx as usize, yy as usize, zz as usize), v);
                         }
                     }

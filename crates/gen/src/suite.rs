@@ -147,7 +147,12 @@ impl GenSpec {
                 links,
                 seed,
             } => special::power_flow(clusters, cluster_size, links, seed),
-            GenSpec::KronGridBlock { nx, ny, block, seed } => {
+            GenSpec::KronGridBlock {
+                nx,
+                ny,
+                block,
+                seed,
+            } => {
                 let grid = stencil::grid_2d_upwind(nx, ny);
                 let dense = random::small_random(block, block, 1.0, seed);
                 special::kronecker(&grid, &dense)
@@ -204,56 +209,101 @@ pub fn representative_18() -> Vec<DatasetEntry> {
             Some("pdb1HYS"),
             C::Fem,
             true,
-            Fem { nodes: 1800, block: 8, couplings: 6, spread: 40, seed: 101 },
+            Fem {
+                nodes: 1800,
+                block: 8,
+                couplings: 6,
+                spread: 40,
+                seed: 101,
+            },
         ),
         DatasetEntry::new(
             "consph-like",
             Some("consph"),
             C::Fem,
             true,
-            Fem { nodes: 5000, block: 6, couplings: 4, spread: 60, seed: 102 },
+            Fem {
+                nodes: 5000,
+                block: 6,
+                couplings: 4,
+                spread: 60,
+                seed: 102,
+            },
         ),
         DatasetEntry::new(
             "cant-like",
             Some("cant"),
             C::Fem,
             true,
-            Fem { nodes: 4000, block: 6, couplings: 4, spread: 30, seed: 103 },
+            Fem {
+                nodes: 4000,
+                block: 6,
+                couplings: 4,
+                spread: 30,
+                seed: 103,
+            },
         ),
         DatasetEntry::new(
             "pwtk-like",
             Some("pwtk"),
             C::Fem,
             true,
-            Fem { nodes: 9000, block: 6, couplings: 4, spread: 50, seed: 104 },
+            Fem {
+                nodes: 9000,
+                block: 6,
+                couplings: 4,
+                spread: 50,
+                seed: 104,
+            },
         ),
         DatasetEntry::new(
             "rma10-like",
             Some("rma10"),
             C::Banded,
             false,
-            Banded { n: 30_000, bandwidth: 60, per_row: 25, seed: 105 },
+            Banded {
+                n: 30_000,
+                bandwidth: 60,
+                per_row: 25,
+                seed: 105,
+            },
         ),
         DatasetEntry::new(
             "conf5_4-8x8-05-like",
             Some("conf5_4-8x8-05"),
             C::Kronecker,
             false,
-            KronGridBlock { nx: 56, ny: 56, block: 4, seed: 106 },
+            KronGridBlock {
+                nx: 56,
+                ny: 56,
+                block: 4,
+                seed: 106,
+            },
         ),
         DatasetEntry::new(
             "shipsec1-like",
             Some("shipsec1"),
             C::Fem,
             true,
-            Fem { nodes: 7000, block: 6, couplings: 5, spread: 45, seed: 107 },
+            Fem {
+                nodes: 7000,
+                block: 6,
+                couplings: 5,
+                spread: 45,
+                seed: 107,
+            },
         ),
         DatasetEntry::new(
             "mac_econ_fwd500-like",
             Some("mac_econ_fwd500"),
             C::Banded,
             false,
-            Banded { n: 40_000, bandwidth: 300, per_row: 5, seed: 108 },
+            Banded {
+                n: 40_000,
+                bandwidth: 300,
+                per_row: 5,
+                seed: 108,
+            },
         ),
         DatasetEntry::new(
             "mc2depi-like",
@@ -267,63 +317,107 @@ pub fn representative_18() -> Vec<DatasetEntry> {
             Some("cop20k_A"),
             C::Hypersparse,
             false,
-            Scatter { n: 12_000, per_row: 4, seed: 110 },
+            Scatter {
+                n: 12_000,
+                per_row: 4,
+                seed: 110,
+            },
         ),
         DatasetEntry::new(
             "scircuit-like",
             Some("scircuit"),
             C::PowerLaw,
             false,
-            Rmat { scale: 14, edges: 90_000, mild: true, seed: 111 },
+            Rmat {
+                scale: 14,
+                edges: 90_000,
+                mild: true,
+                seed: 111,
+            },
         ),
         DatasetEntry::new(
             "webbase-1M-like",
             Some("webbase-1M"),
             C::PowerLaw,
             false,
-            Rmat { scale: 16, edges: 200_000, mild: false, seed: 112 },
+            Rmat {
+                scale: 16,
+                edges: 200_000,
+                mild: false,
+                seed: 112,
+            },
         ),
         DatasetEntry::new(
             "af_shell10-like",
             Some("af_shell10"),
             C::Stencil,
             true,
-            Grid27 { nx: 40, ny: 40, nz: 24 },
+            Grid27 {
+                nx: 40,
+                ny: 40,
+                nz: 24,
+            },
         ),
         DatasetEntry::new(
             "pkustk12-like",
             Some("pkustk12"),
             C::Fem,
             true,
-            Fem { nodes: 700, block: 12, couplings: 10, spread: 20, seed: 114 },
+            Fem {
+                nodes: 700,
+                block: 12,
+                couplings: 10,
+                spread: 20,
+                seed: 114,
+            },
         ),
         DatasetEntry::new(
             "SiO2-like",
             Some("SiO2"),
             C::PowerFlow,
             true,
-            PowerFlow { clusters: 40, cluster_size: 135, links: 2000, seed: 115 },
+            PowerFlow {
+                clusters: 40,
+                cluster_size: 135,
+                links: 2000,
+                seed: 115,
+            },
         ),
         DatasetEntry::new(
             "case39-like",
             Some("case39"),
             C::DenseBorder,
             false,
-            Arrow { n: 4800, border: 4, body_per_row: 8, seed: 116 },
+            Arrow {
+                n: 4800,
+                border: 4,
+                body_per_row: 8,
+                seed: 116,
+            },
         ),
         DatasetEntry::new(
             "TSOPF_FS_b300_c2-like",
             Some("TSOPF_FS_b300_c2"),
             C::PowerFlow,
             true,
-            PowerFlow { clusters: 60, cluster_size: 135, links: 1000, seed: 117 },
+            PowerFlow {
+                clusters: 60,
+                cluster_size: 135,
+                links: 1000,
+                seed: 117,
+            },
         ),
         DatasetEntry::new(
             "gupta3-like",
             Some("gupta3"),
             C::PowerFlow,
             true,
-            PowerFlow { clusters: 25, cluster_size: 160, links: 2000, seed: 118 },
+            PowerFlow {
+                clusters: 25,
+                cluster_size: 160,
+                links: 2000,
+                seed: 118,
+            },
         ),
     ]
 }
@@ -352,41 +446,72 @@ pub fn tsparse_16() -> Vec<DatasetEntry> {
     use GenSpec::*;
     use StructureClass as C;
     vec![
-        DatasetEntry::new("mc2depi-t", Some("mc2depi"), C::Stencil, true, Grid5 { nx: 200, ny: 200 }),
+        DatasetEntry::new(
+            "mc2depi-t",
+            Some("mc2depi"),
+            C::Stencil,
+            true,
+            Grid5 { nx: 200, ny: 200 },
+        ),
         DatasetEntry::new(
             "webbase-1M-t",
             Some("webbase-1M"),
             C::PowerLaw,
             false,
-            Rmat { scale: 15, edges: 160_000, mild: false, seed: 201 },
+            Rmat {
+                scale: 15,
+                edges: 160_000,
+                mild: false,
+                seed: 201,
+            },
         ),
         DatasetEntry::new(
             "cage12-t",
             Some("cage12"),
             C::Hypersparse,
             false,
-            Scatter { n: 25_000, per_row: 8, seed: 202 },
+            Scatter {
+                n: 25_000,
+                per_row: 8,
+                seed: 202,
+            },
         ),
         DatasetEntry::new(
             "dawson5-t",
             Some("dawson5"),
             C::Banded,
             true,
-            Banded { n: 20_000, bandwidth: 40, per_row: 15, seed: 203 },
+            Banded {
+                n: 20_000,
+                bandwidth: 40,
+                per_row: 15,
+                seed: 203,
+            },
         ),
         DatasetEntry::new(
             "lock1074-t",
             Some("lock1074"),
             C::Fem,
             true,
-            Fem { nodes: 300, block: 4, couplings: 8, spread: 20, seed: 204 },
+            Fem {
+                nodes: 300,
+                block: 4,
+                couplings: 8,
+                spread: 20,
+                seed: 204,
+            },
         ),
         DatasetEntry::new(
             "patents_main-t",
             Some("patents_main"),
             C::PowerLaw,
             false,
-            Rmat { scale: 15, edges: 120_000, mild: true, seed: 205 },
+            Rmat {
+                scale: 15,
+                edges: 120_000,
+                mild: true,
+                seed: 205,
+            },
         ),
         DatasetEntry::new(
             "struct3-t",
@@ -400,63 +525,113 @@ pub fn tsparse_16() -> Vec<DatasetEntry> {
             Some("wiki-Vote"),
             C::PowerLaw,
             false,
-            Rmat { scale: 13, edges: 100_000, mild: false, seed: 207 },
+            Rmat {
+                scale: 13,
+                edges: 100_000,
+                mild: false,
+                seed: 207,
+            },
         ),
         DatasetEntry::new(
             "bcsstk30-t",
             Some("bcsstk30"),
             C::Fem,
             true,
-            Fem { nodes: 2500, block: 6, couplings: 6, spread: 30, seed: 208 },
+            Fem {
+                nodes: 2500,
+                block: 6,
+                couplings: 6,
+                spread: 30,
+                seed: 208,
+            },
         ),
         DatasetEntry::new(
             "nemeth21-t",
             Some("nemeth21"),
             C::Banded,
             true,
-            Banded { n: 9_500, bandwidth: 90, per_row: 70, seed: 209 },
+            Banded {
+                n: 9_500,
+                bandwidth: 90,
+                per_row: 70,
+                seed: 209,
+            },
         ),
         DatasetEntry::new(
             "pcrystk03-t",
             Some("pcrystk03"),
             C::Fem,
             true,
-            Fem { nodes: 4000, block: 6, couplings: 4, spread: 35, seed: 210 },
+            Fem {
+                nodes: 4000,
+                block: 6,
+                couplings: 4,
+                spread: 35,
+                seed: 210,
+            },
         ),
         DatasetEntry::new(
             "pct20stif-t",
             Some("pct20stif"),
             C::Fem,
             true,
-            Fem { nodes: 4500, block: 6, couplings: 5, spread: 40, seed: 211 },
+            Fem {
+                nodes: 4500,
+                block: 6,
+                couplings: 5,
+                spread: 40,
+                seed: 211,
+            },
         ),
         DatasetEntry::new(
             "pkustk06-t",
             Some("pkustk06"),
             C::Fem,
             true,
-            Fem { nodes: 3500, block: 8, couplings: 5, spread: 30, seed: 212 },
+            Fem {
+                nodes: 3500,
+                block: 8,
+                couplings: 5,
+                spread: 30,
+                seed: 212,
+            },
         ),
         DatasetEntry::new(
             "pli-t",
             Some("pli"),
             C::Fem,
             true,
-            Fem { nodes: 3700, block: 6, couplings: 6, spread: 50, seed: 213 },
+            Fem {
+                nodes: 3700,
+                block: 6,
+                couplings: 6,
+                spread: 50,
+                seed: 213,
+            },
         ),
         DatasetEntry::new(
             "net50-t",
             Some("net50"),
             C::PowerLaw,
             false,
-            Rmat { scale: 14, edges: 250_000, mild: true, seed: 214 },
+            Rmat {
+                scale: 14,
+                edges: 250_000,
+                mild: true,
+                seed: 214,
+            },
         ),
         DatasetEntry::new(
             "web-NotreDame-t",
             Some("web-NotreDame"),
             C::PowerLaw,
             false,
-            Rmat { scale: 15, edges: 200_000, mild: false, seed: 215 },
+            Rmat {
+                scale: 15,
+                edges: 200_000,
+                mild: false,
+                seed: 215,
+            },
         ),
     ]
 }
@@ -479,55 +654,97 @@ pub fn fig6_sweep() -> Vec<DatasetEntry> {
                 format!("fem-{si}{seed_off}"),
                 C::Fem,
                 true,
-                Fem { nodes: sc(2500), block: 6, couplings: 5, spread: 40, seed: s(1) },
+                Fem {
+                    nodes: sc(2500),
+                    block: 6,
+                    couplings: 5,
+                    spread: 40,
+                    seed: s(1),
+                },
             );
             push(
                 format!("banded-{si}{seed_off}"),
                 C::Banded,
                 false,
-                Banded { n: sc(20_000), bandwidth: 50, per_row: 18, seed: s(2) },
+                Banded {
+                    n: sc(20_000),
+                    bandwidth: 50,
+                    per_row: 18,
+                    seed: s(2),
+                },
             );
             push(
                 format!("grid5-{si}{seed_off}"),
                 C::Stencil,
                 true,
-                Grid5 { nx: sc(180) + seed_off as usize, ny: sc(180) },
+                Grid5 {
+                    nx: sc(180) + seed_off as usize,
+                    ny: sc(180),
+                },
             );
             push(
                 format!("grid27-{si}{seed_off}"),
                 C::Stencil,
                 true,
-                Grid27 { nx: sc(26) + seed_off as usize, ny: sc(26), nz: 20 },
+                Grid27 {
+                    nx: sc(26) + seed_off as usize,
+                    ny: sc(26),
+                    nz: 20,
+                },
             );
             push(
                 format!("rmat-{si}{seed_off}"),
                 C::PowerLaw,
                 false,
-                Rmat { scale: 14 + si as u32, edges: sc(100_000), mild: false, seed: s(3) },
+                Rmat {
+                    scale: 14 + si as u32,
+                    edges: sc(100_000),
+                    mild: false,
+                    seed: s(3),
+                },
             );
             push(
                 format!("rmat-mild-{si}{seed_off}"),
                 C::PowerLaw,
                 false,
-                Rmat { scale: 14 + si as u32, edges: sc(130_000), mild: true, seed: s(4) },
+                Rmat {
+                    scale: 14 + si as u32,
+                    edges: sc(130_000),
+                    mild: true,
+                    seed: s(4),
+                },
             );
             push(
                 format!("scatter-{si}{seed_off}"),
                 C::Hypersparse,
                 false,
-                Scatter { n: sc(9_000), per_row: 4, seed: s(5) },
+                Scatter {
+                    n: sc(9_000),
+                    per_row: 4,
+                    seed: s(5),
+                },
             );
             push(
                 format!("cluster-{si}{seed_off}"),
                 C::PowerFlow,
                 true,
-                PowerFlow { clusters: sc(30), cluster_size: 70, links: sc(1000), seed: s(6) },
+                PowerFlow {
+                    clusters: sc(30),
+                    cluster_size: 70,
+                    links: sc(1000),
+                    seed: s(6),
+                },
             );
             push(
                 format!("arrow-{si}{seed_off}"),
                 C::DenseBorder,
                 false,
-                Arrow { n: sc(4000), border: 4, body_per_row: 8, seed: s(7) },
+                Arrow {
+                    n: sc(4000),
+                    border: 4,
+                    body_per_row: 8,
+                    seed: s(7),
+                },
             );
         }
     }

@@ -377,14 +377,7 @@ mod tests {
 
     #[test]
     fn prune_and_zero_drop() {
-        let a = Csr::from_parts(
-            2,
-            2,
-            vec![0, 2, 3],
-            vec![0, 1, 0],
-            vec![0.0, 0.5, -2.0],
-        )
-        .unwrap();
+        let a = Csr::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 0], vec![0.0, 0.5, -2.0]).unwrap();
         let dropped = a.drop_numeric_zeros();
         assert_eq!(dropped.nnz(), 2);
         let pruned = a.prune(1.0);

@@ -138,14 +138,8 @@ mod tests {
 
     #[test]
     fn csr_round_trip() {
-        let csr = Csr::from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0, -2.0, 4.0],
-        )
-        .unwrap();
+        let csr =
+            Csr::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, -2.0, 4.0]).unwrap();
         let d = Dense::from_csr(&csr);
         assert_eq!(d.get(0, 2), -2.0);
         assert_eq!(d.to_csr(), csr);

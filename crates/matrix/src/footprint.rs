@@ -6,7 +6,7 @@
 //! `16 × u16` masks per tile on top of per-nonzero `u8` locals, which is why
 //! it sits above CSB but (for index data) below CSR's 4-byte column indices.
 
-use crate::{Coo, Csc, CsbI, CsbM, Csr, Scalar, TileMatrix, TILE_DIM};
+use crate::{Coo, CsbI, CsbM, Csc, Csr, Scalar, TileMatrix, TILE_DIM};
 
 /// One labelled component of a format's storage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,12 +64,18 @@ impl<T: Scalar> Footprint for Coo<T> {
 impl<T: Scalar> Footprint for TileMatrix<T> {
     fn components(&self) -> Vec<Component> {
         vec![
-            comp("tilePtr", self.tile_ptr.len() * std::mem::size_of::<usize>()),
+            comp(
+                "tilePtr",
+                self.tile_ptr.len() * std::mem::size_of::<usize>(),
+            ),
             comp(
                 "tileColIdx",
                 self.tile_colidx.len() * std::mem::size_of::<u32>(),
             ),
-            comp("tileNnz", self.tile_nnz.len() * std::mem::size_of::<usize>()),
+            comp(
+                "tileNnz",
+                self.tile_nnz.len() * std::mem::size_of::<usize>(),
+            ),
             comp("rowPtr", self.row_ptr.len()),
             comp("rowIdx", self.row_idx.len()),
             comp("colIdx", self.col_idx.len()),

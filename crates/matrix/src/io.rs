@@ -70,7 +70,10 @@ pub fn read_matrix_market<T: Scalar, R: BufRead>(reader: R) -> Result<Coo<T>, Fo
     let size_line = size_line.ok_or_else(|| FormatError::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| FormatError::Parse(e.to_string())))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| FormatError::Parse(e.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(FormatError::Parse(format!(
@@ -234,14 +237,8 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let csr = Csr::from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.5, -2.0, 0.25],
-        )
-        .unwrap();
+        let csr =
+            Csr::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.5, -2.0, 0.25]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&csr, &mut buf).unwrap();
         let back = read_matrix_market::<f64, _>(buf.as_slice())

@@ -203,8 +203,14 @@ mod tests {
     }
 
     fn b() -> Csr<f64> {
-        Csr::from_parts(3, 3, vec![0, 1, 3, 4], vec![1, 0, 1, 2], vec![10.0, 20.0, 30.0, 40.0])
-            .unwrap()
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 1, 3, 4],
+            vec![1, 0, 1, 2],
+            vec![10.0, 20.0, 30.0, 40.0],
+        )
+        .unwrap()
     }
 
     #[test]

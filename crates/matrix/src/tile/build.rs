@@ -78,24 +78,32 @@ impl<T: Scalar> TileMatrix<T> {
             .map(|ti| discover_tile_row(csr, ti))
             .collect();
 
-        // High-level structure from the layouts.
+        // High-level structure from the layouts: scan the per-tile-row tile
+        // counts into tile_ptr, scatter each row's tile columns and nonzero
+        // counts into disjoint windows, then scan the counts into tile_nnz.
+        // Both scans and the scatter run in parallel on large inputs.
+        let row_tile_counts: Vec<usize> = layouts.par_iter().map(|l| l.cols.len()).collect();
         let mut tile_ptr = vec![0usize; tile_m + 1];
-        for (ti, l) in layouts.iter().enumerate() {
-            tile_ptr[ti + 1] = tile_ptr[ti] + l.cols.len();
-        }
+        tsg_scan(&row_tile_counts, &mut tile_ptr);
         let num_tiles = tile_ptr[tile_m];
         let mut tile_colidx = vec![0u32; num_tiles];
+        let mut tile_counts = vec![0usize; num_tiles];
+        {
+            let colidx_w = tsg_split(&mut tile_colidx, &tile_ptr);
+            let counts_w = tsg_split(&mut tile_counts, &tile_ptr);
+            layouts
+                .par_iter()
+                .zip(colidx_w)
+                .zip(counts_w)
+                .for_each(|((l, colidx_w), counts_w)| {
+                    colidx_w.copy_from_slice(&l.cols);
+                    for (slot, &c) in counts_w.iter_mut().zip(l.counts.iter()) {
+                        *slot = c as usize;
+                    }
+                });
+        }
         let mut tile_nnz = vec![0usize; num_tiles + 1];
-        for (ti, l) in layouts.iter().enumerate() {
-            let base = tile_ptr[ti];
-            tile_colidx[base..base + l.cols.len()].copy_from_slice(&l.cols);
-            for (k, &c) in l.counts.iter().enumerate() {
-                tile_nnz[base + k + 1] = c as usize;
-            }
-        }
-        for t in 0..num_tiles {
-            tile_nnz[t + 1] += tile_nnz[t];
-        }
+        tsg_scan(&tile_counts, &mut tile_nnz);
         let nnz = tile_nnz[num_tiles];
         debug_assert_eq!(nnz, csr.nnz());
 
@@ -127,8 +135,15 @@ impl<T: Scalar> TileMatrix<T> {
             .for_each(
                 |((((((ti, layout), row_ptr_w), masks_w), row_idx_w), col_idx_w), vals_w)| {
                     fill_tile_row(
-                        csr, ti, layout, tile_nnz_rel(&tile_nnz, &tile_ptr, ti), row_ptr_w,
-                        masks_w, row_idx_w, col_idx_w, vals_w,
+                        csr,
+                        ti,
+                        layout,
+                        tile_nnz_rel(&tile_nnz, &tile_ptr, ti),
+                        row_ptr_w,
+                        masks_w,
+                        row_idx_w,
+                        col_idx_w,
+                        vals_w,
                     );
                 },
             );
@@ -169,7 +184,7 @@ impl<T: Scalar> TileMatrix<T> {
                 }
             });
         let mut rowptr = vec![0usize; self.nrows + 1];
-        tsg_runtime_scan(&counts, &mut rowptr);
+        tsg_scan(&counts, &mut rowptr);
         let nnz = rowptr[self.nrows];
         let mut colidx = vec![0u32; nnz];
         let mut vals = vec![T::ZERO; nnz];
@@ -263,9 +278,10 @@ fn fill_tile_row<T: Scalar>(
     }
 }
 
-// Thin local aliases so this file reads without a hard dependency on the
-// runtime crate (tsg-matrix must stay a leaf below tsg-runtime).
-fn tsg_split<'a, T>(data: &'a mut [T], offsets: &[usize]) -> Vec<&'a mut [T]> {
+// Thin local equivalents of tsg-runtime's split/scan primitives so this crate
+// reads without a hard dependency on the runtime crate (tsg-matrix must stay
+// a leaf below tsg-runtime). Shared with `col_index` in the parent module.
+pub(crate) fn tsg_split<'a, T>(data: &'a mut [T], offsets: &[usize]) -> Vec<&'a mut [T]> {
     let mut windows = Vec::with_capacity(offsets.len().saturating_sub(1));
     let mut rest = data;
     let mut consumed = 0usize;
@@ -279,13 +295,48 @@ fn tsg_split<'a, T>(data: &'a mut [T], offsets: &[usize]) -> Vec<&'a mut [T]> {
     windows
 }
 
-fn tsg_runtime_scan(counts: &[usize], out: &mut [usize]) {
-    let mut running = 0usize;
-    for (o, &c) in out.iter_mut().zip(counts.iter()) {
-        *o = running;
-        running += c;
+/// Exclusive scan of `counts` into `out` (`out.len() == counts.len() + 1`),
+/// switching to a two-pass parallel scan above a length threshold.
+pub(crate) fn tsg_scan(counts: &[usize], out: &mut [usize]) -> usize {
+    debug_assert_eq!(out.len(), counts.len() + 1);
+    let n = counts.len();
+    if n < 1 << 15 {
+        let mut running = 0usize;
+        for (o, &c) in out.iter_mut().zip(counts.iter()) {
+            *o = running;
+            running += c;
+        }
+        out[n] = running;
+        return running;
     }
-    out[counts.len()] = running;
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    let chunk_sums: Vec<usize> = counts
+        .par_chunks(chunk)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    let mut running = 0usize;
+    let offsets: Vec<usize> = chunk_sums
+        .iter()
+        .map(|&s| {
+            let o = running;
+            running += s;
+            o
+        })
+        .collect();
+    let total = running;
+    out[n] = total;
+    out[..n]
+        .par_chunks_mut(chunk)
+        .zip(counts.par_chunks(chunk))
+        .zip(offsets)
+        .for_each(|((o, c), offset)| {
+            let mut running = offset;
+            for (slot, &count) in o.iter_mut().zip(c.iter()) {
+                *slot = running;
+                running += count;
+            }
+        });
+    total
 }
 
 #[cfg(test)]

@@ -32,6 +32,13 @@ mod build;
 pub use build::tile_dims;
 
 use crate::{FormatError, Scalar};
+use build::{tsg_scan, tsg_split};
+use rayon::prelude::*;
+
+/// Below this tile count the index-building helpers (`expand_tile_rowidx`,
+/// `col_index`) stay serial; the fork/join and per-chunk bookkeeping overhead
+/// dominates for small tile grids.
+const INDEX_PAR_THRESHOLD: usize = 1 << 14;
 
 /// Tile edge length. Fixed at 16 by the paper: local indices fill 4 bits
 /// (two per `u8`), row masks fill a `u16`, and pointers fill a `u8`.
@@ -163,15 +170,105 @@ impl<T: Scalar> TileMatrix<T> {
     /// `tileRowIdx` array Algorithms 2 and 3 read).
     pub fn expand_tile_rowidx(&self) -> Vec<u32> {
         let mut out = vec![0u32; self.tile_count()];
-        for ti in 0..self.tile_m {
-            out[self.tile_row_range(ti)].fill(ti as u32);
+        if self.tile_count() < INDEX_PAR_THRESHOLD {
+            for ti in 0..self.tile_m {
+                out[self.tile_row_range(ti)].fill(ti as u32);
+            }
+        } else {
+            tsg_split(&mut out, &self.tile_ptr)
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(ti, w)| w.fill(ti as u32));
         }
         out
     }
 
     /// Builds the column-major tile index (`tileColPtr` / `tileRowIdx` of
     /// the paper's Algorithm 2) used to walk `B`'s tile columns in step 2.
+    ///
+    /// Small grids run the classic serial counting sort; large grids run a
+    /// chunked two-pass variant: each chunk of `tile_colidx` is counting-
+    /// sorted privately, then per-column windows are gathered from the chunks
+    /// in order. Visiting chunks in ascending order keeps tile ids ascending
+    /// within a column, so both paths produce identical output.
     pub fn col_index(&self) -> TileColIndex {
+        let ntiles = self.tile_count();
+        if ntiles < INDEX_PAR_THRESHOLD {
+            return self.col_index_serial();
+        }
+        let rowidx_exp = self.expand_tile_rowidx();
+        let chunk = ntiles
+            .div_ceil(rayon::current_num_threads().max(1) * 4)
+            .max(1);
+        // Pass 1: counting-sort each chunk of tile ids by tile column.
+        struct ChunkSort {
+            /// Per-column offsets into `ids`, length `tile_n + 1`.
+            bounds: Vec<usize>,
+            /// This chunk's tile ids grouped by column, ascending within one.
+            ids: Vec<u32>,
+        }
+        let chunks: Vec<ChunkSort> = self
+            .tile_colidx
+            .par_chunks(chunk)
+            .enumerate()
+            .map(|(ci, cols)| {
+                let base = ci * chunk;
+                let mut bounds = vec![0usize; self.tile_n + 1];
+                for &tc in cols {
+                    bounds[tc as usize + 1] += 1;
+                }
+                for j in 0..self.tile_n {
+                    bounds[j + 1] += bounds[j];
+                }
+                let mut cursor = bounds[..self.tile_n].to_vec();
+                let mut ids = vec![0u32; cols.len()];
+                for (k, &tc) in cols.iter().enumerate() {
+                    ids[cursor[tc as usize]] = (base + k) as u32;
+                    cursor[tc as usize] += 1;
+                }
+                ChunkSort { bounds, ids }
+            })
+            .collect();
+        // Global per-column offsets, then gather each column's window from
+        // the chunk-local sorts.
+        let col_counts: Vec<usize> = (0..self.tile_n)
+            .into_par_iter()
+            .map(|j| {
+                chunks
+                    .iter()
+                    .map(|c| c.bounds[j + 1] - c.bounds[j])
+                    .sum::<usize>()
+            })
+            .collect();
+        let mut colptr = vec![0usize; self.tile_n + 1];
+        tsg_scan(&col_counts, &mut colptr);
+        let mut rowidx = vec![0u32; ntiles];
+        let mut tile_id = vec![0u32; ntiles];
+        let rowidx_w = tsg_split(&mut rowidx, &colptr);
+        let tile_id_w = tsg_split(&mut tile_id, &colptr);
+        rowidx_w
+            .into_par_iter()
+            .zip(tile_id_w)
+            .enumerate()
+            .for_each(|(j, (rowidx_w, tile_id_w))| {
+                let mut cur = 0usize;
+                for c in &chunks {
+                    for &id in &c.ids[c.bounds[j]..c.bounds[j + 1]] {
+                        rowidx_w[cur] = rowidx_exp[id as usize];
+                        tile_id_w[cur] = id;
+                        cur += 1;
+                    }
+                }
+            });
+        TileColIndex {
+            tile_n: self.tile_n,
+            colptr,
+            rowidx,
+            tile_id,
+        }
+    }
+
+    fn col_index_serial(&self) -> TileColIndex {
         let mut colptr = vec![0usize; self.tile_n + 1];
         for &tc in &self.tile_colidx {
             colptr[tc as usize + 1] += 1;
@@ -205,7 +302,8 @@ impl<T: Scalar> TileMatrix<T> {
     pub fn validate(&self) -> Result<(), FormatError> {
         let ntiles = self.tile_count();
         let err = |msg: String| Err(FormatError::Invalid(msg));
-        if self.tile_m != self.nrows.div_ceil(TILE_DIM) || self.tile_n != self.ncols.div_ceil(TILE_DIM)
+        if self.tile_m != self.nrows.div_ceil(TILE_DIM)
+            || self.tile_n != self.ncols.div_ceil(TILE_DIM)
         {
             return err("tile grid dimensions disagree with scalar dimensions".into());
         }
@@ -401,6 +499,30 @@ mod tests {
         for &id in ids1 {
             assert_eq!(t.tile_colidx[id as usize], 1);
         }
+    }
+
+    #[test]
+    fn col_index_parallel_matches_serial_on_large_grid() {
+        // Enough tiles to cross INDEX_PAR_THRESHOLD: a diagonal plus a
+        // hashed off-diagonal entry per row gives roughly two tiles per
+        // tile row.
+        let n = TILE_DIM * INDEX_PAR_THRESHOLD;
+        let mut coo = crate::Coo::new(n, n);
+        for r in 0..n as u32 {
+            coo.push(r, r, 1.0);
+            coo.push(r, r.wrapping_mul(2654435761) % n as u32, 2.0);
+        }
+        let t = TileMatrix::<f64>::from_csr(&coo.to_csr());
+        assert!(t.tile_count() >= INDEX_PAR_THRESHOLD);
+        assert_eq!(t.col_index(), t.col_index_serial());
+        let serial_rowidx = {
+            let mut out = vec![0u32; t.tile_count()];
+            for ti in 0..t.tile_m {
+                out[t.tile_row_range(ti)].fill(ti as u32);
+            }
+            out
+        };
+        assert_eq!(t.expand_tile_rowidx(), serial_rowidx);
     }
 
     #[test]

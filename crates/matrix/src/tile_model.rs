@@ -26,7 +26,10 @@ pub struct TileOccupancy {
 
 /// Counts the non-empty `dim × dim` tiles of a matrix.
 pub fn occupancy<T: Scalar>(a: &Csr<T>, dim: usize) -> TileOccupancy {
-    assert!(dim.is_power_of_two() && dim >= 2, "dim must be a power of two >= 2");
+    assert!(
+        dim.is_power_of_two() && dim >= 2,
+        "dim must be a power of two >= 2"
+    );
     let shift = dim.trailing_zeros();
     let mut tiles: HashMap<u64, ()> = HashMap::new();
     for row in 0..a.nrows {
@@ -81,7 +84,11 @@ pub fn sweep_dims<T: Scalar>(a: &Csr<T>) -> Vec<(usize, usize, usize)> {
         .into_iter()
         .map(|dim| {
             let occ = occupancy(a, dim);
-            (dim, occ.tiles, modelled_bytes(occ, std::mem::size_of::<T>()))
+            (
+                dim,
+                occ.tiles,
+                modelled_bytes(occ, std::mem::size_of::<T>()),
+            )
         })
         .collect()
 }

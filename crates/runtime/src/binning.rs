@@ -59,11 +59,7 @@ pub fn bucket_of(key: usize, bucket_count: usize) -> usize {
 /// Runs the key evaluation in parallel; the grouping itself is a counting
 /// sort, so the relative order of rows inside a bucket is ascending by row id
 /// (deterministic output).
-pub fn bin_rows_by(
-    n: usize,
-    bucket_count: usize,
-    key: impl Fn(usize) -> usize + Sync,
-) -> Bins {
+pub fn bin_rows_by(n: usize, bucket_count: usize, key: impl Fn(usize) -> usize + Sync) -> Bins {
     assert!(bucket_count >= 2, "need at least buckets for 0 and >0");
     let buckets: Vec<u8> = (0..n)
         .into_par_iter()

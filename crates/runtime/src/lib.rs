@@ -37,7 +37,9 @@ pub mod tracker;
 pub use atomicf64::{AtomicF32, AtomicF64};
 pub use binning::{bin_rows_by, Bins};
 pub use device::{run_on, Device};
-pub use scan::{exclusive_scan_in_place, exclusive_scan_to, par_exclusive_scan_in_place};
+pub use scan::{
+    exclusive_scan_in_place, exclusive_scan_to, par_exclusive_scan_in_place, par_exclusive_scan_to,
+};
 pub use split::{split_mut_by_offsets, split_mut_uniform};
 pub use timer::{time, Breakdown, Step};
 pub use tracker::{MemTracker, TrackedBuf};

@@ -43,6 +43,42 @@ pub fn exclusive_scan_to(counts: &[usize], out: &mut [usize]) -> usize {
     running
 }
 
+/// Parallel exclusive scan of `counts` into `out` (two-pass, chunked).
+/// Semantics match [`exclusive_scan_to`]: `out.len() == counts.len() + 1`
+/// and `out[counts.len()]` receives the total. Returns the total.
+pub fn par_exclusive_scan_to(counts: &[usize], out: &mut [usize]) -> usize {
+    assert_eq!(
+        out.len(),
+        counts.len() + 1,
+        "output of exclusive_scan_to must have one extra slot"
+    );
+    let n = counts.len();
+    if n < PAR_THRESHOLD {
+        return exclusive_scan_to(counts, out);
+    }
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    // Pass 1: per-chunk sums.
+    let mut chunk_sums: Vec<usize> = counts
+        .par_chunks(chunk)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    let total = exclusive_scan_in_place(&mut chunk_sums);
+    out[n] = total;
+    // Pass 2: scan each chunk with its offset.
+    out[..n]
+        .par_chunks_mut(chunk)
+        .zip(counts.par_chunks(chunk))
+        .zip(chunk_sums.par_iter())
+        .for_each(|((o, c), &offset)| {
+            let mut running = offset;
+            for (slot, &count) in o.iter_mut().zip(c.iter()) {
+                *slot = running;
+                running += count;
+            }
+        });
+    total
+}
+
 /// Parallel in-place exclusive scan (two-pass, chunked). Semantics match
 /// [`exclusive_scan_in_place`]. Returns the total.
 pub fn par_exclusive_scan_in_place(values: &mut [usize]) -> usize {
@@ -111,6 +147,25 @@ mod tests {
         let tp = par_exclusive_scan_in_place(&mut parallel);
         assert_eq!(ts, tp);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_scan_to_matches_serial_on_large_input() {
+        let counts: Vec<usize> = (0..100_000).map(|i| (i * 13 + 5) % 17).collect();
+        let mut serial = vec![0usize; counts.len() + 1];
+        let mut parallel = vec![0usize; counts.len() + 1];
+        let ts = exclusive_scan_to(&counts, &mut serial);
+        let tp = par_exclusive_scan_to(&counts, &mut parallel);
+        assert_eq!(ts, tp);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_scan_to_small_input_falls_back() {
+        let counts = [2usize, 0, 4, 1];
+        let mut out = [0usize; 5];
+        assert_eq!(par_exclusive_scan_to(&counts, &mut out), 7);
+        assert_eq!(out, [0, 2, 2, 6, 7]);
     }
 
     #[test]

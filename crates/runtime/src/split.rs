@@ -57,7 +57,10 @@ mod tests {
         {
             let windows = split_mut_by_offsets(&mut data, &offsets);
             assert_eq!(windows.len(), 4);
-            assert_eq!(windows.iter().map(|w| w.len()).collect::<Vec<_>>(), [3, 0, 4, 3]);
+            assert_eq!(
+                windows.iter().map(|w| w.len()).collect::<Vec<_>>(),
+                [3, 0, 4, 3]
+            );
             windows
                 .into_par_iter()
                 .enumerate()

@@ -30,8 +30,8 @@ fn main() {
     //    `Config::default()` is the paper's configuration: binary-search
     //    intersection, adaptive accumulator with tnnz = 192.
     let tracker = MemTracker::new();
-    let out = tilespgemm::core::multiply(&tiled, &tiled, &Config::default(), &tracker)
-        .expect("multiply");
+    let out =
+        tilespgemm::core::multiply(&tiled, &tiled, &Config::default(), &tracker).expect("multiply");
 
     // 4. Inspect: runtime breakdown (the paper's Figure 10 slices), result
     //    shape, and peak memory.

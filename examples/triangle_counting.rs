@@ -65,18 +65,10 @@ fn count_triangles_naive(adj: &Csr<f64>) -> u64 {
 fn main() {
     // A scale-free graph: symmetrised R-MAT, self-loops removed — the
     // social-network-like workload triangle counting targets.
-    let raw = tilespgemm::gen::rmat::rmat(
-        13,
-        60_000,
-        tilespgemm::gen::rmat::RmatParams::GRAPH500,
-        42,
-    );
+    let raw =
+        tilespgemm::gen::rmat::rmat(13, 60_000, tilespgemm::gen::rmat::RmatParams::GRAPH500, 42);
     let adj = remove_diagonal(&symmetrize_pattern(&raw));
-    println!(
-        "graph: {} vertices, {} edges",
-        adj.nrows,
-        adj.nnz() / 2
-    );
+    println!("graph: {} vertices, {} edges", adj.nrows, adj.nnz() / 2);
 
     let start = std::time::Instant::now();
     let triangles = count_triangles(&adj);
@@ -91,15 +83,14 @@ fn main() {
 
     // Cross-check on a subsampled graph (oracle is O(m^1.5)-ish, keep it
     // small).
-    let small_raw = tilespgemm::gen::rmat::rmat(
-        9,
-        4_000,
-        tilespgemm::gen::rmat::RmatParams::GRAPH500,
-        7,
-    );
+    let small_raw =
+        tilespgemm::gen::rmat::rmat(9, 4_000, tilespgemm::gen::rmat::RmatParams::GRAPH500, 7);
     let small = remove_diagonal(&symmetrize_pattern(&small_raw));
     let fast = count_triangles(&small);
     let slow = count_triangles_naive(&small);
     assert_eq!(fast, slow, "SpGEMM count disagrees with the oracle");
-    println!("oracle check on {}-vertex graph: {fast} == {slow} ok", small.nrows);
+    println!(
+        "oracle check on {}-vertex graph: {fast} == {slow} ok",
+        small.nrows
+    );
 }

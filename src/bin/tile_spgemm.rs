@@ -145,11 +145,26 @@ fn main() {
     };
     let bd = out.breakdown;
     println!("device: {} ({} threads)", device.name, device.threads);
-    println!("step 1 (tile structure SpGEMM): {:.3} ms", bd.step1.as_secs_f64() * 1e3);
-    println!("step 2 (per-tile symbolic):     {:.3} ms", bd.step2.as_secs_f64() * 1e3);
-    println!("step 3 (per-tile numeric):      {:.3} ms", bd.step3.as_secs_f64() * 1e3);
-    println!("CPU & GPU memory allocation:    {:.3} ms", bd.alloc.as_secs_f64() * 1e3);
-    println!("peak tracked device memory:     {:.3} MB", out.peak_bytes as f64 / 1e6);
+    println!(
+        "step 1 (tile structure SpGEMM): {:.3} ms",
+        bd.step1.as_secs_f64() * 1e3
+    );
+    println!(
+        "step 2 (per-tile symbolic):     {:.3} ms",
+        bd.step2.as_secs_f64() * 1e3
+    );
+    println!(
+        "step 3 (per-tile numeric):      {:.3} ms",
+        bd.step3.as_secs_f64() * 1e3
+    );
+    println!(
+        "CPU & GPU memory allocation:    {:.3} ms",
+        bd.alloc.as_secs_f64() * 1e3
+    );
+    println!(
+        "peak tracked device memory:     {:.3} MB",
+        out.peak_bytes as f64 / 1e6
+    );
 
     // Lines 15-17: result structure and throughput.
     println!("the number of tiles of C: {}", out.c.tile_count());

@@ -151,8 +151,8 @@ fn tsparse_f32_pipeline_matches_tilespgemm_f32() {
     let a: Csr<f32> = a64.cast();
     let ta = TileMatrix::from_csr(&a);
     let ts = tilespgemm::baselines::tsparse::multiply_tiled(&ta, &ta, &MemTracker::new()).unwrap();
-    let tile = tilespgemm::core::multiply(&ta, &ta, &Config::default(), &MemTracker::new())
-        .unwrap();
+    let tile =
+        tilespgemm::core::multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
     assert!(ts
         .c
         .to_csr()

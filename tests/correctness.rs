@@ -10,18 +10,89 @@ use tilespgemm::prelude::*;
 fn family_zoo() -> Vec<(&'static str, Csr<f64>)> {
     use GenSpec::*;
     let specs: Vec<(&'static str, GenSpec)> = vec![
-        ("fem", Fem { nodes: 120, block: 5, couplings: 4, spread: 8, seed: 1 }),
-        ("banded", Banded { n: 700, bandwidth: 12, per_row: 6, seed: 2 }),
+        (
+            "fem",
+            Fem {
+                nodes: 120,
+                block: 5,
+                couplings: 4,
+                spread: 8,
+                seed: 1,
+            },
+        ),
+        (
+            "banded",
+            Banded {
+                n: 700,
+                bandwidth: 12,
+                per_row: 6,
+                seed: 2,
+            },
+        ),
         ("grid5", Grid5 { nx: 23, ny: 31 }),
         ("grid9", Grid9 { nx: 17, ny: 19 }),
         ("grid-upwind", GridUpwind { nx: 21, ny: 14 }),
-        ("grid27", Grid27 { nx: 7, ny: 8, nz: 6 }),
-        ("rmat", Rmat { scale: 9, edges: 4000, mild: false, seed: 3 }),
-        ("rmat-mild", Rmat { scale: 9, edges: 5000, mild: true, seed: 4 }),
-        ("scatter", Scatter { n: 600, per_row: 4, seed: 5 }),
-        ("arrow", Arrow { n: 300, border: 3, body_per_row: 5, seed: 6 }),
-        ("cluster", PowerFlow { clusters: 6, cluster_size: 18, links: 60, seed: 7 }),
-        ("kron", KronGridBlock { nx: 9, ny: 9, block: 3, seed: 8 }),
+        (
+            "grid27",
+            Grid27 {
+                nx: 7,
+                ny: 8,
+                nz: 6,
+            },
+        ),
+        (
+            "rmat",
+            Rmat {
+                scale: 9,
+                edges: 4000,
+                mild: false,
+                seed: 3,
+            },
+        ),
+        (
+            "rmat-mild",
+            Rmat {
+                scale: 9,
+                edges: 5000,
+                mild: true,
+                seed: 4,
+            },
+        ),
+        (
+            "scatter",
+            Scatter {
+                n: 600,
+                per_row: 4,
+                seed: 5,
+            },
+        ),
+        (
+            "arrow",
+            Arrow {
+                n: 300,
+                border: 3,
+                body_per_row: 5,
+                seed: 6,
+            },
+        ),
+        (
+            "cluster",
+            PowerFlow {
+                clusters: 6,
+                cluster_size: 18,
+                links: 60,
+                seed: 7,
+            },
+        ),
+        (
+            "kron",
+            KronGridBlock {
+                nx: 9,
+                ny: 9,
+                block: 3,
+                seed: 8,
+            },
+        ),
     ];
     specs.into_iter().map(|(n, s)| (n, s.build())).collect()
 }

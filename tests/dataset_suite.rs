@@ -24,10 +24,18 @@ fn compression_rates_order_like_table_2() {
         stats_of("scircuit-like"),
     ];
     for h in &high {
-        assert!(h.compression_rate > 25.0, "high-rate entry at {}", h.compression_rate);
+        assert!(
+            h.compression_rate > 25.0,
+            "high-rate entry at {}",
+            h.compression_rate
+        );
     }
     for l in &low {
-        assert!(l.compression_rate < 3.0, "low-rate entry at {}", l.compression_rate);
+        assert!(
+            l.compression_rate < 3.0,
+            "low-rate entry at {}",
+            l.compression_rate
+        );
     }
 }
 
