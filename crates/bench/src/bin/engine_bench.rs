@@ -1,0 +1,228 @@
+//! Service-level benchmark of the resident engine (`tsg-engine`): a mixed
+//! 20-job workload fired at an engine with a deliberately constrained device
+//! budget and queue depth, so the run exercises every admission outcome —
+//! completed jobs (with registry cache hits after the first conversion),
+//! estimate-based rejections, and queue-full shedding — without deadlocking.
+//!
+//! Writes `BENCH_engine.json` at the workspace root: per-job queue wait,
+//! execution wall time, cache hits/conversions, and the engine's final
+//! statistics snapshot (cache hit rate, evictions, shed/rejected counts).
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin engine_bench
+//! ```
+
+use std::time::Duration;
+
+use tsg_engine::json::{obj, Value};
+use tsg_engine::{Engine, EngineConfig, JobSpec, JobTicket, MatrixId};
+use tsg_gen::suite::GenSpec;
+use tsg_runtime::Device;
+
+/// Outcome row for one submitted job.
+struct JobRow {
+    label: &'static str,
+    outcome: String,
+    queue_wait_ms: f64,
+    exec_ms: f64,
+    wall_ms: f64,
+    cache_hits: u64,
+    conversions: u64,
+    peak_bytes: usize,
+    est_bytes: usize,
+}
+
+fn row_to_json(r: &JobRow) -> Value {
+    obj([
+        ("job", r.label.into()),
+        ("outcome", r.outcome.as_str().into()),
+        ("queue_wait_ms", Value::Num(r.queue_wait_ms)),
+        ("exec_ms", Value::Num(r.exec_ms)),
+        ("wall_ms", Value::Num(r.wall_ms)),
+        ("cache_hits", r.cache_hits.into()),
+        ("conversions", r.conversions.into()),
+        ("peak_bytes", r.peak_bytes.into()),
+        ("est_bytes", r.est_bytes.into()),
+    ])
+}
+
+fn main() {
+    // A 3060-class device with its budget squeezed so the largest product's
+    // estimate overflows it (rejected up front) while the medium products
+    // fit; a shallow queue so the burst sheds; two workers so shedding and
+    // progress coexist.
+    let mut device = Device::rtx3060_sim();
+    device.mem_budget = 80 << 20;
+    let cfg = EngineConfig {
+        cache_bytes: 8 << 20,
+        device,
+        workers: 2,
+        queue_depth: 5,
+        default_timeout: None,
+        base_config: Default::default(),
+    };
+    let engine = Engine::new(cfg);
+
+    // Three same-shaped operands so products mix freely: the FEM suite
+    // entry, a sparser scatter matrix, and a denser scatter matrix whose
+    // square blows the squeezed budget.
+    let fem = tsg_gen::suite::by_name("fem-00")
+        .expect("fem-00 exists")
+        .build();
+    let n = fem.nrows;
+    let (a, _) = engine.register(fem);
+    let (b, _) = engine.register(
+        GenSpec::Scatter {
+            n,
+            per_row: 4,
+            seed: 11,
+        }
+        .build(),
+    );
+    let (d, _) = engine.register(
+        GenSpec::Scatter {
+            n,
+            per_row: 60,
+            seed: 13,
+        }
+        .build(),
+    );
+    for (name, id) in [("A(fem-00)", a), ("B(scatter-4)", b), ("D(scatter-60)", d)] {
+        let e = engine.estimate(id, id).expect("registered");
+        println!(
+            "{name}: {id} — est {:.1} MiB for its square (budget {:.1} MiB)",
+            e.est_bytes as f64 / (1 << 20) as f64,
+            engine.device().mem_budget as f64 / (1 << 20) as f64,
+        );
+    }
+
+    // The burst: 20 jobs submitted back-to-back. D·D is over budget by
+    // construction; the rest race two workers through a depth-5 queue.
+    let workload: [(&'static str, MatrixId, MatrixId); 5] = [
+        ("AxA", a, a),
+        ("AxB", a, b),
+        ("BxA", b, a),
+        ("BxB", b, b),
+        ("DxD", d, d),
+    ];
+    let mut rows: Vec<JobRow> = Vec::new();
+    let mut tickets: Vec<(&'static str, JobTicket)> = Vec::new();
+    for round in 0..4 {
+        for (label, x, y) in workload {
+            let mut spec = JobSpec::new(x, y);
+            spec.timeout = Some(Duration::from_secs(60)); // deadlock backstop
+            match engine.submit(spec) {
+                Ok(t) => tickets.push((label, t)),
+                Err(e) => rows.push(JobRow {
+                    label,
+                    outcome: e.code().to_string(),
+                    queue_wait_ms: 0.0,
+                    exec_ms: 0.0,
+                    wall_ms: 0.0,
+                    cache_hits: 0,
+                    conversions: 0,
+                    peak_bytes: 0,
+                    est_bytes: 0,
+                }),
+            }
+        }
+        println!(
+            "round {round}: {} admitted, {} refused so far",
+            tickets.len(),
+            rows.len()
+        );
+    }
+
+    for (label, t) in &tickets {
+        match t.wait() {
+            Ok(r) => rows.push(JobRow {
+                label,
+                outcome: "completed".to_string(),
+                queue_wait_ms: r.queue_wait.as_secs_f64() * 1e3,
+                exec_ms: r.exec.as_secs_f64() * 1e3,
+                wall_ms: (r.queue_wait + r.exec).as_secs_f64() * 1e3,
+                cache_hits: u64::from(r.cache_hits),
+                conversions: u64::from(r.conversions),
+                peak_bytes: r.peak_bytes,
+                est_bytes: r.estimate.est_bytes,
+            }),
+            Err(e) => rows.push(JobRow {
+                label,
+                outcome: e.code().to_string(),
+                queue_wait_ms: 0.0,
+                exec_ms: 0.0,
+                wall_ms: 0.0,
+                cache_hits: 0,
+                conversions: 0,
+                peak_bytes: 0,
+                est_bytes: 0,
+            }),
+        }
+    }
+
+    let s = engine.stats();
+    engine.shutdown();
+    let lookups = s.registry.cache_hits + s.registry.cache_misses;
+    let hit_rate = if lookups > 0 {
+        s.registry.cache_hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    let completed = rows.iter().filter(|r| r.outcome == "completed").count();
+    println!(
+        "{} jobs: {completed} completed, {} rejected, {} shed; cache hit rate {:.2}",
+        rows.len(),
+        s.rejected,
+        s.shed,
+        hit_rate
+    );
+    assert_eq!(rows.len(), 20, "every submission is accounted for");
+    assert!(completed > 0, "some jobs completed");
+    assert!(s.rejected > 0, "the over-budget product was rejected");
+    assert_eq!(
+        s.device_bytes_in_use, 0,
+        "device tracker drained back to zero"
+    );
+
+    let report = obj([
+        (
+            "config",
+            obj([
+                ("device", engine.device().name.as_str().into()),
+                ("budget_bytes", engine.device().mem_budget.into()),
+                ("cache_bytes", (8usize << 20).into()),
+                ("workers", 2u64.into()),
+                ("queue_depth", 5u64.into()),
+                ("jobs_submitted", 20u64.into()),
+            ]),
+        ),
+        ("jobs", Value::Arr(rows.iter().map(row_to_json).collect())),
+        (
+            "stats",
+            obj([
+                ("submitted", s.submitted.into()),
+                ("completed", s.completed.into()),
+                ("failed", s.failed.into()),
+                ("rejected", s.rejected.into()),
+                ("shed", s.shed.into()),
+                ("timed_out", s.timed_out.into()),
+                (
+                    "queue_wait_ms_total",
+                    Value::Num(s.queue_wait_total.as_secs_f64() * 1e3),
+                ),
+                (
+                    "exec_ms_total",
+                    Value::Num(s.exec_total.as_secs_f64() * 1e3),
+                ),
+                ("conversions", s.registry.conversions.into()),
+                ("cache_hits", s.registry.cache_hits.into()),
+                ("cache_misses", s.registry.cache_misses.into()),
+                ("cache_hit_rate", Value::Num(hit_rate)),
+                ("evictions", s.registry.evictions.into()),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, format!("{report}\n")).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

@@ -121,10 +121,22 @@ pub enum SpGemmError {
     },
 }
 
+impl SpGemmError {
+    /// A stable machine-readable code for this error, used by service
+    /// front ends (the engine's JSON protocol) instead of parsing the
+    /// human-oriented `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SpGemmError::OutOfMemory(_) => "out_of_memory",
+            SpGemmError::ShapeMismatch { .. } => "shape_mismatch",
+        }
+    }
+}
+
 impl std::fmt::Display for SpGemmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpGemmError::OutOfMemory(e) => write!(f, "{e}"),
+            SpGemmError::OutOfMemory(_) => write!(f, "device memory budget exceeded"),
             SpGemmError::ShapeMismatch { a, b } => {
                 write!(f, "cannot multiply {}x{} by {}x{}", a.0, a.1, b.0, b.1)
             }
@@ -132,7 +144,14 @@ impl std::fmt::Display for SpGemmError {
     }
 }
 
-impl std::error::Error for SpGemmError {}
+impl std::error::Error for SpGemmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpGemmError::OutOfMemory(e) => Some(e),
+            SpGemmError::ShapeMismatch { .. } => None,
+        }
+    }
+}
 
 impl From<tsg_runtime::tracker::BudgetExceeded> for SpGemmError {
     fn from(e: tsg_runtime::tracker::BudgetExceeded) -> Self {
@@ -163,5 +182,29 @@ mod tests {
             b: (4, 5),
         };
         assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn error_codes_and_source_chain() {
+        use std::error::Error;
+        let shape = SpGemmError::ShapeMismatch {
+            a: (2, 3),
+            b: (4, 5),
+        };
+        assert_eq!(shape.code(), "shape_mismatch");
+        assert!(shape.source().is_none());
+
+        let inner = tsg_runtime::tracker::BudgetExceeded {
+            requested: 64,
+            in_use: 100,
+            budget: 128,
+        };
+        let oom = SpGemmError::OutOfMemory(inner.clone());
+        assert_eq!(oom.code(), "out_of_memory");
+        // The cause is reachable through the standard source() chain, so a
+        // front end can serialize it instead of formatting debug strings.
+        let cause = oom.source().expect("OutOfMemory carries its cause");
+        assert_eq!(cause.to_string(), inner.to_string());
+        assert!(cause.to_string().contains("requested 64"));
     }
 }

@@ -1,0 +1,176 @@
+//! `tsg-serve` — the resident SpGEMM engine behind a JSON-lines front end.
+//!
+//! By default requests are read from stdin and responses written to stdout,
+//! one JSON object per line (see `tsg_engine::protocol` for the verbs). With
+//! `--tcp ADDR` the same protocol is served over TCP, one session per
+//! connection, all connections sharing one engine (and therefore one matrix
+//! registry, job queue, and device budget).
+//!
+//! ```text
+//! tsg-serve [--device 0|1] [--workers N] [--queue-depth N]
+//!           [--cache-mb N] [--budget-mb N] [--timeout-ms N] [--tcp ADDR]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tsg_engine::protocol::{Control, Session};
+use tsg_engine::{Engine, EngineConfig};
+use tsg_runtime::Device;
+
+fn die(msg: &str) -> ! {
+    eprintln!("tsg-serve: {msg}");
+    eprintln!(
+        "usage: tsg-serve [--device 0|1] [--workers N] [--queue-depth N] \
+         [--cache-mb N] [--budget-mb N] [--timeout-ms N] [--tcp ADDR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (EngineConfig, Option<String>) {
+    let mut cfg = EngineConfig::default();
+    let mut tcp = None;
+    let mut cache_mb: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--device" => {
+                cfg.device = match value("--device").as_str() {
+                    "0" => Device::rtx3090_sim(),
+                    "1" => Device::rtx3060_sim(),
+                    other => die(&format!("unknown device index {other}")),
+                };
+            }
+            "--workers" => {
+                cfg.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("--workers wants an integer"));
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth")
+                    .parse()
+                    .unwrap_or_else(|_| die("--queue-depth wants an integer"));
+            }
+            "--cache-mb" => {
+                let mb: usize = value("--cache-mb")
+                    .parse()
+                    .unwrap_or_else(|_| die("--cache-mb wants an integer"));
+                cache_mb = Some(mb << 20);
+            }
+            "--budget-mb" => {
+                let mb: usize = value("--budget-mb")
+                    .parse()
+                    .unwrap_or_else(|_| die("--budget-mb wants an integer"));
+                cfg.device.mem_budget = mb << 20;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("--timeout-ms wants an integer"));
+                cfg.default_timeout = Some(Duration::from_millis(ms));
+            }
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--help" | "-h" => die("serve the tiled SpGEMM engine over JSON lines"),
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    // The cache defaults to half the (possibly overridden) device budget.
+    cfg.cache_bytes = cache_mb.unwrap_or(cfg.device.mem_budget / 2);
+    (cfg, tcp)
+}
+
+fn serve_stream(session: &Session, input: impl BufRead, mut output: impl Write) -> Control {
+    for line in input.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client hung up
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, control) = session.handle_line(&line);
+        if writeln!(output, "{resp}")
+            .and_then(|()| output.flush())
+            .is_err()
+        {
+            break;
+        }
+        if control == Control::Shutdown {
+            return Control::Shutdown;
+        }
+    }
+    Control::Continue
+}
+
+fn main() -> ExitCode {
+    let (cfg, tcp) = parse_args();
+    eprintln!(
+        "tsg-serve: device {} ({} threads, {} MiB budget), {} workers, queue depth {}, cache {} MiB",
+        cfg.device.name,
+        cfg.device.threads,
+        cfg.device.mem_budget >> 20,
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.cache_bytes >> 20,
+    );
+    let engine = Arc::new(Engine::new(cfg));
+
+    match tcp {
+        None => {
+            let session = Session::new(Arc::clone(&engine));
+            let stdin = std::io::stdin();
+            serve_stream(&session, stdin.lock(), std::io::stdout().lock());
+        }
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("tsg-serve: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let local = listener.local_addr().ok();
+            eprintln!(
+                "tsg-serve: listening on {}",
+                local.map_or(addr, |a| a.to_string())
+            );
+            // A shutdown request from any connection flips the flag, then
+            // self-connects so the blocking accept loop observes it.
+            let stop = Arc::new(AtomicBool::new(false));
+            for stream in listener.incoming() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let session = Session::new(engine);
+                    let reader = match stream.try_clone() {
+                        Ok(s) => BufReader::new(s),
+                        Err(_) => return,
+                    };
+                    if serve_stream(&session, reader, stream) == Control::Shutdown {
+                        stop.store(true, Ordering::Relaxed);
+                        if let Some(addr) = local {
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                });
+            }
+        }
+    }
+    engine.shutdown();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,553 @@
+//! The resident engine: admission-controlled job queue + worker executor.
+//!
+//! One [`Engine`] owns a simulated [`Device`], a shared [`MemTracker`]
+//! enforcing the device budget across *all* in-flight products (PR 1's
+//! tracker only ever guarded one), a [`Registry`] of loaded matrices with
+//! cached tiled conversions, and a pool of worker threads executing multiply
+//! jobs on the memoized per-device Rayon pool
+//! ([`tsg_runtime::device::pool_for`]).
+//!
+//! Job lifecycle:
+//!
+//! 1. [`Engine::submit`] — admission control. Unknown operands, a cost
+//!    prediction ([`crate::estimate`]) exceeding the device budget, or a
+//!    full queue reject the job *synchronously* with a typed error, so
+//!    callers get explicit backpressure instead of unbounded queueing.
+//! 2. A worker pops the job (FIFO), checks cancellation and the queue-wait
+//!    deadline, resolves both operands through the registry (cache hit or
+//!    conversion), and runs the tiled pipeline on the device pool under the
+//!    shared tracker.
+//! 3. The result — a [`JobReport`] or an [`EngineError`] — is published on
+//!    the job's [`JobTicket`]; [`JobTicket::wait`] blocks until then.
+//!
+//! Timeouts bound *queue wait*, not execution: a job popped after its
+//! deadline completes as `timed_out` without running. A running multiply is
+//! not interruptible (matching the kernels it models); cancellation is
+//! therefore only honoured while a job is still queued.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tilespgemm_core::{multiply, Config};
+use tsg_matrix::TileMatrix;
+use tsg_runtime::{device::pool_for, Device, MemTracker};
+
+use crate::estimate::{estimate_job, JobEstimate};
+use crate::registry::{MatrixId, Registry, RegistryStats};
+use crate::EngineError;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The simulated device jobs execute on; its `mem_budget` is the shared
+    /// in-flight budget.
+    pub device: Device,
+    /// Worker threads executing jobs (each installs the device pool).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submissions are shed.
+    pub queue_depth: usize,
+    /// Byte budget for cached tiled conversions in the registry.
+    pub cache_bytes: usize,
+    /// Deadline applied to jobs that do not carry their own timeout.
+    pub default_timeout: Option<Duration>,
+    /// Pipeline configuration jobs run with unless they override it.
+    pub base_config: Config,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let device = Device::rtx3090_sim();
+        EngineConfig {
+            cache_bytes: device.mem_budget / 2,
+            device,
+            workers: 1,
+            queue_depth: 32,
+            default_timeout: None,
+            base_config: Config::default(),
+        }
+    }
+}
+
+/// One multiply request.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Left operand (must be registered).
+    pub a: MatrixId,
+    /// Right operand (must be registered).
+    pub b: MatrixId,
+    /// Pipeline configuration override; `None` uses the engine's base.
+    pub config: Option<Config>,
+    /// Queue-wait deadline override; `None` uses the engine default.
+    pub timeout: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A job multiplying `a · b` with engine defaults.
+    pub fn new(a: MatrixId, b: MatrixId) -> Self {
+        JobSpec {
+            a,
+            b,
+            config: None,
+            timeout: None,
+        }
+    }
+}
+
+/// Completion record of a successful job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Engine-assigned job id.
+    pub job: u64,
+    /// The product, in tiled form.
+    pub c: Arc<TileMatrix<f64>>,
+    /// Output nonzeros (structural, as the pipeline reports them).
+    pub nnz_c: usize,
+    /// Output tile count.
+    pub tiles_c: usize,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Execution wall time (operand resolution + multiply).
+    pub exec: Duration,
+    /// Peak tracked device bytes during the multiply.
+    pub peak_bytes: usize,
+    /// Operand tiled forms served from the registry cache (0..=2).
+    pub cache_hits: u32,
+    /// CSR→tiled conversions this job had to perform (0..=2).
+    pub conversions: u32,
+    /// The cost prediction admission control admitted the job under.
+    pub estimate: JobEstimate,
+}
+
+/// Terminal state of a job.
+pub type JobResult = Result<JobReport, EngineError>;
+
+struct TicketInner {
+    result: Mutex<Option<JobResult>>,
+    cv: Condvar,
+    canceled: AtomicBool,
+}
+
+/// Handle to a submitted job; `wait` blocks for the result.
+#[derive(Clone)]
+pub struct JobTicket {
+    /// Engine-assigned job id.
+    pub job: u64,
+    inner: Arc<TicketInner>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("job", &self.job)
+            .field("done", &self.try_result().is_some())
+            .finish()
+    }
+}
+
+impl JobTicket {
+    /// Blocks until the job completes, returning its result.
+    pub fn wait(&self) -> JobResult {
+        let mut guard = self
+            .inner
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return r.clone();
+            }
+            guard = self
+                .inner
+                .cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_result(&self) -> Option<JobResult> {
+        self.inner
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Requests cancellation. Only honoured while the job is still queued;
+    /// a job already running completes normally.
+    pub fn cancel(&self) {
+        self.inner.canceled.store(true, Ordering::Relaxed);
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    estimate: JobEstimate,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    ticket: Arc<TicketInner>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    canceled: AtomicU64,
+    timed_out: AtomicU64,
+    queue_wait_micros: AtomicU64,
+    exec_micros: AtomicU64,
+}
+
+/// Snapshot of engine-level statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that finished with a product.
+    pub completed: u64,
+    /// Jobs that ran and failed (OOM, shape mismatch).
+    pub failed: u64,
+    /// Submissions rejected by admission control (estimate over budget).
+    pub rejected: u64,
+    /// Submissions shed because the queue was full.
+    pub shed: u64,
+    /// Jobs canceled while queued.
+    pub canceled: u64,
+    /// Jobs whose queue wait exceeded their deadline.
+    pub timed_out: u64,
+    /// Sum of queue waits over completed/failed/timed-out jobs.
+    pub queue_wait_total: Duration,
+    /// Sum of execution times over completed/failed jobs.
+    pub exec_total: Duration,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Registry counters (conversions, hits, evictions).
+    pub registry: RegistryStats,
+    /// Bytes currently cached by the registry.
+    pub cached_bytes: usize,
+    /// Bytes currently tracked in-flight against the device budget.
+    pub device_bytes_in_use: usize,
+}
+
+struct Shared {
+    cfg: EngineConfig,
+    device_tracker: MemTracker,
+    registry: Mutex<Registry>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    next_job: AtomicU64,
+}
+
+/// The resident SpGEMM service engine. See the module docs for the job
+/// lifecycle; construction spawns the worker threads, drop joins them.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Builds an engine and starts its workers.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            device_tracker: MemTracker::with_budget(cfg.device.mem_budget),
+            registry: Mutex::new(Registry::new(cfg.cache_bytes)),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            next_job: AtomicU64::new(1),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tsg-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning engine worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// An engine with default configuration on the given device.
+    pub fn on_device(device: Device) -> Self {
+        Self::new(EngineConfig {
+            cache_bytes: device.mem_budget / 2,
+            device,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Registers a matrix, returning `(id, deduped)`.
+    pub fn register(&self, csr: tsg_matrix::Csr<f64>) -> (MatrixId, bool) {
+        self.lock_registry().insert(csr)
+    }
+
+    /// Forces (or looks up) the tiled conversion of `id`; returns the tile
+    /// count, cached byte size, and whether it was a cache hit.
+    pub fn convert(&self, id: MatrixId) -> Result<(usize, usize, bool), EngineError> {
+        use tsg_matrix::Footprint;
+        let (t, hit) = self.lock_registry().tiled(id)?;
+        Ok((t.tile_count(), t.bytes(), hit))
+    }
+
+    /// The registered CSR form of `id`.
+    pub fn csr(&self, id: MatrixId) -> Result<Arc<tsg_matrix::Csr<f64>>, EngineError> {
+        self.lock_registry().csr(id)
+    }
+
+    /// Drops cached tiled forms: one matrix, or all when `id` is `None`.
+    /// Returns how many cached conversions were dropped.
+    pub fn evict(&self, id: Option<MatrixId>) -> Result<usize, EngineError> {
+        let mut reg = self.lock_registry();
+        match id {
+            Some(id) => Ok(usize::from(reg.evict(id)?)),
+            None => Ok(reg.evict_all()),
+        }
+    }
+
+    /// Predicts the cost of `a · b` without running it.
+    pub fn estimate(&self, a: MatrixId, b: MatrixId) -> Result<JobEstimate, EngineError> {
+        let reg = self.lock_registry();
+        let ca = reg.csr(a)?;
+        let cb = reg.csr(b)?;
+        // Cached tiled forms tighten the prediction, but reading them here
+        // would need &mut (LRU touch); the structural estimate is fine for
+        // admission.
+        Ok(estimate_job(&ca, None, &cb, None))
+    }
+
+    /// Submits a job. Admission control runs synchronously: unknown
+    /// operands, over-budget estimates, a full queue, and a shut-down
+    /// engine all fail here with a typed error.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, EngineError> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(EngineError::ShuttingDown);
+        }
+        let estimate = {
+            let reg = self.lock_registry();
+            let ca = reg.csr(spec.a)?;
+            let cb = reg.csr(spec.b)?;
+            if ca.ncols != cb.nrows {
+                return Err(EngineError::SpGemm(
+                    tilespgemm_core::SpGemmError::ShapeMismatch {
+                        a: (ca.nrows, ca.ncols),
+                        b: (cb.nrows, cb.ncols),
+                    },
+                ));
+            }
+            estimate_job(&ca, None, &cb, None)
+        };
+        let budget = self.shared.cfg.device.mem_budget;
+        if estimate.est_bytes > budget {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::EstimateExceedsBudget {
+                est_bytes: estimate.est_bytes,
+                budget,
+            });
+        }
+        let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        let ticket_inner = Arc::new(TicketInner {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+            canceled: AtomicBool::new(false),
+        });
+        let now = Instant::now();
+        let timeout = spec.timeout.or(self.shared.cfg.default_timeout);
+        let job = QueuedJob {
+            id,
+            spec,
+            estimate,
+            enqueued: now,
+            deadline: timeout.map(|t| now + t),
+            ticket: Arc::clone(&ticket_inner),
+        };
+        {
+            let mut q = self.lock_queue();
+            if q.len() >= self.shared.cfg.queue_depth {
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::QueueFull {
+                    depth: self.shared.cfg.queue_depth,
+                });
+            }
+            q.push_back(job);
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.queue_cv.notify_one();
+        Ok(JobTicket {
+            job: id,
+            inner: ticket_inner,
+        })
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn multiply_now(&self, spec: JobSpec) -> JobResult {
+        self.submit(spec)?.wait()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.shared.counters;
+        let (registry, cached_bytes) = {
+            let reg = self.lock_registry();
+            (reg.stats(), reg.cached_bytes())
+        };
+        EngineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            canceled: c.canceled.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            queue_wait_total: Duration::from_micros(c.queue_wait_micros.load(Ordering::Relaxed)),
+            exec_total: Duration::from_micros(c.exec_micros.load(Ordering::Relaxed)),
+            queue_depth: self.lock_queue().len(),
+            registry,
+            cached_bytes,
+            device_bytes_in_use: self.shared.device_tracker.current_bytes(),
+        }
+    }
+
+    /// The engine's device.
+    pub fn device(&self) -> &Device {
+        &self.shared.cfg.device
+    }
+
+    /// The shared device-budget tracker (in-flight bytes across all jobs).
+    pub fn device_tracker(&self) -> &MemTracker {
+        &self.shared.device_tracker
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins the workers.
+    /// Queued jobs still execute; call this for a graceful stop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue_cv.notify_all();
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.shared
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<QueuedJob>> {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn complete(ticket: &TicketInner, result: JobResult) {
+    *ticket.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+    ticket.cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                q = shared
+                    .queue_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_job(shared, job);
+    }
+}
+
+fn run_job(shared: &Shared, job: QueuedJob) {
+    let queue_wait = job.enqueued.elapsed();
+    shared
+        .counters
+        .queue_wait_micros
+        .fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
+    if job.ticket.canceled.load(Ordering::Relaxed) {
+        shared.counters.canceled.fetch_add(1, Ordering::Relaxed);
+        complete(&job.ticket, Err(EngineError::Canceled));
+        return;
+    }
+    if job.deadline.is_some_and(|d| Instant::now() > d) {
+        shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+        complete(&job.ticket, Err(EngineError::TimedOut));
+        return;
+    }
+
+    let exec_start = Instant::now();
+    let resolve = |id| {
+        shared
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .tiled(id)
+    };
+    let result = resolve(job.spec.a).and_then(|(ta, hit_a)| {
+        let (tb, hit_b) = resolve(job.spec.b)?;
+        let config = job.spec.config.unwrap_or(shared.cfg.base_config);
+        let out = pool_for(&shared.cfg.device)
+            .install(|| multiply(&ta, &tb, &config, &shared.device_tracker))
+            .map_err(EngineError::SpGemm)?;
+        let exec = exec_start.elapsed();
+        Ok(JobReport {
+            job: job.id,
+            nnz_c: out.c.nnz(),
+            tiles_c: out.c.tile_count(),
+            c: Arc::new(out.c),
+            queue_wait,
+            exec,
+            peak_bytes: out.peak_bytes,
+            cache_hits: u32::from(hit_a) + u32::from(hit_b),
+            conversions: u32::from(!hit_a) + u32::from(!hit_b),
+            estimate: job.estimate,
+        })
+    });
+    shared
+        .counters
+        .exec_micros
+        .fetch_add(exec_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+    match &result {
+        Ok(_) => shared.counters.completed.fetch_add(1, Ordering::Relaxed),
+        Err(_) => shared.counters.failed.fetch_add(1, Ordering::Relaxed),
+    };
+    complete(&job.ticket, result);
+}

@@ -1,0 +1,139 @@
+#![warn(missing_docs)]
+
+//! # tsg-engine — resident SpGEMM service engine
+//!
+//! Everything below `tsg-engine` runs one product and exits; this crate is
+//! the layer that serves *many*. An [`Engine`] holds loaded matrices in a
+//! content-addressed [`registry::Registry`] (so the expensive CSR→tiled
+//! conversion — several single-product runtimes, per the paper's Figure 12 —
+//! is paid once and amortized, Ocean-style, across repeated products),
+//! admission-controls multiply jobs against the device memory budget using a
+//! spECK-style cost prediction ([`estimate`]), executes them on worker
+//! threads over the memoized per-device Rayon pool, and reports
+//! service-level statistics (queue wait, cache hit rate, evictions, shed
+//! jobs).
+//!
+//! The [`protocol`] module exposes the engine as a JSON-lines request/
+//! response protocol; the `tsg-serve` binary serves it over stdin/stdout or
+//! TCP, and the `tile_spgemm client` subcommand drives it from scripts.
+//!
+//! ```
+//! use tsg_engine::{Engine, EngineConfig, JobSpec};
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let (id, _) = engine.register(tsg_matrix::Csr::<f64>::identity(64));
+//! let report = engine.multiply_now(JobSpec::new(id, id)).unwrap();
+//! assert_eq!(report.nnz_c, 64);
+//! // The second product of the same operands reuses the cached conversion.
+//! let again = engine.multiply_now(JobSpec::new(id, id)).unwrap();
+//! assert_eq!(again.cache_hits, 2);
+//! ```
+
+pub mod engine;
+pub mod estimate;
+pub mod json;
+pub mod protocol;
+pub mod registry;
+
+pub use engine::{Engine, EngineConfig, EngineStats, JobReport, JobResult, JobSpec, JobTicket};
+pub use estimate::{estimate_job, JobEstimate};
+pub use registry::{MatrixId, Registry, RegistryStats};
+
+use tilespgemm_core::SpGemmError;
+
+/// Errors surfaced by the engine layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The referenced matrix id is not registered.
+    UnknownMatrix(MatrixId),
+    /// The multiply pipeline failed (out of memory, shape mismatch).
+    SpGemm(SpGemmError),
+    /// Admission control predicted the job cannot fit the device budget.
+    EstimateExceedsBudget {
+        /// Predicted peak bytes for the job.
+        est_bytes: usize,
+        /// The device budget it exceeds.
+        budget: usize,
+    },
+    /// The job queue is at its configured depth; retry later (backpressure).
+    QueueFull {
+        /// The configured queue depth.
+        depth: usize,
+    },
+    /// The job's queue wait exceeded its deadline; it was never run.
+    TimedOut,
+    /// The job was canceled while queued.
+    Canceled,
+    /// The engine is shutting down and no longer accepts jobs.
+    ShuttingDown,
+}
+
+impl EngineError {
+    /// Stable machine-readable code, used verbatim by the JSON protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::UnknownMatrix(_) => "unknown_matrix",
+            EngineError::SpGemm(e) => e.code(),
+            EngineError::EstimateExceedsBudget { .. } => "estimate_exceeds_budget",
+            EngineError::QueueFull { .. } => "queue_full",
+            EngineError::TimedOut => "timed_out",
+            EngineError::Canceled => "canceled",
+            EngineError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownMatrix(id) => write!(f, "matrix {id} is not registered"),
+            EngineError::SpGemm(_) => write!(f, "multiply failed"),
+            EngineError::EstimateExceedsBudget { est_bytes, budget } => write!(
+                f,
+                "estimated footprint {est_bytes} B exceeds device budget {budget} B"
+            ),
+            EngineError::QueueFull { depth } => {
+                write!(f, "job queue full (depth {depth}); retry later")
+            }
+            EngineError::TimedOut => write!(f, "queue-wait deadline exceeded before execution"),
+            EngineError::Canceled => write!(f, "job canceled while queued"),
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::SpGemm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpGemmError> for EngineError {
+    fn from(e: SpGemmError) -> Self {
+        EngineError::SpGemm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_are_stable_and_sources_chain() {
+        use std::error::Error;
+        let e = EngineError::QueueFull { depth: 8 };
+        assert_eq!(e.code(), "queue_full");
+        assert!(e.source().is_none());
+
+        let inner = SpGemmError::ShapeMismatch {
+            a: (1, 2),
+            b: (3, 4),
+        };
+        let e = EngineError::SpGemm(inner.clone());
+        assert_eq!(e.code(), "shape_mismatch");
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+}

@@ -1,0 +1,499 @@
+//! JSON-lines protocol over an [`Engine`].
+//!
+//! One request per line, one response per line, always an object with an
+//! `"ok"` boolean. Errors carry a stable `code` (from
+//! [`EngineError::code`]/`SpGemmError::code`), a human `message`, and the
+//! `std::error::Error::source` chain serialized as a `cause` array — no
+//! debug-formatted strings on the wire.
+//!
+//! Verbs:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"op":"load","gen":"fem-00"}` | `{"ok":true,"id":"m…","rows":..,"cols":..,"nnz":..,"dedup":false}` |
+//! | `{"op":"load","path":"x.mtx"}` | as above |
+//! | `{"op":"load","rows":2,"cols":2,"triplets":[[0,0,1.0],[1,1,2.0]]}` | as above |
+//! | `{"op":"convert","id":"m…"}` | `{"ok":true,"id":"m…","tiles":..,"tiled_bytes":..,"cache_hit":false}` |
+//! | `{"op":"estimate","a":"m…","b":"m…"}` | `{"ok":true,"flops":..,"est_nnz_c":..,"est_bytes":..}` |
+//! | `{"op":"multiply","a":"m…","b":"m…"}` | `{"ok":true,"job":1,"nnz_c":..,"queue_wait_ms":..,"exec_ms":..,"cache_hits":..,"conversions":..,"peak_bytes":..}` |
+//! | `{"op":"multiply",…,"async":true}` | `{"ok":true,"job":1,"queued":true}` then `{"op":"wait","job":1}` |
+//! | `{"op":"cancel","job":1}` | `{"ok":true,"job":1,"canceled":true}` |
+//! | `{"op":"stats"}` | `{"ok":true,"submitted":..,"completed":..,"cache_hit_rate":..,…}` |
+//! | `{"op":"evict"}` / `{"op":"evict","id":"m…"}` | `{"ok":true,"evicted":n}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"bye":true}` and the session ends |
+//!
+//! `multiply` accepts optional `"scheduling"` (`"per-tile"`, `"per-tile-row"`,
+//! `"binned"`), `"pair_reuse"` (bool), and `"timeout_ms"` overrides.
+
+use std::collections::HashMap;
+use std::error::Error as _;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use tilespgemm_core::{Config, Scheduling};
+use tsg_matrix::Coo;
+
+use crate::engine::{Engine, JobReport, JobSpec, JobTicket};
+use crate::json::{obj, parse, Value};
+use crate::registry::MatrixId;
+use crate::EngineError;
+
+/// A protocol session: parses request lines, drives the shared engine, and
+/// renders response lines. Tickets of `"async"` multiplies are held per
+/// session for later `wait`/`cancel`.
+pub struct Session {
+    engine: Arc<Engine>,
+    tickets: Mutex<HashMap<u64, JobTicket>>,
+}
+
+/// What the transport should do after a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests.
+    Continue,
+    /// The client asked to shut down; stop after sending the response.
+    Shutdown,
+}
+
+impl Session {
+    /// A session over `engine`.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        Session {
+            engine,
+            tickets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Handles one request line, returning the response line (no trailing
+    /// newline) and whether the transport should stop.
+    pub fn handle_line(&self, line: &str) -> (String, Control) {
+        let (value, control) = match parse(line) {
+            Ok(req) => self.dispatch(&req),
+            Err(e) => (
+                error_response("bad_request", &e.to_string(), &[]),
+                Control::Continue,
+            ),
+        };
+        (value.to_string(), control)
+    }
+
+    fn dispatch(&self, req: &Value) -> (Value, Control) {
+        let op = match req.get("op").and_then(Value::as_str) {
+            Some(op) => op,
+            None => {
+                return (
+                    error_response("bad_request", "missing \"op\" member", &[]),
+                    Control::Continue,
+                )
+            }
+        };
+        let out = match op {
+            "load" => self.load(req),
+            "convert" => self.convert(req),
+            "estimate" => self.estimate(req),
+            "multiply" => self.multiply(req),
+            "wait" => self.wait(req),
+            "cancel" => self.cancel(req),
+            "stats" => Ok(self.stats()),
+            "evict" => self.evict(req),
+            "shutdown" => {
+                return (
+                    obj([("ok", true.into()), ("bye", true.into())]),
+                    Control::Shutdown,
+                )
+            }
+            _ => Err(ProtocolError::bad("unknown op")),
+        };
+        (out.unwrap_or_else(|e| e.into_response()), Control::Continue)
+    }
+
+    fn load(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let csr = if let Some(name) = req.get("gen").and_then(Value::as_str) {
+            tsg_gen::suite::by_name(name)
+                .ok_or_else(|| ProtocolError::bad("unknown generator dataset name"))?
+                .build()
+        } else if let Some(path) = req.get("path").and_then(Value::as_str) {
+            tsg_matrix::io::read_matrix_market_file::<f64>(path)
+                .map_err(|e| {
+                    ProtocolError::with_cause(
+                        "io_error",
+                        "failed to read matrix file",
+                        &e.to_string(),
+                    )
+                })?
+                .to_csr()
+        } else if let Some(triplets) = req.get("triplets").and_then(Value::as_arr) {
+            let rows = req
+                .get("rows")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ProtocolError::bad("triplet load needs \"rows\""))?;
+            let cols = req
+                .get("cols")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ProtocolError::bad("triplet load needs \"cols\""))?;
+            let mut coo = Coo::new(rows as usize, cols as usize);
+            for t in triplets {
+                let t = t
+                    .as_arr()
+                    .filter(|t| t.len() == 3)
+                    .ok_or_else(|| ProtocolError::bad("each triplet must be [row, col, value]"))?;
+                let r = t[0]
+                    .as_u64()
+                    .filter(|&r| r < rows)
+                    .ok_or_else(|| ProtocolError::bad("triplet row out of range"))?;
+                let c = t[1]
+                    .as_u64()
+                    .filter(|&c| c < cols)
+                    .ok_or_else(|| ProtocolError::bad("triplet col out of range"))?;
+                let v = t[2]
+                    .as_f64()
+                    .ok_or_else(|| ProtocolError::bad("triplet value must be a number"))?;
+                coo.push(r as u32, c as u32, v);
+            }
+            coo.to_csr()
+        } else {
+            return Err(ProtocolError::bad(
+                "load needs one of \"gen\", \"path\", or \"triplets\"",
+            ));
+        };
+        let rows = csr.nrows;
+        let cols = csr.ncols;
+        let nnz = csr.nnz();
+        let (id, dedup) = self.engine.register(csr);
+        Ok(obj([
+            ("ok", true.into()),
+            ("id", id.to_string().into()),
+            ("rows", rows.into()),
+            ("cols", cols.into()),
+            ("nnz", nnz.into()),
+            ("dedup", dedup.into()),
+        ]))
+    }
+
+    fn matrix_id(req: &Value, key: &str) -> Result<MatrixId, ProtocolError> {
+        req.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| ProtocolError::bad("missing matrix id member"))?
+            .parse::<MatrixId>()
+            .map_err(|()| ProtocolError::bad("malformed matrix id (want m + 16 hex digits)"))
+    }
+
+    fn convert(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let id = Self::matrix_id(req, "id")?;
+        let (tiles, tiled_bytes, cache_hit) = self.engine.convert(id)?;
+        Ok(obj([
+            ("ok", true.into()),
+            ("id", id.to_string().into()),
+            ("tiles", tiles.into()),
+            ("tiled_bytes", tiled_bytes.into()),
+            ("cache_hit", cache_hit.into()),
+        ]))
+    }
+
+    fn estimate(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let a = Self::matrix_id(req, "a")?;
+        let b = Self::matrix_id(req, "b")?;
+        let e = self.engine.estimate(a, b)?;
+        Ok(obj([
+            ("ok", true.into()),
+            ("flops", e.flops.into()),
+            ("est_nnz_c", e.est_nnz_c.into()),
+            ("est_bytes", e.est_bytes.into()),
+        ]))
+    }
+
+    fn job_spec(&self, req: &Value) -> Result<JobSpec, ProtocolError> {
+        let mut spec = JobSpec::new(Self::matrix_id(req, "a")?, Self::matrix_id(req, "b")?);
+        let mut config: Option<Config> = None;
+        if let Some(s) = req.get("scheduling").and_then(Value::as_str) {
+            let scheduling = match s {
+                "per-tile" => Scheduling::PerTile,
+                "per-tile-row" => Scheduling::PerTileRow,
+                "binned" => Scheduling::Binned,
+                _ => return Err(ProtocolError::bad("unknown scheduling")),
+            };
+            config.get_or_insert_with(Config::default).scheduling = scheduling;
+        }
+        if let Some(p) = req.get("pair_reuse").and_then(Value::as_bool) {
+            config.get_or_insert_with(Config::default).pair_reuse = p;
+        }
+        spec.config = config;
+        if let Some(ms) = req.get("timeout_ms").and_then(Value::as_u64) {
+            spec.timeout = Some(Duration::from_millis(ms));
+        }
+        Ok(spec)
+    }
+
+    fn multiply(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let spec = self.job_spec(req)?;
+        let ticket = self.engine.submit(spec)?;
+        if req.get("async").and_then(Value::as_bool) == Some(true) {
+            let job = ticket.job;
+            self.lock_tickets().insert(job, ticket);
+            return Ok(obj([
+                ("ok", true.into()),
+                ("job", job.into()),
+                ("queued", true.into()),
+            ]));
+        }
+        let report = ticket.wait()?;
+        Ok(report_response(&report))
+    }
+
+    fn wait(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let job = req
+            .get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ProtocolError::bad("wait needs a numeric \"job\""))?;
+        let ticket = self
+            .lock_tickets()
+            .remove(&job)
+            .ok_or_else(|| ProtocolError::bad("unknown job id for this session"))?;
+        let report = ticket.wait()?;
+        Ok(report_response(&report))
+    }
+
+    fn cancel(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let job = req
+            .get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ProtocolError::bad("cancel needs a numeric \"job\""))?;
+        let tickets = self.lock_tickets();
+        let ticket = tickets
+            .get(&job)
+            .ok_or_else(|| ProtocolError::bad("unknown job id for this session"))?;
+        ticket.cancel();
+        Ok(obj([
+            ("ok", true.into()),
+            ("job", job.into()),
+            ("canceled", true.into()),
+        ]))
+    }
+
+    fn stats(&self) -> Value {
+        let s = self.engine.stats();
+        let tiled_lookups = s.registry.cache_hits + s.registry.cache_misses;
+        let hit_rate = if tiled_lookups > 0 {
+            s.registry.cache_hits as f64 / tiled_lookups as f64
+        } else {
+            0.0
+        };
+        obj([
+            ("ok", true.into()),
+            ("submitted", s.submitted.into()),
+            ("completed", s.completed.into()),
+            ("failed", s.failed.into()),
+            ("rejected", s.rejected.into()),
+            ("shed", s.shed.into()),
+            ("canceled", s.canceled.into()),
+            ("timed_out", s.timed_out.into()),
+            ("queue_depth", s.queue_depth.into()),
+            (
+                "queue_wait_ms_total",
+                Value::Num(s.queue_wait_total.as_secs_f64() * 1e3),
+            ),
+            (
+                "exec_ms_total",
+                Value::Num(s.exec_total.as_secs_f64() * 1e3),
+            ),
+            ("conversions", s.registry.conversions.into()),
+            ("cache_hits", s.registry.cache_hits.into()),
+            ("cache_misses", s.registry.cache_misses.into()),
+            ("cache_hit_rate", Value::Num(hit_rate)),
+            ("evictions", s.registry.evictions.into()),
+            ("cached_bytes", s.cached_bytes.into()),
+            ("device_bytes_in_use", s.device_bytes_in_use.into()),
+        ])
+    }
+
+    fn evict(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let id = match req.get("id") {
+            Some(_) => Some(Self::matrix_id(req, "id")?),
+            None => None,
+        };
+        let evicted = self.engine.evict(id)?;
+        Ok(obj([("ok", true.into()), ("evicted", evicted.into())]))
+    }
+
+    fn lock_tickets(&self) -> std::sync::MutexGuard<'_, HashMap<u64, JobTicket>> {
+        self.tickets.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+fn report_response(r: &JobReport) -> Value {
+    obj([
+        ("ok", true.into()),
+        ("job", r.job.into()),
+        ("nnz_c", r.nnz_c.into()),
+        ("tiles_c", r.tiles_c.into()),
+        (
+            "queue_wait_ms",
+            Value::Num(r.queue_wait.as_secs_f64() * 1e3),
+        ),
+        ("exec_ms", Value::Num(r.exec.as_secs_f64() * 1e3)),
+        ("peak_bytes", r.peak_bytes.into()),
+        ("cache_hits", u64::from(r.cache_hits).into()),
+        ("conversions", u64::from(r.conversions).into()),
+        ("est_bytes", r.estimate.est_bytes.into()),
+        ("flops", r.estimate.flops.into()),
+    ])
+}
+
+/// Internal protocol failure carrying the response to render.
+struct ProtocolError {
+    code: &'static str,
+    message: String,
+    cause: Vec<String>,
+}
+
+impl ProtocolError {
+    fn bad(message: &str) -> Self {
+        ProtocolError {
+            code: "bad_request",
+            message: message.to_string(),
+            cause: Vec::new(),
+        }
+    }
+
+    fn with_cause(code: &'static str, message: &str, cause: &str) -> Self {
+        ProtocolError {
+            code,
+            message: message.to_string(),
+            cause: vec![cause.to_string()],
+        }
+    }
+
+    fn into_response(self) -> Value {
+        error_response(self.code, &self.message, &self.cause)
+    }
+}
+
+impl From<EngineError> for ProtocolError {
+    fn from(e: EngineError) -> Self {
+        // Serialize the std error source chain instead of debug-formatting.
+        let mut cause = Vec::new();
+        let mut src = e.source();
+        while let Some(s) = src {
+            cause.push(s.to_string());
+            src = s.source();
+        }
+        ProtocolError {
+            code: e.code(),
+            message: e.to_string(),
+            cause,
+        }
+    }
+}
+
+fn error_response(code: &str, message: &str, cause: &[String]) -> Value {
+    let mut members = vec![
+        ("code".to_string(), Value::Str(code.to_string())),
+        ("message".to_string(), Value::Str(message.to_string())),
+    ];
+    if !cause.is_empty() {
+        members.push((
+            "cause".to_string(),
+            Value::Arr(cause.iter().map(|c| Value::Str(c.clone())).collect()),
+        ));
+    }
+    Value::Obj(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Obj(members)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn session() -> Session {
+        Session::new(Arc::new(Engine::new(EngineConfig::default())))
+    }
+
+    fn ok(s: &Session, line: &str) -> Value {
+        let (resp, control) = s.handle_line(line);
+        assert_eq!(control, Control::Continue, "{line}");
+        let v = parse(&resp).expect("response is valid JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{resp}");
+        v
+    }
+
+    #[test]
+    fn load_multiply_stats_flow() {
+        let s = session();
+        let loaded = ok(
+            &s,
+            r#"{"op":"load","rows":4,"cols":4,"triplets":[[0,0,1],[1,1,2],[2,2,3],[3,3,4]]}"#,
+        );
+        let id = loaded
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(loaded.get("nnz").and_then(Value::as_u64), Some(4));
+        let m = ok(&s, &format!(r#"{{"op":"multiply","a":"{id}","b":"{id}"}}"#));
+        assert_eq!(m.get("nnz_c").and_then(Value::as_u64), Some(4));
+        assert_eq!(m.get("conversions").and_then(Value::as_u64), Some(1));
+        let st = ok(&s, r#"{"op":"stats"}"#);
+        assert_eq!(st.get("completed").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn errors_carry_code_and_cause_chain() {
+        let s = session();
+        let (resp, _) =
+            s.handle_line(r#"{"op":"multiply","a":"m0000000000000000","b":"m0000000000000000"}"#);
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let err = v.get("error").unwrap();
+        assert_eq!(
+            err.get("code").and_then(Value::as_str),
+            Some("unknown_matrix")
+        );
+        assert!(err.get("message").and_then(Value::as_str).is_some());
+    }
+
+    #[test]
+    fn malformed_lines_are_bad_requests() {
+        let s = session();
+        for line in ["not json", "{}", r#"{"op":"frobnicate"}"#] {
+            let (resp, control) = s.handle_line(line);
+            assert_eq!(control, Control::Continue);
+            let v = parse(&resp).unwrap();
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+        }
+    }
+
+    #[test]
+    fn shutdown_signals_the_transport() {
+        let s = session();
+        let (resp, control) = s.handle_line(r#"{"op":"shutdown"}"#);
+        assert_eq!(control, Control::Shutdown);
+        assert!(resp.contains("bye"));
+    }
+
+    #[test]
+    fn async_multiply_then_wait() {
+        let s = session();
+        let loaded = ok(&s, r#"{"op":"load","gen":"fem-00"}"#);
+        let id = loaded
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        let queued = ok(
+            &s,
+            &format!(r#"{{"op":"multiply","a":"{id}","b":"{id}","async":true}}"#),
+        );
+        let job = queued.get("job").and_then(Value::as_u64).unwrap();
+        assert_eq!(queued.get("queued").and_then(Value::as_bool), Some(true));
+        let done = ok(&s, &format!(r#"{{"op":"wait","job":{job}}}"#));
+        assert!(done.get("nnz_c").and_then(Value::as_u64).unwrap() > 0);
+    }
+}

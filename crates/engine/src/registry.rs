@@ -1,0 +1,330 @@
+//! Content-addressed matrix registry with a cached, LRU-evicted tiled form.
+//!
+//! The TileSpGEMM paper (and Ocean after it) points out that the CSR→tiled
+//! conversion costs several single-product runtimes and only pays off when
+//! amortized across repeated multiplies. The registry is where that
+//! amortization lives: matrices are stored once (keyed by
+//! [`Csr::content_hash`], so re-loading the same operand dedupes), and the
+//! tiled conversion is built lazily on first use, cached, and evicted
+//! least-recently-used when the cache's byte budget — accounted through the
+//! same [`MemTracker`] machinery the multiply pipeline uses — fills up.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use tsg_matrix::{Csr, Footprint, TileMatrix};
+use tsg_runtime::MemTracker;
+
+use crate::EngineError;
+
+/// Content-derived identifier of a registered matrix.
+///
+/// Displays as `m` + 16 hex digits (e.g. `m00c0ffee00c0ffee`), which is also
+/// the wire form the JSON protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatrixId(pub u64);
+
+impl fmt::Display for MatrixId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{:016x}", self.0)
+    }
+}
+
+impl std::str::FromStr for MatrixId {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        let hex = s.strip_prefix('m').ok_or(())?;
+        u64::from_str_radix(hex, 16).map(MatrixId).map_err(|_| ())
+    }
+}
+
+/// Counters describing registry behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// CSR→tiled conversions performed (cached or not).
+    pub conversions: u64,
+    /// Tiled lookups served from the cache.
+    pub cache_hits: u64,
+    /// Tiled lookups that had to convert.
+    pub cache_misses: u64,
+    /// Cached tiled forms dropped to make room.
+    pub evictions: u64,
+    /// Conversions whose result could not be cached even after evicting
+    /// everything (matrix larger than the whole cache budget).
+    pub uncached_conversions: u64,
+}
+
+struct Entry {
+    csr: Arc<Csr<f64>>,
+    tiled: Option<Arc<TileMatrix<f64>>>,
+    tiled_bytes: usize,
+    last_used: u64,
+}
+
+/// The registry: content-hashed CSR store + tiled-conversion cache.
+pub struct Registry {
+    entries: HashMap<u64, Entry>,
+    cache_tracker: MemTracker,
+    clock: u64,
+    stats: RegistryStats,
+}
+
+impl Registry {
+    /// A registry whose cached tiled forms may occupy up to `cache_bytes`.
+    pub fn new(cache_bytes: usize) -> Self {
+        Registry {
+            entries: HashMap::new(),
+            cache_tracker: MemTracker::with_budget(cache_bytes),
+            clock: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Registers a matrix, returning its content id. Re-registering the same
+    /// content is a no-op returning the existing id (`true` in the second
+    /// tuple slot marks a dedupe).
+    pub fn insert(&mut self, csr: Csr<f64>) -> (MatrixId, bool) {
+        let id = MatrixId(csr.content_hash());
+        let now = self.tick();
+        let dedup = self.entries.contains_key(&id.0);
+        if !dedup {
+            self.entries.insert(
+                id.0,
+                Entry {
+                    csr: Arc::new(csr),
+                    tiled: None,
+                    tiled_bytes: 0,
+                    last_used: now,
+                },
+            );
+        }
+        (id, dedup)
+    }
+
+    /// The registered CSR form.
+    pub fn csr(&self, id: MatrixId) -> Result<Arc<Csr<f64>>, EngineError> {
+        self.entries
+            .get(&id.0)
+            .map(|e| Arc::clone(&e.csr))
+            .ok_or(EngineError::UnknownMatrix(id))
+    }
+
+    /// Whether `id`'s tiled form is currently cached.
+    pub fn is_cached(&self, id: MatrixId) -> bool {
+        self.entries.get(&id.0).is_some_and(|e| e.tiled.is_some())
+    }
+
+    /// The tiled form of `id`, converting (and caching, budget permitting)
+    /// on first use. The boolean is `true` when served from the cache.
+    pub fn tiled(&mut self, id: MatrixId) -> Result<(Arc<TileMatrix<f64>>, bool), EngineError> {
+        let now = self.tick();
+        {
+            let e = self
+                .entries
+                .get_mut(&id.0)
+                .ok_or(EngineError::UnknownMatrix(id))?;
+            e.last_used = now;
+            if let Some(t) = &e.tiled {
+                self.stats.cache_hits += 1;
+                return Ok((Arc::clone(t), true));
+            }
+        }
+        self.stats.cache_misses += 1;
+        let csr = Arc::clone(&self.entries[&id.0].csr);
+        let tiled = Arc::new(TileMatrix::from_csr(&csr));
+        self.stats.conversions += 1;
+        let bytes = tiled.bytes();
+        while self.cache_tracker.on_alloc(bytes).is_err() {
+            if !self.evict_lru() {
+                // Nothing left to evict: serve the conversion uncached.
+                // In-flight users keep their Arc; the cache simply never
+                // holds this matrix.
+                self.stats.uncached_conversions += 1;
+                return Ok((tiled, false));
+            }
+        }
+        let e = self.entries.get_mut(&id.0).expect("entry exists");
+        e.tiled = Some(Arc::clone(&tiled));
+        e.tiled_bytes = bytes;
+        Ok((tiled, false))
+    }
+
+    /// Evicts the least-recently-used cached tiled form. Returns `false`
+    /// when nothing was cached.
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.tiled.is_some())
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&k, _)| k);
+        match victim {
+            Some(k) => {
+                let e = self.entries.get_mut(&k).expect("victim exists");
+                self.cache_tracker.on_free(e.tiled_bytes);
+                e.tiled = None;
+                e.tiled_bytes = 0;
+                self.stats.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops `id`'s cached tiled form (the CSR stays registered). Returns
+    /// whether a cached form existed.
+    pub fn evict(&mut self, id: MatrixId) -> Result<bool, EngineError> {
+        let e = self
+            .entries
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownMatrix(id))?;
+        if e.tiled.take().is_some() {
+            self.cache_tracker.on_free(e.tiled_bytes);
+            e.tiled_bytes = 0;
+            self.stats.evictions += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Drops every cached tiled form, returning how many were cached.
+    pub fn evict_all(&mut self) -> usize {
+        let mut n = 0;
+        while self.evict_lru() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of registered matrices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently held by cached tiled forms.
+    pub fn cached_bytes(&self) -> usize {
+        self.cache_tracker.current_bytes()
+    }
+
+    /// The cache's byte budget.
+    pub fn cache_budget(&self) -> usize {
+        self.cache_tracker.budget()
+    }
+
+    /// Behaviour counters since construction.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_gen::suite::GenSpec;
+
+    fn small(seed: u64) -> Csr<f64> {
+        GenSpec::Scatter {
+            n: 96,
+            per_row: 4,
+            seed,
+        }
+        .build()
+    }
+
+    #[test]
+    fn insert_dedupes_identical_content() {
+        let mut r = Registry::new(usize::MAX);
+        let (id1, dedup1) = r.insert(small(1));
+        let (id2, dedup2) = r.insert(small(1));
+        let (id3, _) = r.insert(small(2));
+        assert_eq!(id1, id2);
+        assert!(!dedup1);
+        assert!(dedup2);
+        assert_ne!(id1, id3);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn tiled_converts_once_then_hits() {
+        let mut r = Registry::new(usize::MAX);
+        let (id, _) = r.insert(small(7));
+        let (t1, hit1) = r.tiled(id).unwrap();
+        let (t2, hit2) = r.tiled(id).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let s = r.stats();
+        assert_eq!(s.conversions, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(r.cached_bytes(), t1.bytes());
+    }
+
+    #[test]
+    fn lru_eviction_under_tight_budget() {
+        let mut r = Registry::new(usize::MAX);
+        let (a, _) = r.insert(small(1));
+        let (b, _) = r.insert(small(2));
+        let (ta, _) = r.tiled(a).unwrap();
+        // Shrink the budget to exactly one cached matrix.
+        let mut r2 = Registry::new(ta.bytes() + 8);
+        let (a, _) = r2.insert(small(1));
+        let (b2, _) = r2.insert(small(2));
+        assert_eq!(b, b2);
+        r2.tiled(a).unwrap();
+        assert!(r2.is_cached(a));
+        // Caching b must evict a (the LRU entry).
+        r2.tiled(b).unwrap();
+        assert!(!r2.is_cached(a));
+        assert!(r2.is_cached(b));
+        assert_eq!(r2.stats().evictions, 1);
+        // Re-requesting a reconverts, bitwise identically.
+        let (ta2, hit) = r2.tiled(a).unwrap();
+        assert!(!hit);
+        assert_eq!(*ta, *ta2);
+        assert_eq!(r2.stats().conversions, 3);
+    }
+
+    #[test]
+    fn oversized_matrix_is_served_uncached() {
+        let mut r = Registry::new(16); // smaller than any tiled form
+        let (id, _) = r.insert(small(3));
+        let (t, hit) = r.tiled(id).unwrap();
+        assert!(!hit);
+        assert!(t.nnz() > 0);
+        assert!(!r.is_cached(id));
+        assert_eq!(r.stats().uncached_conversions, 1);
+        assert_eq!(r.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn explicit_evict_frees_cache_bytes() {
+        let mut r = Registry::new(usize::MAX);
+        let (id, _) = r.insert(small(4));
+        r.tiled(id).unwrap();
+        assert!(r.cached_bytes() > 0);
+        assert!(r.evict(id).unwrap());
+        assert_eq!(r.cached_bytes(), 0);
+        assert!(!r.evict(id).unwrap());
+        assert!(r.evict(MatrixId(0xdead)).is_err());
+    }
+
+    #[test]
+    fn matrix_id_round_trips_through_display() {
+        let id = MatrixId(0x00c0_ffee_1234_5678);
+        let s = id.to_string();
+        assert_eq!(s.parse::<MatrixId>().unwrap(), id);
+        assert!("x123".parse::<MatrixId>().is_err());
+    }
+}

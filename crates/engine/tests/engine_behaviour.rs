@@ -1,0 +1,233 @@
+//! Engine-level behaviour: admission control (up-front rejection and
+//! mid-flight budget trips), registry caching across jobs, backpressure,
+//! cancellation, and timeouts.
+
+use std::time::Duration;
+
+use tilespgemm_core::{multiply, Config, SpGemmError};
+use tsg_engine::{Engine, EngineConfig, EngineError, JobSpec};
+use tsg_gen::suite::GenSpec;
+use tsg_matrix::{Csr, TileMatrix};
+use tsg_runtime::{Device, MemTracker};
+
+fn device_with_budget(budget: usize) -> Device {
+    let mut d = Device::rtx3090_sim();
+    d.mem_budget = budget;
+    d
+}
+
+fn engine_with_budget(budget: usize) -> Engine {
+    Engine::new(EngineConfig {
+        device: device_with_budget(budget),
+        ..EngineConfig::default()
+    })
+}
+
+fn scatter(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
+    GenSpec::Scatter { n, per_row, seed }.build()
+}
+
+#[test]
+fn over_budget_estimate_is_rejected_up_front() {
+    // A budget far below any real product's estimate.
+    let engine = engine_with_budget(1 << 10);
+    let (id, _) = engine.register(scatter(512, 8, 1));
+    let est = engine.estimate(id, id).unwrap();
+    assert!(est.est_bytes > engine.device().mem_budget);
+
+    let err = engine.submit(JobSpec::new(id, id)).unwrap_err();
+    match err {
+        EngineError::EstimateExceedsBudget { est_bytes, budget } => {
+            assert_eq!(est_bytes, est.est_bytes);
+            assert_eq!(budget, 1 << 10);
+        }
+        other => panic!("expected EstimateExceedsBudget, got {other:?}"),
+    }
+    let s = engine.stats();
+    assert_eq!(s.rejected, 1);
+    assert_eq!(s.submitted, 0);
+    // Nothing ran, so nothing was ever charged to the device.
+    assert_eq!(s.device_bytes_in_use, 0);
+}
+
+#[test]
+fn mid_flight_budget_trip_fails_the_job_and_frees_back_to_zero() {
+    // Random scatter products barely compact, so the real output is ~4x the
+    // ASSUMED_COMPRESSION prediction: the admission estimate under-predicts
+    // the true peak by design, leaving a gap where a job is admitted but
+    // trips the tracker mid-flight.
+    let a = scatter(2048, 8, 42);
+
+    // Learn the true tracked peak from an unconstrained run.
+    let unconstrained = engine_with_budget(usize::MAX);
+    let (id, _) = unconstrained.register(a.clone());
+    let est = unconstrained.estimate(id, id).unwrap();
+    let peak = unconstrained
+        .multiply_now(JobSpec::new(id, id))
+        .unwrap()
+        .peak_bytes;
+    assert!(
+        est.est_bytes < peak,
+        "estimate {} should under-predict peak {peak}",
+        est.est_bytes
+    );
+
+    // A budget the estimate clears but the real peak cannot.
+    let budget = est.est_bytes + (peak - est.est_bytes) / 4;
+    let engine = engine_with_budget(budget);
+    let (id, _) = engine.register(a);
+    let err = engine.multiply_now(JobSpec::new(id, id)).unwrap_err();
+    match &err {
+        EngineError::SpGemm(SpGemmError::OutOfMemory(trip)) => {
+            assert_eq!(err.code(), "out_of_memory");
+            assert!(trip.in_use + trip.requested > budget);
+        }
+        other => panic!("expected a mid-flight OutOfMemory, got {other:?}"),
+    }
+    let s = engine.stats();
+    assert_eq!(s.failed, 1);
+    assert_eq!(s.completed, 0);
+    // The tracker must drain back to zero on the error path, or the engine
+    // would leak budget across jobs.
+    assert_eq!(engine.device_tracker().current_bytes(), 0);
+
+    // The engine stays serviceable: a small product still completes.
+    let (tiny, _) = engine.register(Csr::<f64>::identity(64));
+    assert_eq!(
+        engine.multiply_now(JobSpec::new(tiny, tiny)).unwrap().nnz_c,
+        64
+    );
+}
+
+#[test]
+fn repeated_multiplies_convert_once_and_match_direct_multiply() {
+    let a = scatter(768, 6, 7);
+    let b = scatter(768, 5, 9);
+    let engine = Engine::new(EngineConfig::default());
+    let (ia, _) = engine.register(a.clone());
+    let (ib, _) = engine.register(b.clone());
+
+    let first = engine.multiply_now(JobSpec::new(ia, ib)).unwrap();
+    let second = engine.multiply_now(JobSpec::new(ia, ib)).unwrap();
+    let third = engine.multiply_now(JobSpec::new(ia, ib)).unwrap();
+
+    // Exactly one conversion per operand, all on the first job.
+    assert_eq!(first.conversions, 2);
+    assert_eq!(first.cache_hits, 0);
+    assert_eq!(second.conversions, 0);
+    assert_eq!(second.cache_hits, 2);
+    assert_eq!(third.cache_hits, 2);
+    let s = engine.stats();
+    assert_eq!(s.registry.conversions, 2);
+    assert_eq!(s.registry.cache_hits, 4);
+
+    // Engine results are bitwise identical to a direct pipeline call.
+    let direct = multiply(
+        &TileMatrix::from_csr(&a),
+        &TileMatrix::from_csr(&b),
+        &Config::default(),
+        &MemTracker::new(),
+    )
+    .unwrap();
+    assert_eq!(direct.c, *first.c);
+    assert_eq!(*first.c, *second.c);
+    assert_eq!(*second.c, *third.c);
+}
+
+#[test]
+fn full_queue_sheds_with_backpressure() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..EngineConfig::default()
+    });
+    // A product slow enough to hold the single worker while the queue fills.
+    let (big, _) = engine.register(scatter(4096, 12, 3));
+    let (tiny, _) = engine.register(Csr::<f64>::identity(64));
+
+    let mut tickets = vec![engine.submit(JobSpec::new(big, big)).unwrap()];
+    let mut shed = 0;
+    // Keep submitting until backpressure appears; the queue holds 2, so at
+    // most 3 submissions can be in flight before one is shed.
+    for _ in 0..16 {
+        match engine.submit(JobSpec::new(tiny, tiny)) {
+            Ok(t) => tickets.push(t),
+            Err(EngineError::QueueFull { depth }) => {
+                assert_eq!(depth, 2);
+                shed += 1;
+                break;
+            }
+            Err(other) => panic!("unexpected submit error {other:?}"),
+        }
+    }
+    assert_eq!(shed, 1, "a depth-2 queue must shed a fast burst");
+    assert_eq!(engine.stats().shed, 1);
+    // Everything admitted still completes; nothing deadlocks.
+    for t in tickets {
+        t.wait().unwrap();
+    }
+}
+
+#[test]
+fn queued_jobs_can_be_canceled_but_not_running_ones() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let (big, _) = engine.register(scatter(4096, 12, 5));
+    let (tiny, _) = engine.register(Csr::<f64>::identity(64));
+
+    // The worker picks this up immediately; cancel arrives too late.
+    let running = engine.submit(JobSpec::new(big, big)).unwrap();
+    // This one waits behind it; cancel lands while it is still queued.
+    let queued = engine.submit(JobSpec::new(tiny, tiny)).unwrap();
+    queued.cancel();
+
+    assert_eq!(queued.wait().unwrap_err(), EngineError::Canceled);
+    // A cancel after completion is a no-op; the result stands.
+    running.cancel();
+    assert!(running.wait().is_ok());
+    let s = engine.stats();
+    assert_eq!(s.canceled, 1);
+    assert_eq!(s.completed, 1);
+}
+
+#[test]
+fn queue_wait_deadline_times_out_stale_jobs() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let (big, _) = engine.register(scatter(4096, 12, 6));
+    let (tiny, _) = engine.register(Csr::<f64>::identity(64));
+
+    let running = engine.submit(JobSpec::new(big, big)).unwrap();
+    let mut stale = JobSpec::new(tiny, tiny);
+    stale.timeout = Some(Duration::ZERO); // expires the instant it queues
+    let stale = engine.submit(stale).unwrap();
+
+    assert_eq!(stale.wait().unwrap_err(), EngineError::TimedOut);
+    assert!(running.wait().is_ok());
+    assert_eq!(engine.stats().timed_out, 1);
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_then_refuses_new_ones() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    let (id, _) = engine.register(scatter(512, 4, 8));
+    let tickets: Vec<_> = (0..6)
+        .map(|_| engine.submit(JobSpec::new(id, id)).unwrap())
+        .collect();
+    engine.shutdown();
+    // Graceful: everything admitted before shutdown still completed.
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    assert_eq!(
+        engine.submit(JobSpec::new(id, id)).unwrap_err(),
+        EngineError::ShuttingDown
+    );
+}

@@ -1,0 +1,131 @@
+//! End-to-end test of the `tsg-serve` binary over its stdin/stdout
+//! JSON-lines transport: load, convert, multiply, stats, evict, shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+use tsg_engine::json::{parse, Value};
+
+struct Serve {
+    child: Child,
+    responses: BufReader<std::process::ChildStdout>,
+}
+
+impl Serve {
+    fn spawn(args: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_tsg-serve"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning tsg-serve");
+        let responses = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Serve { child, responses }
+    }
+
+    /// Sends one request line; returns the parsed response object.
+    fn request(&mut self, line: &str) -> Value {
+        let stdin = self.child.stdin.as_mut().expect("piped stdin");
+        writeln!(stdin, "{line}").expect("request written");
+        stdin.flush().expect("request flushed");
+        let mut resp = String::new();
+        let n = self.responses.read_line(&mut resp).expect("response read");
+        assert!(n > 0, "server closed stdout before responding to {line}");
+        parse(&resp).unwrap_or_else(|e| panic!("malformed response {resp:?}: {e}"))
+    }
+
+    fn request_ok(&mut self, line: &str) -> Value {
+        let v = self.request(line);
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "expected ok response to {line}, got {v}"
+        );
+        v
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn load_convert_multiply_stats_over_stdin() {
+    let mut serve = Serve::spawn(&["--workers", "2", "--queue-depth", "8"]);
+
+    let loaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
+    let id = loaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(loaded.get("rows").and_then(Value::as_u64), Some(7500));
+    assert!(loaded.get("nnz").and_then(Value::as_u64).unwrap() > 0);
+
+    // Re-loading identical content dedupes to the same id.
+    let again = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
+    assert_eq!(again.get("id").and_then(Value::as_str), Some(id.as_str()));
+    assert_eq!(again.get("dedup").and_then(Value::as_bool), Some(true));
+
+    let converted = serve.request_ok(&format!(r#"{{"op":"convert","id":"{id}"}}"#));
+    assert_eq!(
+        converted.get("cache_hit").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert!(converted.get("tiles").and_then(Value::as_u64).unwrap() > 0);
+
+    // The multiply sees both operands already cached by the convert.
+    let product = serve.request_ok(&format!(r#"{{"op":"multiply","a":"{id}","b":"{id}"}}"#));
+    assert!(product.get("nnz_c").and_then(Value::as_u64).unwrap() > 0);
+    assert_eq!(product.get("cache_hits").and_then(Value::as_u64), Some(2));
+    assert_eq!(product.get("conversions").and_then(Value::as_u64), Some(0));
+
+    let stats = serve.request_ok(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("conversions").and_then(Value::as_u64), Some(1));
+    assert!(stats.get("cached_bytes").and_then(Value::as_u64).unwrap() > 0);
+
+    let evicted = serve.request_ok(r#"{"op":"evict"}"#);
+    assert_eq!(evicted.get("evicted").and_then(Value::as_u64), Some(1));
+
+    // Errors stay on-protocol: unknown ids produce a typed error object.
+    let err = serve.request(r#"{"op":"multiply","a":"mffffffffffffffff","b":"mffffffffffffffff"}"#);
+    assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("unknown_matrix")
+    );
+
+    let bye = serve.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    let status = serve.child.wait().expect("server exits after shutdown");
+    assert!(status.success());
+}
+
+#[test]
+fn budget_flag_feeds_admission_control() {
+    // 1 MiB budget: fem-00's square cannot be admitted.
+    let mut serve = Serve::spawn(&["--budget-mb", "1"]);
+    let loaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
+    let id = loaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    let err = serve.request(&format!(r#"{{"op":"multiply","a":"{id}","b":"{id}"}}"#));
+    assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("estimate_exceeds_budget")
+    );
+    let stats = serve.request_ok(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("rejected").and_then(Value::as_u64), Some(1));
+}

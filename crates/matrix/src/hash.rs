@@ -1,0 +1,143 @@
+//! Content hashing for matrices.
+//!
+//! The engine layer keys its matrix registry by *content*, so that loading
+//! the same matrix twice (from a file, a generator, or a wire payload)
+//! resolves to one registry entry and one cached tiled conversion. The hash
+//! is a 64-bit FNV-1a over the matrix's logical content — dimensions, row
+//! pointers, column indices, and the IEEE bit patterns of the values — so it
+//! is stable across processes and independent of allocation capacities.
+//!
+//! FNV-1a is not collision-resistant against adversarial inputs; the
+//! registry treats the hash as an identifier chosen by the client, exactly
+//! as a content-addressed store does, and the failure mode of a collision is
+//! serving the colliding matrix, not memory unsafety.
+
+use crate::{Csr, Scalar};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl<T: Scalar> Csr<T> {
+    /// A 64-bit content hash of this matrix: dimensions, structure, and the
+    /// IEEE bit patterns of the values (via the `f64` widening, so `f32` and
+    /// `f64` matrices with identical widened values collide deliberately —
+    /// they represent the same logical operand).
+    ///
+    /// `-0.0` and `+0.0` hash differently (different bit patterns); `NaN`
+    /// payloads are hashed as stored.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.nrows as u64);
+        h.write_u64(self.ncols as u64);
+        for &p in &self.rowptr {
+            h.write_u64(p as u64);
+        }
+        for &c in &self.colidx {
+            h.write_u64(u64::from(c));
+        }
+        for &v in &self.vals {
+            h.write_u64(v.to_f64().to_bits());
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample(seed: u64) -> Csr<f64> {
+        let mut coo = Coo::new(40, 40);
+        let mut state = seed | 1;
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            coo.push(
+                (state % 40) as u32,
+                (state / 64 % 40) as u32,
+                (state % 17) as f64 - 8.0,
+            );
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn equal_content_hashes_equal() {
+        let a = sample(3);
+        let b = a.clone();
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn different_values_or_structure_change_the_hash() {
+        let a = sample(3);
+        let mut b = a.clone();
+        b.vals[0] += 1.0;
+        assert_ne!(a.content_hash(), b.content_hash());
+        let c = sample(4);
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn dimensions_are_part_of_the_content() {
+        // Same (empty) structure, different shapes.
+        let a = Csr::<f64>::zero(8, 8);
+        let b = Csr::<f64>::zero(8, 9);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn hash_ignores_allocation_capacity() {
+        let a = sample(9);
+        let mut b = a.clone();
+        b.vals.reserve(1024);
+        b.colidx.reserve(1024);
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vector: empty input hashes to the offset basis.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -30,6 +30,7 @@ pub mod csr;
 pub mod dense;
 pub mod footprint;
 pub mod halfsim;
+pub mod hash;
 pub mod io;
 pub mod ops;
 pub mod tile;
@@ -41,6 +42,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::Dense;
 pub use footprint::Footprint;
+pub use hash::Fnv1a;
 pub use tile::{TileColIndex, TileMatrix, TileView, TILE_AREA, TILE_DIM};
 
 use std::fmt;

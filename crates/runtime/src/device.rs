@@ -20,7 +20,9 @@
 //! `gupta3`) fail in the same place here, producing the paper's "0.00" bars
 //! in Figure 7.
 
+use std::collections::HashMap;
 use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A simulated execution device: a thread count and a device-memory budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,18 +81,42 @@ impl Device {
     }
 }
 
-/// Runs `f` inside a dedicated Rayon pool sized for `device`.
+/// Process-wide cache of Rayon pools, keyed by thread count.
+///
+/// Two devices with the same thread count are computationally identical, so
+/// they share one pool; the `Device` keeps its own name and memory budget.
+fn pool_cache() -> &'static Mutex<HashMap<usize, Arc<rayon::ThreadPool>>> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    POOLS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The memoized Rayon pool for `device`.
+///
+/// Built on first use and kept for the life of the process, so repeated
+/// [`run_on`] calls (the engine's per-job execution path) stop paying a
+/// pool construction per invocation.
+pub fn pool_for(device: &Device) -> Arc<rayon::ThreadPool> {
+    let mut cache = pool_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(cache.entry(device.threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(device.threads)
+                .thread_name(|i| format!("tsg-worker-{i}"))
+                .build()
+                .expect("building rayon pool for simulated device"),
+        )
+    }))
+}
+
+/// Runs `f` inside the memoized Rayon pool sized for `device`.
 ///
 /// Every figure harness runs each measurement through this function so that
 /// the `rtx3090-sim` / `rtx3060-sim` scalability comparison uses controlled
 /// pools rather than the ambient global pool.
 pub fn run_on<R: Send>(device: &Device, f: impl FnOnce() -> R + Send) -> R {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(device.threads)
-        .thread_name(|i| format!("tsg-worker-{i}"))
-        .build()
-        .expect("building rayon pool for simulated device");
-    pool.install(f)
+    pool_for(device).install(f)
 }
 
 #[cfg(test)]
@@ -126,6 +152,16 @@ mod tests {
     fn run_on_returns_closure_value() {
         let device = Device::new("x", 3, 0);
         assert_eq!(run_on(&device, || 42), 42);
+    }
+
+    #[test]
+    fn pools_are_memoized_per_thread_count() {
+        let a = Device::new("a", 2, usize::MAX);
+        let b = Device::new("b", 2, 123); // same threads, different budget
+        let c = Device::new("c", 3, usize::MAX);
+        assert!(Arc::ptr_eq(&pool_for(&a), &pool_for(&a)));
+        assert!(Arc::ptr_eq(&pool_for(&a), &pool_for(&b)));
+        assert!(!Arc::ptr_eq(&pool_for(&a), &pool_for(&c)));
     }
 
     #[test]

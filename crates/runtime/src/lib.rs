@@ -36,7 +36,7 @@ pub mod tracker;
 
 pub use atomicf64::{AtomicF32, AtomicF64};
 pub use binning::{bin_rows_by, Bins};
-pub use device::{run_on, Device};
+pub use device::{pool_for, run_on, Device};
 pub use scan::{
     exclusive_scan_in_place, exclusive_scan_to, par_exclusive_scan_in_place, par_exclusive_scan_to,
 };

@@ -15,7 +15,17 @@
 //! three step times plus allocation time, `C`'s tile and nonzero counts,
 //! total runtime with GFlops, and a correctness check against the serial
 //! reference implementation.
+//!
+//! A second mode drives the resident engine (see `tsg-serve`) with
+//! JSON-lines scripts:
+//!
+//! ```text
+//! tile_spgemm client script.jsonl          # in-process engine
+//! echo '{"op":"stats"}' | tile_spgemm client -
+//! tile_spgemm client --connect 127.0.0.1:7878 script.jsonl
+//! ```
 
+use std::io::{BufRead, BufReader, Write};
 use std::time::Instant;
 use tilespgemm::baselines::reference::reference_spgemm;
 use tilespgemm::matrix::Footprint;
@@ -71,7 +81,97 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// `tile_spgemm client [--connect ADDR] <script.jsonl | ->`
+///
+/// Feeds engine-protocol request lines (from a file, or stdin with `-`) to
+/// an in-process engine, or to a running `tsg-serve` when `--connect` names
+/// its TCP address, and prints one response line per request.
+fn run_client(argv: &[String]) -> ! {
+    let mut connect: Option<String> = None;
+    let mut script: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--connect" => {
+                connect = Some(
+                    argv.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected an address after --connect")),
+                );
+                i += 2;
+            }
+            other => {
+                script = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let script = script
+        .unwrap_or_else(|| die("usage: tile_spgemm client [--connect ADDR] <script.jsonl | ->"));
+    let requests: Box<dyn BufRead> = if script == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        let f = std::fs::File::open(&script)
+            .unwrap_or_else(|e| die(&format!("cannot open {script}: {e}")));
+        Box::new(BufReader::new(f))
+    };
+    let stdout = std::io::stdout();
+
+    match connect {
+        Some(addr) => {
+            // Remote mode: forward lines to tsg-serve and echo its replies.
+            let stream = std::net::TcpStream::connect(&addr)
+                .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+            let mut replies = BufReader::new(
+                stream
+                    .try_clone()
+                    .unwrap_or_else(|e| die(&format!("cannot clone connection: {e}"))),
+            );
+            let mut stream = stream;
+            let mut out = stdout.lock();
+            for line in requests.lines() {
+                let line = line.unwrap_or_else(|e| die(&format!("read error: {e}")));
+                if line.trim().is_empty() {
+                    continue;
+                }
+                writeln!(stream, "{line}").unwrap_or_else(|e| die(&format!("send failed: {e}")));
+                let mut resp = String::new();
+                match replies.read_line(&mut resp) {
+                    Ok(0) => die("server closed the connection"),
+                    Ok(_) => {
+                        let _ = write!(out, "{resp}");
+                    }
+                    Err(e) => die(&format!("receive failed: {e}")),
+                }
+            }
+        }
+        None => {
+            // Local mode: an in-process engine behind the same protocol.
+            use tilespgemm::engine::protocol::{Control, Session};
+            use tilespgemm::engine::{Engine, EngineConfig};
+            let session = Session::new(std::sync::Arc::new(Engine::new(EngineConfig::default())));
+            let mut out = stdout.lock();
+            for line in requests.lines() {
+                let line = line.unwrap_or_else(|e| die(&format!("read error: {e}")));
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (resp, control) = session.handle_line(&line);
+                writeln!(out, "{resp}").unwrap_or_else(|e| die(&format!("write failed: {e}")));
+                if control == Control::Shutdown {
+                    break;
+                }
+            }
+        }
+    }
+    std::process::exit(0)
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("client") {
+        run_client(&argv[1..]);
+    }
     let args = parse_args();
     let device = match args.device {
         0 => Device::rtx3090_sim(),

@@ -18,6 +18,7 @@
 //! * [`baselines`] — competing methods: [`baselines::run_method`]
 //! * [`gen`] — dataset generators and registries
 //! * [`runtime`] — devices, memory tracking, breakdowns
+//! * [`engine`] — the resident service engine behind `tsg-serve`
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 
 pub use tilespgemm_core as core;
 pub use tsg_baselines as baselines;
+pub use tsg_engine as engine;
 pub use tsg_gen as gen;
 pub use tsg_matrix as matrix;
 pub use tsg_runtime as runtime;
