@@ -15,7 +15,7 @@
 //! | [`speck`] | spECK (Parger et al.) | lightweight analysis + adaptive per-row kernels, chunked long rows |
 //! | [`tsparse`] | tSparse (Zachariadis et al.) | tile grid with dense 16×16 tile products (`f32` standing in for hh→s tensor cores) and repeated output re-allocation |
 //!
-//! [`reference`] provides the serial gold implementation every method is
+//! [`reference`](mod@reference) provides the serial gold implementation every method is
 //! tested against. [`MethodKind`] + [`run_method`] give the figure harness a
 //! uniform way to run everything, including TileSpGEMM itself.
 

@@ -11,7 +11,7 @@
 //!   `next_pow2(2·ub)`;
 //! * numeric round: per-row hash *map* (column → value) of the same sizing,
 //!   extracted and sorted per row;
-//! * memory model: NSPARSE "allocate[s] enough large space" (paper §5) —
+//! * memory model: NSPARSE "allocate\[s\] enough large space" (paper §5) —
 //!   the tracked global table space is `Σ next_pow2(2·ub(i)) × 12` bytes
 //!   over all rows whose bound exceeds the shared-memory capacity, which is
 //!   what makes the real library exhaust device memory on the high-flop

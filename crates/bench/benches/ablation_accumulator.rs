@@ -38,24 +38,22 @@ fn bench_accumulators(c: &mut Criterion) {
             ("always-sparse", AccumulatorKind::AlwaysSparse),
             ("always-dense", AccumulatorKind::AlwaysDense),
         ] {
-            let cfg = Config {
-                tnnz_threshold: 192,
-                intersection: IntersectionKind::BinarySearch,
-                accumulator,
-                ..Config::default()
-            };
+            let cfg = Config::builder()
+                .tnnz_threshold(192)
+                .intersection(IntersectionKind::BinarySearch)
+                .accumulator(accumulator)
+                .build();
             group.bench_with_input(BenchmarkId::new(label, regime), &ta, |b, ta| {
                 b.iter(|| tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).unwrap());
             });
         }
         // Threshold sweep (adaptive only).
         for tnnz in [64usize, 128, 192, 240] {
-            let cfg = Config {
-                tnnz_threshold: tnnz,
-                intersection: IntersectionKind::BinarySearch,
-                accumulator: AccumulatorKind::Adaptive,
-                ..Config::default()
-            };
+            let cfg = Config::builder()
+                .tnnz_threshold(tnnz)
+                .intersection(IntersectionKind::BinarySearch)
+                .accumulator(AccumulatorKind::Adaptive)
+                .build();
             group.bench_with_input(
                 BenchmarkId::new(format!("tnnz-{tnnz}"), regime),
                 &ta,

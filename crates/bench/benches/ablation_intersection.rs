@@ -67,12 +67,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("intersect_end_to_end");
     group.sample_size(10);
     for kind in [IntersectionKind::BinarySearch, IntersectionKind::Merge] {
-        let cfg = Config {
-            tnnz_threshold: 192,
-            intersection: kind,
-            accumulator: AccumulatorKind::Adaptive,
-            ..Config::default()
-        };
+        let cfg = Config::builder()
+            .tnnz_threshold(192)
+            .intersection(kind)
+            .accumulator(AccumulatorKind::Adaptive)
+            .build();
         group.bench_function(format!("{kind:?}"), |b| {
             b.iter(|| tilespgemm_core::multiply(&ta, &ta, &cfg, &MemTracker::new()).unwrap());
         });

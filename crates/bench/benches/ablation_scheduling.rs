@@ -43,11 +43,10 @@ fn bench_scheduling(c: &mut Criterion) {
             ("binned", Scheduling::Binned),
         ] {
             for pair_reuse in [true, false] {
-                let cfg = Config {
-                    scheduling,
-                    pair_reuse,
-                    ..Config::default()
-                };
+                let cfg = Config::builder()
+                    .scheduling(scheduling)
+                    .pair_reuse(pair_reuse)
+                    .build();
                 let variant = format!("{label}-{}", if pair_reuse { "reuse" } else { "recompute" });
                 group.bench_with_input(BenchmarkId::new(variant, regime), &ta, |b, ta| {
                     b.iter(|| tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).unwrap());

@@ -1,7 +1,9 @@
 //! Criterion counterpart of Figure 10: the TileSpGEMM pipeline end to end
 //! and its individual steps, on a FEM-class matrix — plus a machine-readable
 //! `BENCH_pipeline.json` at the workspace root comparing the pair-reuse and
-//! scheduling variants on an R-MAT/power-law suite.
+//! scheduling variants on an R-MAT/power-law suite, and measuring the
+//! context-API (`SpGemm` + `NullRecorder`) overhead against the free
+//! function on the same matrices (the `"method":"ctx_overhead"` records).
 //!
 //! ```text
 //! cargo bench -p tsg-bench --bench tile_pipeline
@@ -10,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use tilespgemm_core::step1::tile_structure_spgemm;
-use tilespgemm_core::{Config, Scheduling};
+use tilespgemm_core::{Config, Scheduling, SpGemm};
 use tsg_gen::suite::GenSpec;
 use tsg_matrix::TileMatrix;
 use tsg_runtime::{Breakdown, MemTracker};
@@ -61,11 +63,10 @@ fn measure(
     pair_reuse: bool,
     reps: usize,
 ) -> Record {
-    let cfg = Config {
-        scheduling: scheduling.1,
-        pair_reuse,
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .scheduling(scheduling.1)
+        .pair_reuse(pair_reuse)
+        .build();
     tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("warmup multiply");
     let mut best: Option<Record> = None;
     for _ in 0..reps {
@@ -84,6 +85,46 @@ fn measure(
         }
     }
     best.expect("reps >= 1")
+}
+
+/// Measures the context API against the free function on one matrix:
+/// best-of-`reps` wall time for each path, the relative overhead, and a
+/// bitwise-identity check on the two products. The context runs the default
+/// `NullRecorder`, so any gap is pure API plumbing (the virtual span calls);
+/// the acceptance bar is ≤2%, enforced at >5% by the `overhead_check` bin
+/// (best-of-N still jitters at the ±percent level on shared CI hardware).
+fn overhead_record(ta: &TileMatrix<f64>, matrix: &'static str, reps: usize) -> String {
+    let cfg = Config::default();
+    let ctx = SpGemm::new();
+    // Warm both paths, and pin down that the context changes nothing about
+    // the result.
+    let free = tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("warmup");
+    let through_ctx = ctx.multiply(ta, ta).expect("warmup");
+    assert_eq!(
+        free.c, through_ctx.c,
+        "context path must be bitwise-identical to the free function"
+    );
+    let mut best_free = f64::INFINITY;
+    let mut best_ctx = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("multiply");
+        best_free = best_free.min(ms(t0.elapsed()));
+        let t1 = Instant::now();
+        ctx.multiply(ta, ta).expect("multiply");
+        best_ctx = best_ctx.min(ms(t1.elapsed()));
+    }
+    let overhead_pct = (best_ctx - best_free) / best_free * 100.0;
+    println!(
+        "  {matrix:<14} ctx {best_ctx:>9.3} ms vs free {best_free:>9.3} ms ({overhead_pct:+.2}%)"
+    );
+    format!(
+        concat!(
+            "{{\"matrix\":\"{}\",\"method\":\"ctx_overhead\",",
+            "\"free_ms\":{:.4},\"ctx_null_ms\":{:.4},\"overhead_pct\":{:.3}}}"
+        ),
+        matrix, best_free, best_ctx, overhead_pct
+    )
 }
 
 /// Measures every (matrix, scheduling, pair_reuse) combination of the suite
@@ -123,19 +164,25 @@ fn emit_bench_json() {
         ("per-tile", Scheduling::PerTile),
         ("binned", Scheduling::Binned),
     ];
+    let mats: Vec<(&'static str, TileMatrix<f64>)> = suite
+        .into_iter()
+        .map(|(name, spec)| (name, TileMatrix::from_csr(&spec.build())))
+        .collect();
     let mut records = Vec::new();
-    for (name, spec) in suite {
-        let ta = TileMatrix::from_csr(&spec.build());
+    for &(name, ref ta) in &mats {
         for &scheduling in &schedulings {
             for pair_reuse in [true, false] {
-                records.push(measure(&ta, name, scheduling, pair_reuse, 5));
+                records.push(measure(ta, name, scheduling, pair_reuse, 5));
             }
         }
     }
-    let body: Vec<String> = records
+    let mut body: Vec<String> = records
         .iter()
         .map(|r| format!("  {}", r.to_json()))
         .collect();
+    for &(name, ref ta) in &mats {
+        body.push(format!("  {}", overhead_record(ta, name, 7)));
+    }
     let json = format!("[\n{}\n]\n", body.join(",\n"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     std::fs::write(path, &json).expect("write BENCH_pipeline.json");
@@ -172,10 +219,7 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     group.bench_function("full_multiply_recompute_pairs", |b| {
-        let cfg = Config {
-            pair_reuse: false,
-            ..Config::default()
-        };
+        let cfg = Config::builder().pair_reuse(false).build();
         b.iter(|| tilespgemm_core::multiply(&ta, &ta, &cfg, &MemTracker::new()).expect("multiply"));
     });
 

@@ -5,8 +5,11 @@
 //! estimate-based rejections, and queue-full shedding — without deadlocking.
 //!
 //! Writes `BENCH_engine.json` at the workspace root: per-job queue wait,
-//! execution wall time, cache hits/conversions, and the engine's final
-//! statistics snapshot (cache hit rate, evictions, shed/rejected counts).
+//! execution wall time, per-step breakdown, cache hits/conversions, the
+//! engine's final statistics snapshot (cache hit rate, evictions,
+//! shed/rejected counts), the observability counter totals of the burst,
+//! and a representative per-job span tree (the engine runs with
+//! `profile: true`, so every job records job → step1/step2/step3/alloc).
 //!
 //! ```text
 //! cargo run --release -p tsg-bench --bin engine_bench
@@ -17,7 +20,7 @@ use std::time::Duration;
 use tsg_engine::json::{obj, Value};
 use tsg_engine::{Engine, EngineConfig, JobSpec, JobTicket, MatrixId};
 use tsg_gen::suite::GenSpec;
-use tsg_runtime::Device;
+use tsg_runtime::{Breakdown, Device, SpanNode};
 
 /// Outcome row for one submitted job.
 struct JobRow {
@@ -30,6 +33,7 @@ struct JobRow {
     conversions: u64,
     peak_bytes: usize,
     est_bytes: usize,
+    breakdown: Breakdown,
 }
 
 fn row_to_json(r: &JobRow) -> Value {
@@ -39,11 +43,42 @@ fn row_to_json(r: &JobRow) -> Value {
         ("queue_wait_ms", Value::Num(r.queue_wait_ms)),
         ("exec_ms", Value::Num(r.exec_ms)),
         ("wall_ms", Value::Num(r.wall_ms)),
+        (
+            "step1_ms",
+            Value::Num(r.breakdown.step1.as_secs_f64() * 1e3),
+        ),
+        (
+            "step2_ms",
+            Value::Num(r.breakdown.step2.as_secs_f64() * 1e3),
+        ),
+        (
+            "step3_ms",
+            Value::Num(r.breakdown.step3.as_secs_f64() * 1e3),
+        ),
+        (
+            "alloc_ms",
+            Value::Num(r.breakdown.alloc.as_secs_f64() * 1e3),
+        ),
         ("cache_hits", r.cache_hits.into()),
         ("conversions", r.conversions.into()),
         ("peak_bytes", r.peak_bytes.into()),
         ("est_bytes", r.est_bytes.into()),
     ])
+}
+
+fn spans_to_json(nodes: &[SpanNode]) -> Value {
+    Value::Arr(
+        nodes
+            .iter()
+            .map(|n| {
+                obj([
+                    ("name", n.name.into()),
+                    ("ms", Value::Num(n.elapsed.as_secs_f64() * 1e3)),
+                    ("children", spans_to_json(&n.children)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn main() {
@@ -60,6 +95,7 @@ fn main() {
         queue_depth: 5,
         default_timeout: None,
         base_config: Default::default(),
+        profile: true,
     };
     let engine = Engine::new(cfg);
 
@@ -123,6 +159,7 @@ fn main() {
                     conversions: 0,
                     peak_bytes: 0,
                     est_bytes: 0,
+                    breakdown: Breakdown::default(),
                 }),
             }
         }
@@ -145,6 +182,7 @@ fn main() {
                 conversions: u64::from(r.conversions),
                 peak_bytes: r.peak_bytes,
                 est_bytes: r.estimate.est_bytes,
+                breakdown: r.breakdown,
             }),
             Err(e) => rows.push(JobRow {
                 label,
@@ -156,11 +194,29 @@ fn main() {
                 conversions: 0,
                 peak_bytes: 0,
                 est_bytes: 0,
+                breakdown: Breakdown::default(),
             }),
         }
     }
 
     let s = engine.stats();
+    let metrics = engine.metrics();
+    // Every completed job recorded a span tree whose "job" root nests the
+    // three pipeline steps and the allocation phase.
+    let collector = engine.collector().expect("engine profiles this burst");
+    let recorded_jobs = collector.jobs();
+    let sample_spans = recorded_jobs
+        .iter()
+        .map(|&j| collector.span_tree(j))
+        .find(|tree| {
+            tree.iter().any(|root| {
+                root.name == "job"
+                    && ["step1", "step2", "step3", "alloc"]
+                        .iter()
+                        .all(|p| root.child(p).is_some())
+            })
+        })
+        .expect("at least one job has a full job -> step1/step2/step3/alloc tree");
     engine.shutdown();
     let lookups = s.registry.cache_hits + s.registry.cache_misses;
     let hit_rate = if lookups > 0 {
@@ -182,6 +238,15 @@ fn main() {
     assert_eq!(
         s.device_bytes_in_use, 0,
         "device tracker drained back to zero"
+    );
+    assert!(
+        metrics.get(tsg_runtime::Counter::TilesVisited) > 0,
+        "the burst visited tiles"
+    );
+    assert!(
+        metrics.get(tsg_runtime::Counter::BytesAlloc)
+            >= metrics.get(tsg_runtime::Counter::BytesFreed),
+        "alloc bytes dominate freed bytes"
     );
 
     let report = obj([
@@ -221,6 +286,16 @@ fn main() {
                 ("evictions", s.registry.evictions.into()),
             ]),
         ),
+        (
+            "counters",
+            Value::Obj(
+                metrics
+                    .iter()
+                    .map(|(_, name, total)| (name.to_string(), total.into()))
+                    .collect(),
+            ),
+        ),
+        ("sample_spans", spans_to_json(&sample_spans)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, format!("{report}\n")).expect("write BENCH_engine.json");

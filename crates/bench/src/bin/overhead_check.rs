@@ -1,0 +1,85 @@
+//! CI gate for the observability layer's zero-cost claim: runs the default
+//! pipeline through the free function and through a `SpGemm` context with
+//! the `NullRecorder`, best-of-N each, and fails (exit 1) if the context
+//! path is more than 5% slower. The design target is ≤2% (DESIGN.md §9);
+//! the gate sits at 5% to absorb shared-runner jitter.
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin overhead_check
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tilespgemm_core::{Config, SpGemm};
+use tsg_gen::suite::GenSpec;
+use tsg_matrix::TileMatrix;
+use tsg_runtime::MemTracker;
+
+/// Allowed Null-recorder regression, in percent.
+const GATE_PCT: f64 = 5.0;
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-`reps` overhead of `ctx.multiply` over the free function on one
+/// matrix, after verifying the two paths produce identical products.
+fn overhead_pct(ta: &TileMatrix<f64>, reps: usize) -> f64 {
+    let cfg = Config::default();
+    let ctx = SpGemm::new();
+    let free = tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("warmup");
+    let through_ctx = ctx.multiply(ta, ta).expect("warmup");
+    assert_eq!(
+        free.c, through_ctx.c,
+        "context path must be bitwise-identical to the free function"
+    );
+    let mut best_free = f64::INFINITY;
+    let mut best_ctx = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("multiply");
+        best_free = best_free.min(ms(t0.elapsed()));
+        let t1 = Instant::now();
+        ctx.multiply(ta, ta).expect("multiply");
+        best_ctx = best_ctx.min(ms(t1.elapsed()));
+    }
+    (best_ctx - best_free) / best_free * 100.0
+}
+
+fn main() -> ExitCode {
+    let suite: [(&str, GenSpec); 2] = [
+        (
+            "fem-500",
+            GenSpec::Fem {
+                nodes: 500,
+                block: 6,
+                couplings: 4,
+                spread: 20,
+                seed: 1,
+            },
+        ),
+        (
+            "rmat-skewed",
+            GenSpec::Rmat {
+                scale: 12,
+                edges: 25_000,
+                mild: false,
+                seed: 1,
+            },
+        ),
+    ];
+    let mut worst = f64::NEG_INFINITY;
+    for (name, spec) in suite {
+        let ta = TileMatrix::from_csr(&spec.build());
+        let pct = overhead_pct(&ta, 9);
+        println!("{name}: ctx-with-NullRecorder overhead {pct:+.2}% (gate {GATE_PCT}%)");
+        worst = worst.max(pct);
+    }
+    if worst > GATE_PCT {
+        eprintln!("overhead_check: FAIL — worst overhead {worst:+.2}% exceeds {GATE_PCT}%");
+        return ExitCode::FAILURE;
+    }
+    println!("overhead_check: OK — worst overhead {worst:+.2}%");
+    ExitCode::SUCCESS
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper argues 16 is the unique dimension saturating the narrow types
 //! (two 4-bit locals per `u8`, `u8` row pointers, `u16` masks) — "other tile
-//! sizes (such as 4-by-4 and 8-by-8) cannot saturate [the] 8-bit data type
+//! sizes (such as 4-by-4 and 8-by-8) cannot saturate \[the\] 8-bit data type
 //! and will bring more complex data packing". This harness quantifies the
 //! claim on the representative dataset: modelled index bytes of the tiled
 //! format at dimensions 4–64.

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod add;
+pub mod context;
 pub mod convert;
 pub mod intersect;
 pub mod masked;
@@ -47,17 +48,32 @@ pub mod step2;
 pub mod step3;
 
 pub use add::add;
+pub use context::{SpGemm, SpGemmBuilder};
 pub use convert::{timed_csr_to_tile, ConversionTiming};
 pub use intersect::IntersectionKind;
 pub use masked::multiply_masked;
-pub use pipeline::{multiply, multiply_csr, Output};
+pub use pipeline::{multiply, multiply_csr, multiply_csr_with, multiply_with, Output};
 pub use spmv::{spmv, spmv_masked};
 pub use step2::PairBuffer;
 pub use step3::AccumulatorKind;
 
 /// Tuning knobs of the algorithm. `Config::default()` is the paper's
 /// configuration; the other variants exist for the ablation benches.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`Config::default`] or [`Config::builder`], so future knobs are not
+/// semver breaks.
+///
+/// ```
+/// use tilespgemm_core::{Config, Scheduling};
+/// let cfg = Config::builder()
+///     .scheduling(Scheduling::Binned)
+///     .pair_reuse(false)
+///     .build();
+/// assert_eq!(cfg.tnnz_threshold, 192); // unset fields keep the paper values
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Config {
     /// Sparse/dense accumulator switch-over: tiles with more stored nonzeros
     /// than this use the dense accumulator. The paper sets 192 (75% of 256).
@@ -90,8 +106,59 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+}
+
+/// Builder for [`Config`]; unset fields keep the paper defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Sets the sparse/dense accumulator switch-over (paper: 192).
+    pub fn tnnz_threshold(mut self, v: usize) -> Self {
+        self.config.tnnz_threshold = v;
+        self
+    }
+
+    /// Sets the step-2 set-intersection strategy.
+    pub fn intersection(mut self, v: IntersectionKind) -> Self {
+        self.config.intersection = v;
+        self
+    }
+
+    /// Sets the step-3 accumulator policy.
+    pub fn accumulator(mut self, v: AccumulatorKind) -> Self {
+        self.config.accumulator = v;
+        self
+    }
+
+    /// Sets the task granularity for steps 2 and 3.
+    pub fn scheduling(mut self, v: Scheduling) -> Self {
+        self.config.scheduling = v;
+        self
+    }
+
+    /// Enables or disables matched-pair reuse between steps 2 and 3.
+    pub fn pair_reuse(mut self, v: bool) -> Self {
+        self.config.pair_reuse = v;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> Config {
+        self.config
+    }
+}
+
 /// Task granularity for the per-tile phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Scheduling {
     /// One parallel task per output tile — the paper's one-warp-per-tile
     /// mapping, whose bounded work is the load-balancing argument of §1.
@@ -108,6 +175,7 @@ pub enum Scheduling {
 
 /// Errors surfaced by the SpGEMM pipelines in this workspace.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SpGemmError {
     /// The simulated device memory budget was exceeded — the condition the
     /// paper's Figure 7 reports as a `0.00` bar.
@@ -173,6 +241,21 @@ mod tests {
         // The one deliberate departure from the paper: matched pairs found
         // in step 2 are reused in step 3 by default (DESIGN.md §7).
         assert!(c.pair_reuse);
+    }
+
+    #[test]
+    fn builder_overrides_only_named_fields() {
+        let cfg = Config::builder()
+            .scheduling(Scheduling::Binned)
+            .pair_reuse(false)
+            .build();
+        assert_eq!(cfg.scheduling, Scheduling::Binned);
+        assert!(!cfg.pair_reuse);
+        // Everything unset keeps the paper defaults.
+        assert_eq!(cfg.tnnz_threshold, 192);
+        assert_eq!(cfg.intersection, IntersectionKind::BinarySearch);
+        assert_eq!(cfg.accumulator, AccumulatorKind::Adaptive);
+        assert_eq!(Config::builder().build(), Config::default());
     }
 
     #[test]

@@ -175,6 +175,7 @@ pub fn multiply_masked<T: Scalar>(
         breakdown,
         peak_bytes,
         pair_buffer: None,
+        conversion: None,
     })
 }
 
@@ -207,7 +208,7 @@ mod tests {
     fn masked_oracle(a: &Csr<f64>, b: &Csr<f64>, mask: &Csr<f64>) -> Csr<f64> {
         let full = crate::multiply_csr(a, b, &Config::default(), &MemTracker::new())
             .unwrap()
-            .0;
+            .to_csr();
         let pattern = mask.map_values(|_| 1.0);
         ops::hadamard(&full, &pattern)
     }

@@ -2,18 +2,21 @@
 //! step 3, with the per-step breakdown of Figure 10 and device-memory
 //! accounting for Figures 7 and 9.
 
-use crate::intersect::MatchedPair;
+use crate::convert::{timed_csr_to_tile, ConversionTiming};
+use crate::intersect::{IntersectionKind, MatchedPair};
 use crate::step1::tile_structure_spgemm;
 use crate::step2::{matched_pairs, symbolic_tile, PairBuffer};
 use crate::step3::{fill_indices_from_masks, numeric_tile_dense, numeric_tile_sparse};
 use crate::{Config, SpGemmError};
 use rayon::prelude::*;
-use tsg_matrix::{Csr, Scalar, TileMatrix, TILE_DIM};
+use tsg_matrix::{Csr, Scalar, TileColIndex, TileMatrix, TILE_DIM};
+use tsg_runtime::observe::{Counter, NullRecorder, Recorder};
 use tsg_runtime::{
     bin_rows_by, split_mut_by_offsets, split_mut_uniform, Bins, Breakdown, MemTracker, Step,
 };
 
-/// The result of a TileSpGEMM multiplication.
+/// The result of a TileSpGEMM multiplication — the one result type both the
+/// tiled and the CSR entry points return.
 #[derive(Debug)]
 pub struct Output<T> {
     /// The product in sparse-tile form. May retain step-1 tiles that turned
@@ -26,6 +29,19 @@ pub struct Output<T> {
     /// The matched-pair lists step 2 persisted and step 3 consumed; present
     /// iff [`Config::pair_reuse`] was on. Exposed for tests and ablations.
     pub pair_buffer: Option<PairBuffer>,
+    /// CSR → tiled conversion timing, summed over both operands. `Some` iff
+    /// this output came from a CSR entry point; the tiled entry points set
+    /// `None`. Conversion stays outside [`Output::breakdown`], matching the
+    /// paper's timing protocol (which assumes tiled inputs).
+    pub conversion: Option<ConversionTiming>,
+}
+
+impl<T: Scalar> Output<T> {
+    /// The product as CSR, with exact numeric zeros dropped (the tiled form
+    /// keeps structurally-predicted entries that cancelled to zero).
+    pub fn to_csr(&self) -> Csr<T> {
+        self.c.to_csr().drop_numeric_zeros()
+    }
 }
 
 /// Bucket count for [`crate::Scheduling::Binned`]: keys up to `2^18` get
@@ -78,16 +94,65 @@ fn permuted<W>(windows: Vec<W>, order: &[u32]) -> Vec<W> {
         .collect()
 }
 
+/// Set-intersection lookups a step-2/step-3 intersection pass issues, from
+/// list lengths alone: binary search probes once per element of the shorter
+/// tile list; merge advances at most `|a| + |b|` times. Counting from the
+/// lengths (all O(1) lookups) keeps the observability cost out of the inner
+/// loops — the counter is a deterministic proxy, not a hardware event count.
+fn intersection_probes<T: Scalar>(
+    a: &TileMatrix<T>,
+    b_cols: &TileColIndex,
+    c_rowidx: &[u32],
+    c_colidx: &[u32],
+    kind: IntersectionKind,
+) -> u64 {
+    let mut probes = 0u64;
+    for t in 0..c_rowidx.len() {
+        let la = a.tile_row_range(c_rowidx[t] as usize).len() as u64;
+        let lb = b_cols.col(c_colidx[t] as usize).0.len() as u64;
+        probes += match kind {
+            IntersectionKind::BinarySearch => la.min(lb),
+            IntersectionKind::Merge => la + lb,
+        };
+    }
+    probes
+}
+
 /// Runs `C = A·B` on tiled operands with the paper's three-step algorithm.
 ///
 /// The `tracker` carries the device-memory budget; exceeding it aborts with
 /// [`SpGemmError::OutOfMemory`] (the paper's Figure-7 `0.00` bars). Pass
 /// [`MemTracker::new()`] for unlimited memory.
+///
+/// This is the original free-function surface, kept as a thin wrapper over
+/// [`multiply_with`] with recording disabled. New code should prefer the
+/// [`crate::SpGemm`] context, which owns the `(config, tracker, recorder)`
+/// triple and numbers jobs.
 pub fn multiply<T: Scalar>(
     a: &TileMatrix<T>,
     b: &TileMatrix<T>,
     config: &Config,
     tracker: &MemTracker,
+) -> Result<Output<T>, SpGemmError> {
+    multiply_with(a, b, config, tracker, &NullRecorder, 0)
+}
+
+/// [`multiply`] with an explicit recorder and job id: phase spans nest under
+/// a `"job"` root span recorded for `job`, and the pipeline's counters
+/// ([`Counter::TilesVisited`], matched pairs, intersection probes,
+/// accumulator picks, bin occupancy) flow into the recorder.
+///
+/// All per-tile instrumentation is derived outside the parallel hot loops
+/// from state the pipeline already computes, and is skipped entirely when
+/// [`Recorder::is_enabled`] is `false` — a [`NullRecorder`] run costs a few
+/// virtual calls per multiply, not per tile.
+pub fn multiply_with<T: Scalar>(
+    a: &TileMatrix<T>,
+    b: &TileMatrix<T>,
+    config: &Config,
+    tracker: &MemTracker,
+    recorder: &dyn Recorder,
+    job: u64,
 ) -> Result<Output<T>, SpGemmError> {
     if a.ncols != b.nrows {
         return Err(SpGemmError::ShapeMismatch {
@@ -97,12 +162,22 @@ pub fn multiply<T: Scalar>(
     }
     let mut breakdown = Breakdown::default();
     let peak_start = tracker.peak_bytes();
+    let enabled = recorder.is_enabled();
+    let root = recorder.span_enter(job, "job");
+    // Closes `root` (and reports nothing else) on early error returns.
+    let fail = |e: SpGemmError| -> SpGemmError {
+        recorder.span_exit(root);
+        e
+    };
 
     // Inputs live on the device for the duration of the product.
     let input_bytes = tile_matrix_bytes(a) + tile_matrix_bytes(b);
-    tracker.on_alloc(input_bytes)?;
+    if let Err(e) = tracker.on_alloc(input_bytes) {
+        return Err(fail(e.into()));
+    }
 
     // ---- Step 1: tile-structure symbolic SpGEMM (Figure 3). ----
+    let span = recorder.span_enter(job, "step1");
     let c_pattern = breakdown.timed(Step::Step1, || {
         tile_structure_spgemm(
             a.tile_m,
@@ -113,11 +188,13 @@ pub fn multiply<T: Scalar>(
             b.tile_n,
         )
     });
+    recorder.span_exit(span);
     let num_tiles = c_pattern.nnz();
 
     // ---- Allocation for step 2 (counted like the paper's cudaMalloc). ----
     // B's column-wise tile index (Algorithm 2's tileColPtr_B/tileRowidx_B)
     // and C's expanded tile-row indices.
+    let span = recorder.span_enter(job, "alloc");
     let (b_cols, c_rowidx, mut c_masks, mut c_row_ptr) = breakdown.timed(Step::Alloc, || {
         let b_cols = b.col_index();
         let mut c_rowidx = vec![0u32; num_tiles];
@@ -128,6 +205,7 @@ pub fn multiply<T: Scalar>(
         let c_row_ptr = vec![0u8; num_tiles * TILE_DIM];
         (b_cols, c_rowidx, c_masks, c_row_ptr)
     });
+    recorder.span_exit(span);
     let step2_temp_bytes = c_pattern.nnz() * 4
         + b_cols.colptr.len() * 8
         + b_cols.rowidx.len() * 8
@@ -135,7 +213,7 @@ pub fn multiply<T: Scalar>(
         + 8;
     if let Err(e) = tracker.on_alloc(step2_temp_bytes) {
         tracker.on_free(input_bytes);
-        return Err(e.into());
+        return Err(fail(e.into()));
     }
 
     // ---- Step 2: per-tile symbolic (Algorithm 2). ----
@@ -168,6 +246,7 @@ pub fn multiply<T: Scalar>(
             std::mem::swap(slot, pairs);
         }
     };
+    let span = recorder.span_enter(job, "step2");
     breakdown.timed(Step::Step2, || match config.scheduling {
         crate::Scheduling::PerTile => {
             c_masks
@@ -231,6 +310,10 @@ pub fn multiply<T: Scalar>(
                 let tj = c_pattern.idx[t] as usize;
                 a.tile_row_range(ti).len() + b_cols.col(tj).0.len()
             });
+            if enabled {
+                recorder.add(Counter::BinnedTiles, num_tiles as u64);
+                recorder.add(Counter::BinsOccupied, bins.occupied_buckets() as u64);
+            }
             let order = binned_order(&bins);
             let masks_w = permuted(split_mut_uniform(&mut c_masks, num_tiles), &order);
             let rowptr_w = permuted(split_mut_uniform(&mut c_row_ptr, num_tiles), &order);
@@ -255,17 +338,39 @@ pub fn multiply<T: Scalar>(
         }
     });
 
+    recorder.span_exit(span);
+
     // Prefix-sum the per-tile counts into the tileNnz offsets — the scan
     // the paper ends step 2 with — then allocate C's nonzero arrays.
     let mut c_offsets = vec![0usize; num_tiles + 1];
+    let span = recorder.span_enter(job, "scan");
     let nnz_c = breakdown.timed(Step::Step2, || {
         tsg_runtime::par_exclusive_scan_to(&c_counts, &mut c_offsets)
     });
+    recorder.span_exit(span);
+
+    // Step-2 counters, all derived from state the phase already produced:
+    // one visit per predicted output tile (== step-1 nnz), the matched-pair
+    // total, and the length-derived probe count (see `intersection_probes`).
+    let probes = if enabled {
+        let probes =
+            intersection_probes(a, &b_cols, &c_rowidx, &c_pattern.idx, config.intersection);
+        recorder.add(Counter::TilesVisited, num_tiles as u64);
+        recorder.add(
+            Counter::MatchedPairs,
+            pair_counts.iter().map(|&p| p as u64).sum(),
+        );
+        recorder.add(Counter::IntersectionProbes, probes);
+        probes
+    } else {
+        0
+    };
 
     // Flatten the per-tile pair lists into the compact CSR-shaped buffer
     // step 3 will read. The per-tile staging vectors are host-side scratch;
     // only the compact buffer is tracked as device memory.
     let pair_buffer: Option<PairBuffer> = if config.pair_reuse {
+        let span = recorder.span_enter(job, "alloc");
         let res = breakdown.timed(Step::Alloc, || {
             let mut offsets = vec![0usize; num_tiles + 1];
             let total_pairs = tsg_runtime::par_exclusive_scan_to(&pair_counts, &mut offsets);
@@ -281,11 +386,12 @@ pub fn multiply<T: Scalar>(
                 pairs: flat,
             })
         });
+        recorder.span_exit(span);
         match res {
             Ok(buf) => Some(buf),
             Err(e) => {
                 tracker.on_free(input_bytes + step2_temp_bytes);
-                return Err(e);
+                return Err(fail(e));
             }
         }
     } else {
@@ -295,6 +401,7 @@ pub fn multiply<T: Scalar>(
     let pair_bytes = pair_buffer.as_ref().map_or(0, PairBuffer::bytes);
 
     let output_bytes = nnz_c * (2 + std::mem::size_of::<T>()) + (num_tiles + 1) * 8;
+    let span = recorder.span_enter(job, "alloc");
     let alloc_res = breakdown.timed(Step::Alloc, || {
         tracker.on_alloc(output_bytes)?;
         Ok::<_, SpGemmError>((
@@ -303,11 +410,12 @@ pub fn multiply<T: Scalar>(
             tracker.timed_alloc(|| vec![T::ZERO; nnz_c]),
         ))
     });
+    recorder.span_exit(span);
     let (mut c_row_idx, mut c_col_idx, mut c_vals) = match alloc_res {
         Ok(v) => v,
         Err(e) => {
             tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes);
-            return Err(e);
+            return Err(fail(e));
         }
     };
 
@@ -342,6 +450,7 @@ pub fn multiply<T: Scalar>(
             numeric_tile_sparse(a, b, pair_list, masks, row_ptr, vals_w);
         }
     };
+    let span = recorder.span_enter(job, "step3");
     breakdown.timed(Step::Step3, || match config.scheduling {
         crate::Scheduling::PerTile => {
             let row_idx_w = split_mut_by_offsets(&mut c_row_idx, &c_offsets);
@@ -397,6 +506,10 @@ pub fn multiply<T: Scalar>(
             // The spECK-style estimate the issue calls for: matched-pair
             // count × tile nnz, both exact by now and free to read.
             let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, |t| pair_counts[t] * c_counts[t]);
+            if enabled {
+                recorder.add(Counter::BinnedTiles, num_tiles as u64);
+                recorder.add(Counter::BinsOccupied, bins.occupied_buckets() as u64);
+            }
             let order = binned_order(&bins);
             let row_idx_w = permuted(split_mut_by_offsets(&mut c_row_idx, &c_offsets), &order);
             let col_idx_w = permuted(split_mut_by_offsets(&mut c_col_idx, &c_offsets), &order);
@@ -414,6 +527,31 @@ pub fn multiply<T: Scalar>(
                 );
         }
     });
+    recorder.span_exit(span);
+
+    // Step-3 counters: the sparse/dense pick per tile re-derives the exact
+    // branch `step3_tile` took (same inputs, same predicate), and a run
+    // without pair reuse repeats the step-2 intersections, so the probe
+    // count is charged again.
+    if enabled {
+        if pair_buffer.is_none() {
+            recorder.add(Counter::IntersectionProbes, probes);
+        }
+        let (mut sparse, mut dense) = (0u64, 0u64);
+        for t in 0..num_tiles {
+            let tile_nnz = c_offsets[t + 1] - c_offsets[t];
+            if config
+                .accumulator
+                .use_dense(tile_nnz, config.tnnz_threshold)
+            {
+                dense += 1;
+            } else {
+                sparse += 1;
+            }
+        }
+        recorder.add(Counter::SparseAccPicks, sparse);
+        recorder.add(Counter::DenseAccPicks, dense);
+    }
 
     // Assemble the output structure.
     let c = TileMatrix {
@@ -437,28 +575,56 @@ pub fn multiply<T: Scalar>(
     // the host). The tracker's current-bytes count returns to its pre-call
     // level — DESIGN.md §5's balanced alloc/free rule.
     tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes + output_bytes);
+    recorder.span_exit(root);
 
     Ok(Output {
         c,
         breakdown,
         peak_bytes,
         pair_buffer,
+        conversion: None,
     })
 }
 
-/// Convenience wrapper: multiplies CSR operands by converting to tiled form
-/// (conversion excluded from the breakdown, matching the paper's timing
-/// protocol, which assumes tiled inputs), returning a CSR product.
+/// Multiplies CSR operands by converting to tiled form, returning the same
+/// [`Output`] as [`multiply`] with [`Output::conversion`] filled in.
+/// Conversion time stays outside the breakdown, matching the paper's timing
+/// protocol (which assumes tiled inputs); use [`Output::to_csr`] to recover
+/// a CSR product.
+///
+/// Kept as a thin wrapper over [`multiply_csr_with`] with recording
+/// disabled; prefer [`crate::SpGemm::multiply_csr`] in new code.
 pub fn multiply_csr<T: Scalar>(
     a: &Csr<T>,
     b: &Csr<T>,
     config: &Config,
     tracker: &MemTracker,
-) -> Result<(Csr<T>, Breakdown), SpGemmError> {
-    let ta = TileMatrix::from_csr(a);
-    let tb = TileMatrix::from_csr(b);
-    let out = multiply(&ta, &tb, config, tracker)?;
-    Ok((out.c.to_csr().drop_numeric_zeros(), out.breakdown))
+) -> Result<Output<T>, SpGemmError> {
+    multiply_csr_with(a, b, config, tracker, &NullRecorder, 0)
+}
+
+/// [`multiply_csr`] with an explicit recorder and job id. The conversions
+/// record under a `"convert"` span of the job, preceding the `"job"` span
+/// [`multiply_with`] opens.
+pub fn multiply_csr_with<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    config: &Config,
+    tracker: &MemTracker,
+    recorder: &dyn Recorder,
+    job: u64,
+) -> Result<Output<T>, SpGemmError> {
+    let span = recorder.span_enter(job, "convert");
+    let (ta, conv_a) = timed_csr_to_tile(a);
+    let (tb, conv_b) = timed_csr_to_tile(b);
+    recorder.span_exit(span);
+    let mut out = multiply_with(&ta, &tb, config, tracker, recorder, job)?;
+    out.conversion = Some(ConversionTiming {
+        conversion: conv_a.conversion + conv_b.conversion,
+        tiles: conv_a.tiles + conv_b.tiles,
+        nnz: conv_a.nnz + conv_b.nnz,
+    });
+    Ok(out)
 }
 
 /// Total bytes of a tile matrix, as tracked on the simulated device.
@@ -498,7 +664,9 @@ mod tests {
         for (n, per_row, seed) in [(16usize, 3usize, 1u64), (50, 4, 2), (130, 6, 3)] {
             let a = random_csr(n, per_row, seed);
             let b = random_csr(n, per_row, seed + 100);
-            let (c, _) = multiply_csr(&a, &b, &Config::default(), &MemTracker::new()).unwrap();
+            let c = multiply_csr(&a, &b, &Config::default(), &MemTracker::new())
+                .unwrap()
+                .to_csr();
             let expect = Dense::from_csr(&a).matmul(&Dense::from_csr(&b)).to_csr();
             assert!(
                 c.approx_eq_ignoring_zeros(&expect, 1e-10),
@@ -522,7 +690,7 @@ mod tests {
         let a = random_csr(80, 5, 11);
         let reference = multiply_csr(&a, &a, &Config::default(), &MemTracker::new())
             .unwrap()
-            .0;
+            .to_csr();
         for intersection in [
             crate::IntersectionKind::BinarySearch,
             crate::IntersectionKind::Merge,
@@ -533,13 +701,14 @@ mod tests {
                 crate::AccumulatorKind::AlwaysDense,
             ] {
                 for tnnz_threshold in [0, 64, 192, 256] {
-                    let cfg = Config {
-                        tnnz_threshold,
-                        intersection,
-                        accumulator,
-                        ..Config::default()
-                    };
-                    let c = multiply_csr(&a, &a, &cfg, &MemTracker::new()).unwrap().0;
+                    let cfg = Config::builder()
+                        .tnnz_threshold(tnnz_threshold)
+                        .intersection(intersection)
+                        .accumulator(accumulator)
+                        .build();
+                    let c = multiply_csr(&a, &a, &cfg, &MemTracker::new())
+                        .unwrap()
+                        .to_csr();
                     assert!(
                         c.approx_eq_ignoring_zeros(&reference, 1e-10),
                         "variant {cfg:?} disagrees"
@@ -715,9 +884,12 @@ mod tests {
     fn identity_times_matrix_is_identity_map() {
         let a = random_csr(64, 4, 17);
         let i = Csr::<f64>::identity(64);
-        let (c, _) = multiply_csr(&i, &a, &Config::default(), &MemTracker::new()).unwrap();
-        assert!(c.approx_eq_ignoring_zeros(&a, 1e-12));
-        let (c2, _) = multiply_csr(&a, &i, &Config::default(), &MemTracker::new()).unwrap();
+        let out = multiply_csr(&i, &a, &Config::default(), &MemTracker::new()).unwrap();
+        assert!(out.to_csr().approx_eq_ignoring_zeros(&a, 1e-12));
+        assert!(out.conversion.is_some(), "CSR entry point times conversion");
+        let c2 = multiply_csr(&a, &i, &Config::default(), &MemTracker::new())
+            .unwrap()
+            .to_csr();
         assert!(c2.approx_eq_ignoring_zeros(&a, 1e-12));
     }
 

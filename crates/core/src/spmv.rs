@@ -1,6 +1,6 @@
 //! Sparse matrix–vector multiplication on the tiled format.
 //!
-//! The paper's research group developed TileSpMV (IPDPS '21, cited as [94])
+//! The paper's research group developed TileSpMV (IPDPS '21, cited as \[94\])
 //! on the same 16×16 sparse-tile structure; a downstream user who keeps
 //! matrices tiled for repeated SpGEMMs (the AMG pipeline of §4.6) also needs
 //! `y = A·x` without converting back to CSR. This kernel parallelises over

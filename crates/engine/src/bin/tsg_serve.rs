@@ -8,8 +8,13 @@
 //!
 //! ```text
 //! tsg-serve [--device 0|1] [--workers N] [--queue-depth N]
-//!           [--cache-mb N] [--budget-mb N] [--timeout-ms N] [--tcp ADDR]
+//!           [--cache-mb N] [--budget-mb N] [--timeout-ms N] [--profile]
+//!           [--tcp ADDR]
 //! ```
+//!
+//! `--profile` attaches a collecting recorder to the engine: job replies
+//! then carry span trees, and the `stats`/`profile` verbs report live
+//! observability counters.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -26,7 +31,7 @@ fn die(msg: &str) -> ! {
     eprintln!("tsg-serve: {msg}");
     eprintln!(
         "usage: tsg-serve [--device 0|1] [--workers N] [--queue-depth N] \
-         [--cache-mb N] [--budget-mb N] [--timeout-ms N] [--tcp ADDR]"
+         [--cache-mb N] [--budget-mb N] [--timeout-ms N] [--profile] [--tcp ADDR]"
     );
     std::process::exit(2);
 }
@@ -77,6 +82,7 @@ fn parse_args() -> (EngineConfig, Option<String>) {
                     .unwrap_or_else(|_| die("--timeout-ms wants an integer"));
                 cfg.default_timeout = Some(Duration::from_millis(ms));
             }
+            "--profile" => cfg.profile = true,
             "--tcp" => tcp = Some(value("--tcp")),
             "--help" | "-h" => die("serve the tiled SpGEMM engine over JSON lines"),
             other => die(&format!("unknown argument {other}")),
@@ -113,13 +119,14 @@ fn serve_stream(session: &Session, input: impl BufRead, mut output: impl Write) 
 fn main() -> ExitCode {
     let (cfg, tcp) = parse_args();
     eprintln!(
-        "tsg-serve: device {} ({} threads, {} MiB budget), {} workers, queue depth {}, cache {} MiB",
+        "tsg-serve: device {} ({} threads, {} MiB budget), {} workers, queue depth {}, cache {} MiB{}",
         cfg.device.name,
         cfg.device.threads,
         cfg.device.mem_budget >> 20,
         cfg.workers,
         cfg.queue_depth,
         cfg.cache_bytes >> 20,
+        if cfg.profile { ", profiling" } else { "" },
     );
     let engine = Arc::new(Engine::new(cfg));
 

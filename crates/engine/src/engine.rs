@@ -31,9 +31,10 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tilespgemm_core::{multiply, Config};
+use tilespgemm_core::{multiply_with, Config};
 use tsg_matrix::TileMatrix;
-use tsg_runtime::{device::pool_for, Device, MemTracker};
+use tsg_runtime::observe::{null_recorder, CollectingRecorder, MetricsSnapshot, Recorder};
+use tsg_runtime::{device::pool_for, Breakdown, Device, MemTracker};
 
 use crate::estimate::{estimate_job, JobEstimate};
 use crate::registry::{MatrixId, Registry, RegistryStats};
@@ -55,6 +56,11 @@ pub struct EngineConfig {
     pub default_timeout: Option<Duration>,
     /// Pipeline configuration jobs run with unless they override it.
     pub base_config: Config,
+    /// Record per-job span trees and counters into a
+    /// [`CollectingRecorder`], retrievable through [`Engine::collector`] and
+    /// the JSON protocol's `stats`/`profile` verbs. Off by default, which
+    /// runs every job on the [`tsg_runtime::NullRecorder`] fast path.
+    pub profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +73,7 @@ impl Default for EngineConfig {
             queue_depth: 32,
             default_timeout: None,
             base_config: Config::default(),
+            profile: false,
         }
     }
 }
@@ -119,6 +126,8 @@ pub struct JobReport {
     pub conversions: u32,
     /// The cost prediction admission control admitted the job under.
     pub estimate: JobEstimate,
+    /// Per-step wall times of the multiply (Figure 10's slices).
+    pub breakdown: Breakdown,
 }
 
 /// Terminal state of a job.
@@ -245,6 +254,8 @@ struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     next_job: AtomicU64,
+    recorder: Arc<dyn Recorder>,
+    collector: Option<Arc<CollectingRecorder>>,
 }
 
 /// The resident SpGEMM service engine. See the module docs for the job
@@ -257,14 +268,27 @@ pub struct Engine {
 impl Engine {
     /// Builds an engine and starts its workers.
     pub fn new(cfg: EngineConfig) -> Self {
+        let collector = cfg.profile.then(|| Arc::new(CollectingRecorder::new()));
+        let recorder: Arc<dyn Recorder> = match &collector {
+            Some(c) => Arc::clone(c) as Arc<dyn Recorder>,
+            None => null_recorder(),
+        };
+        let device_tracker = MemTracker::with_budget(cfg.device.mem_budget);
+        // The tracker and registry drop the attachment again when the
+        // recorder is disabled, so the non-profiling path stays free.
+        device_tracker.set_recorder(Some(Arc::clone(&recorder)));
+        let registry = Registry::new(cfg.cache_bytes);
+        registry.set_recorder(Arc::clone(&recorder));
         let shared = Arc::new(Shared {
-            device_tracker: MemTracker::with_budget(cfg.device.mem_budget),
-            registry: Mutex::new(Registry::new(cfg.cache_bytes)),
+            device_tracker,
+            registry: Mutex::new(registry),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
             next_job: AtomicU64::new(1),
+            recorder,
+            collector,
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -438,6 +462,25 @@ impl Engine {
         &self.shared.device_tracker
     }
 
+    /// The recorder jobs report into — a [`CollectingRecorder`] when the
+    /// engine was built with [`EngineConfig::profile`], the null fast path
+    /// otherwise.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.shared.recorder
+    }
+
+    /// The collecting recorder, when profiling is on. This is where per-job
+    /// span trees live ([`CollectingRecorder::span_tree`]).
+    pub fn collector(&self) -> Option<&Arc<CollectingRecorder>> {
+        self.shared.collector.as_ref()
+    }
+
+    /// Aggregated observability counters across all jobs so far. All zeros
+    /// unless the engine is profiling.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.recorder.snapshot()
+    }
+
     /// Stops accepting jobs, drains the queue, and joins the workers.
     /// Queued jobs still execute; call this for a graceful stop.
     pub fn shutdown(&self) {
@@ -514,18 +557,25 @@ fn run_job(shared: &Shared, job: QueuedJob) {
     }
 
     let exec_start = Instant::now();
+    let recorder = &*shared.recorder;
+    // Operand resolution gets its own span per operand (a sibling of the
+    // multiply's "job" root), so a profile shows conversion stalls next to
+    // the pipeline phases.
     let resolve = |id| {
-        shared
+        let span = recorder.span_enter(job.id, "resolve");
+        let out = shared
             .registry
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .tiled(id)
+            .tiled(id);
+        recorder.span_exit(span);
+        out
     };
     let result = resolve(job.spec.a).and_then(|(ta, hit_a)| {
         let (tb, hit_b) = resolve(job.spec.b)?;
         let config = job.spec.config.unwrap_or(shared.cfg.base_config);
         let out = pool_for(&shared.cfg.device)
-            .install(|| multiply(&ta, &tb, &config, &shared.device_tracker))
+            .install(|| multiply_with(&ta, &tb, &config, &shared.device_tracker, recorder, job.id))
             .map_err(EngineError::SpGemm)?;
         let exec = exec_start.elapsed();
         Ok(JobReport {
@@ -539,6 +589,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             cache_hits: u32::from(hit_a) + u32::from(hit_b),
             conversions: u32::from(!hit_a) + u32::from(!hit_b),
             estimate: job.estimate,
+            breakdown: out.breakdown,
         })
     });
     shared

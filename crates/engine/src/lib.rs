@@ -37,12 +37,17 @@ pub mod registry;
 
 pub use engine::{Engine, EngineConfig, EngineStats, JobReport, JobResult, JobSpec, JobTicket};
 pub use estimate::{estimate_job, JobEstimate};
+pub use protocol::PROTOCOL_VERSION;
 pub use registry::{MatrixId, Registry, RegistryStats};
 
 use tilespgemm_core::SpGemmError;
 
 /// Errors surfaced by the engine layer.
+///
+/// `#[non_exhaustive]`: front ends must keep a wildcard arm, so new
+/// admission or execution failures are not semver breaks.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The referenced matrix id is not registered.
     UnknownMatrix(MatrixId),

@@ -1,7 +1,11 @@
 //! JSON-lines protocol over an [`Engine`].
 //!
 //! One request per line, one response per line, always an object with an
-//! `"ok"` boolean. Errors carry a stable `code` (from
+//! `"ok"` boolean and a `"v"` protocol-version number
+//! ([`PROTOCOL_VERSION`]). Requests may carry `"v"` too; a value the server
+//! does not speak is rejected with the stable `protocol_mismatch` error
+//! code, so clients can fail fast by sending `{"op":"hello","v":N}` first.
+//! Errors carry a stable `code` (from
 //! [`EngineError::code`]/`SpGemmError::code`), a human `message`, and the
 //! `std::error::Error::source` chain serialized as a `cause` array — no
 //! debug-formatted strings on the wire.
@@ -10,20 +14,29 @@
 //!
 //! | request | response |
 //! |---|---|
+//! | `{"op":"hello","v":1}` | `{"ok":true,"v":1,"server":"tsg-serve","profile":false}` |
 //! | `{"op":"load","gen":"fem-00"}` | `{"ok":true,"id":"m…","rows":..,"cols":..,"nnz":..,"dedup":false}` |
 //! | `{"op":"load","path":"x.mtx"}` | as above |
 //! | `{"op":"load","rows":2,"cols":2,"triplets":[[0,0,1.0],[1,1,2.0]]}` | as above |
 //! | `{"op":"convert","id":"m…"}` | `{"ok":true,"id":"m…","tiles":..,"tiled_bytes":..,"cache_hit":false}` |
 //! | `{"op":"estimate","a":"m…","b":"m…"}` | `{"ok":true,"flops":..,"est_nnz_c":..,"est_bytes":..}` |
-//! | `{"op":"multiply","a":"m…","b":"m…"}` | `{"ok":true,"job":1,"nnz_c":..,"queue_wait_ms":..,"exec_ms":..,"cache_hits":..,"conversions":..,"peak_bytes":..}` |
+//! | `{"op":"multiply","a":"m…","b":"m…"}` | `{"ok":true,"job":1,"nnz_c":..,"queue_wait_ms":..,"exec_ms":..,"step1_ms":..,…}` |
 //! | `{"op":"multiply",…,"async":true}` | `{"ok":true,"job":1,"queued":true}` then `{"op":"wait","job":1}` |
 //! | `{"op":"cancel","job":1}` | `{"ok":true,"job":1,"canceled":true}` |
-//! | `{"op":"stats"}` | `{"ok":true,"submitted":..,"completed":..,"cache_hit_rate":..,…}` |
+//! | `{"op":"stats"}` | `{"ok":true,"submitted":..,"cache_hit_rate":..,"counters":{…},…}` |
+//! | `{"op":"profile"}` | `{"ok":true,"profile":true,"counters":{…},"jobs":[{"job":1,"spans":[…]}]}` |
 //! | `{"op":"evict"}` / `{"op":"evict","id":"m…"}` | `{"ok":true,"evicted":n}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"bye":true}` and the session ends |
 //!
 //! `multiply` accepts optional `"scheduling"` (`"per-tile"`, `"per-tile-row"`,
 //! `"binned"`), `"pair_reuse"` (bool), and `"timeout_ms"` overrides.
+//!
+//! When the engine profiles ([`crate::EngineConfig::profile`], the serve
+//! binary's `--profile`), `multiply`/`wait` replies additionally carry the
+//! job's span tree as `"spans"` (nested `{"name","ms","children"}` nodes),
+//! `stats.counters` reports live observability totals, and `profile` dumps
+//! every recorded job. Without profiling the counters are all zero and
+//! `"spans"` is omitted. The full wire format is documented in DESIGN.md §9.
 
 use std::collections::HashMap;
 use std::error::Error as _;
@@ -32,11 +45,17 @@ use std::time::Duration;
 
 use tilespgemm_core::{Config, Scheduling};
 use tsg_matrix::Coo;
+use tsg_runtime::{CollectingRecorder, SpanNode};
 
 use crate::engine::{Engine, JobReport, JobSpec, JobTicket};
 use crate::json::{obj, parse, Value};
 use crate::registry::MatrixId;
 use crate::EngineError;
+
+/// The protocol generation this build speaks. Bumped on incompatible wire
+/// changes; every response echoes it as `"v"`, and requests naming a
+/// different `"v"` are rejected with the `protocol_mismatch` error code.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// A protocol session: parses request lines, drives the shared engine, and
 /// renders response lines. Tickets of `"async"` multiplies are held per
@@ -70,7 +89,8 @@ impl Session {
     }
 
     /// Handles one request line, returning the response line (no trailing
-    /// newline) and whether the transport should stop.
+    /// newline) and whether the transport should stop. Every response object
+    /// carries the `"v"` protocol version.
     pub fn handle_line(&self, line: &str) -> (String, Control) {
         let (value, control) = match parse(line) {
             Ok(req) => self.dispatch(&req),
@@ -79,10 +99,21 @@ impl Session {
                 Control::Continue,
             ),
         };
-        (value.to_string(), control)
+        (versioned(value).to_string(), control)
     }
 
     fn dispatch(&self, req: &Value) -> (Value, Control) {
+        // Version gate first: a client that names a generation we don't
+        // speak gets the stable mismatch code for *any* verb.
+        if let Some(v) = req.get("v") {
+            if v.as_u64() != Some(PROTOCOL_VERSION) {
+                let msg = format!("server speaks protocol version {PROTOCOL_VERSION} only");
+                return (
+                    error_response("protocol_mismatch", &msg, &[]),
+                    Control::Continue,
+                );
+            }
+        }
         let op = match req.get("op").and_then(Value::as_str) {
             Some(op) => op,
             None => {
@@ -93,6 +124,7 @@ impl Session {
             }
         };
         let out = match op {
+            "hello" => Ok(self.hello()),
             "load" => self.load(req),
             "convert" => self.convert(req),
             "estimate" => self.estimate(req),
@@ -100,6 +132,7 @@ impl Session {
             "wait" => self.wait(req),
             "cancel" => self.cancel(req),
             "stats" => Ok(self.stats()),
+            "profile" => Ok(self.profile()),
             "evict" => self.evict(req),
             "shutdown" => {
                 return (
@@ -110,6 +143,14 @@ impl Session {
             _ => Err(ProtocolError::bad("unknown op")),
         };
         (out.unwrap_or_else(|e| e.into_response()), Control::Continue)
+    }
+
+    fn hello(&self) -> Value {
+        obj([
+            ("ok", true.into()),
+            ("server", "tsg-serve".into()),
+            ("profile", self.engine.collector().is_some().into()),
+        ])
     }
 
     fn load(&self, req: &Value) -> Result<Value, ProtocolError> {
@@ -242,7 +283,7 @@ impl Session {
             ]));
         }
         let report = ticket.wait()?;
-        Ok(report_response(&report))
+        Ok(report_response(&report, self.collector()))
     }
 
     fn wait(&self, req: &Value) -> Result<Value, ProtocolError> {
@@ -255,7 +296,7 @@ impl Session {
             .remove(&job)
             .ok_or_else(|| ProtocolError::bad("unknown job id for this session"))?;
         let report = ticket.wait()?;
-        Ok(report_response(&report))
+        Ok(report_response(&report, self.collector()))
     }
 
     fn cancel(&self, req: &Value) -> Result<Value, ProtocolError> {
@@ -308,7 +349,37 @@ impl Session {
             ("evictions", s.registry.evictions.into()),
             ("cached_bytes", s.cached_bytes.into()),
             ("device_bytes_in_use", s.device_bytes_in_use.into()),
+            ("profile", self.engine.collector().is_some().into()),
+            ("counters", counters_json(self.engine())),
         ])
+    }
+
+    /// Live observability dump: aggregated counters plus (when profiling)
+    /// the span tree of every job recorded so far.
+    fn profile(&self) -> Value {
+        let mut members = vec![
+            ("ok", Value::Bool(true)),
+            ("profile", self.engine.collector().is_some().into()),
+            ("counters", counters_json(self.engine())),
+        ];
+        if let Some(collector) = self.collector() {
+            let jobs = collector
+                .jobs()
+                .into_iter()
+                .map(|job| {
+                    obj([
+                        ("job", job.into()),
+                        ("spans", spans_json(&collector.span_tree(job))),
+                    ])
+                })
+                .collect();
+            members.push(("jobs", Value::Arr(jobs)));
+        }
+        obj(members)
+    }
+
+    fn collector(&self) -> Option<&CollectingRecorder> {
+        self.engine.collector().map(Arc::as_ref)
     }
 
     fn evict(&self, req: &Value) -> Result<Value, ProtocolError> {
@@ -325,23 +396,75 @@ impl Session {
     }
 }
 
-fn report_response(r: &JobReport) -> Value {
-    obj([
-        ("ok", true.into()),
+/// Stamps the `"v"` protocol version into a response object (error
+/// responses included); non-objects pass through untouched.
+fn versioned(value: Value) -> Value {
+    match value {
+        Value::Obj(mut members) => {
+            members.insert(
+                members.len().min(1),
+                ("v".to_string(), PROTOCOL_VERSION.into()),
+            );
+            Value::Obj(members)
+        }
+        other => other,
+    }
+}
+
+fn ms(d: Duration) -> Value {
+    Value::Num(d.as_secs_f64() * 1e3)
+}
+
+/// The engine's aggregated counter totals as a JSON object, keyed by the
+/// counters' stable snake_case names. All zeros without profiling.
+fn counters_json(engine: &Engine) -> Value {
+    Value::Obj(
+        engine
+            .metrics()
+            .iter()
+            .map(|(_, name, total)| (name.to_string(), total.into()))
+            .collect(),
+    )
+}
+
+/// A span tree as nested `{"name","ms","children"}` objects.
+fn spans_json(nodes: &[SpanNode]) -> Value {
+    Value::Arr(
+        nodes
+            .iter()
+            .map(|n| {
+                Value::Obj(vec![
+                    ("name".to_string(), n.name.into()),
+                    ("ms".to_string(), ms(n.elapsed)),
+                    ("children".to_string(), spans_json(&n.children)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn report_response(r: &JobReport, collector: Option<&CollectingRecorder>) -> Value {
+    let mut members = vec![
+        ("ok", Value::Bool(true)),
         ("job", r.job.into()),
         ("nnz_c", r.nnz_c.into()),
         ("tiles_c", r.tiles_c.into()),
-        (
-            "queue_wait_ms",
-            Value::Num(r.queue_wait.as_secs_f64() * 1e3),
-        ),
-        ("exec_ms", Value::Num(r.exec.as_secs_f64() * 1e3)),
+        ("queue_wait_ms", ms(r.queue_wait)),
+        ("exec_ms", ms(r.exec)),
+        ("step1_ms", ms(r.breakdown.step1)),
+        ("step2_ms", ms(r.breakdown.step2)),
+        ("step3_ms", ms(r.breakdown.step3)),
+        ("alloc_ms", ms(r.breakdown.alloc)),
         ("peak_bytes", r.peak_bytes.into()),
         ("cache_hits", u64::from(r.cache_hits).into()),
         ("conversions", u64::from(r.conversions).into()),
         ("est_bytes", r.estimate.est_bytes.into()),
         ("flops", r.estimate.flops.into()),
-    ])
+    ];
+    if let Some(collector) = collector {
+        members.push(("spans", spans_json(&collector.span_tree(r.job))));
+    }
+    obj(members)
 }
 
 /// Internal protocol failure carrying the response to render.
@@ -476,6 +599,95 @@ mod tests {
         let (resp, control) = s.handle_line(r#"{"op":"shutdown"}"#);
         assert_eq!(control, Control::Shutdown);
         assert!(resp.contains("bye"));
+    }
+
+    #[test]
+    fn responses_carry_the_protocol_version() {
+        let s = session();
+        let h = ok(&s, r#"{"op":"hello","v":1}"#);
+        assert_eq!(h.get("v").and_then(Value::as_u64), Some(PROTOCOL_VERSION));
+        assert_eq!(h.get("server").and_then(Value::as_str), Some("tsg-serve"));
+        assert_eq!(h.get("profile").and_then(Value::as_bool), Some(false));
+        // Errors are versioned too.
+        let (resp, _) = s.handle_line("not json");
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("v").and_then(Value::as_u64), Some(PROTOCOL_VERSION));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_stable_code() {
+        let s = session();
+        for line in [r#"{"op":"stats","v":999}"#, r#"{"op":"hello","v":"x"}"#] {
+            let (resp, control) = s.handle_line(line);
+            assert_eq!(control, Control::Continue);
+            let v = parse(&resp).unwrap();
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+            assert_eq!(
+                v.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str),
+                Some("protocol_mismatch")
+            );
+        }
+    }
+
+    #[test]
+    fn stats_carry_counters_object_even_without_profiling() {
+        let s = session();
+        let st = ok(&s, r#"{"op":"stats"}"#);
+        assert_eq!(st.get("profile").and_then(Value::as_bool), Some(false));
+        let counters = st.get("counters").expect("counters object");
+        assert_eq!(
+            counters.get("tiles_visited").and_then(Value::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn profiling_session_reports_spans_and_counters() {
+        let engine = Engine::new(EngineConfig {
+            profile: true,
+            ..EngineConfig::default()
+        });
+        let s = Session::new(Arc::new(engine));
+        let loaded = ok(&s, r#"{"op":"load","gen":"fem-00"}"#);
+        let id = loaded
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        let m = ok(&s, &format!(r#"{{"op":"multiply","a":"{id}","b":"{id}"}}"#));
+        // The reply carries the per-step breakdown and the job's span tree,
+        // whose "job" root nests the pipeline phases.
+        assert!(m.get("step3_ms").and_then(Value::as_f64).is_some());
+        let spans = m.get("spans").and_then(Value::as_arr).expect("spans");
+        let job_root = spans
+            .iter()
+            .find(|n| n.get("name").and_then(Value::as_str) == Some("job"))
+            .expect("job root span");
+        let children = job_root.get("children").and_then(Value::as_arr).unwrap();
+        for phase in ["step1", "step2", "step3", "alloc"] {
+            assert!(
+                children
+                    .iter()
+                    .any(|c| c.get("name").and_then(Value::as_str) == Some(phase)),
+                "missing {phase} span"
+            );
+        }
+        let st = ok(&s, r#"{"op":"stats"}"#);
+        assert_eq!(st.get("profile").and_then(Value::as_bool), Some(true));
+        let counters = st.get("counters").unwrap();
+        assert!(
+            counters
+                .get("tiles_visited")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0
+        );
+        let p = ok(&s, r#"{"op":"profile"}"#);
+        let jobs = p.get("jobs").and_then(Value::as_arr).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].get("spans").and_then(Value::as_arr).is_some());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use tsg_matrix::{Csr, Footprint, TileMatrix};
-use tsg_runtime::MemTracker;
+use tsg_runtime::{MemTracker, Recorder};
 
 use crate::EngineError;
 
@@ -78,6 +78,14 @@ impl Registry {
             clock: 0,
             stats: RegistryStats::default(),
         }
+    }
+
+    /// Routes the cache's byte accounting into `recorder`'s
+    /// `bytes_alloc`/`bytes_freed` counters, so a profile sees cached
+    /// conversions and evictions alongside the pipelines' device traffic.
+    /// A disabled recorder (the null fast path) is dropped, not stored.
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
+        self.cache_tracker.set_recorder(Some(recorder));
     }
 
     fn tick(&mut self) -> u64 {

@@ -109,6 +109,94 @@ fn load_convert_multiply_stats_over_stdin() {
 }
 
 #[test]
+fn protocol_version_is_stamped_and_gated_over_stdin() {
+    let mut serve = Serve::spawn(&[]);
+
+    // A versioned hello succeeds and every response echoes "v".
+    let hello = serve.request_ok(r#"{"op":"hello","v":1}"#);
+    assert_eq!(hello.get("v").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        hello.get("server").and_then(Value::as_str),
+        Some("tsg-serve")
+    );
+    assert_eq!(hello.get("profile").and_then(Value::as_bool), Some(false));
+
+    // A client speaking a future generation is refused with the stable
+    // code — and even the refusal carries the server's version.
+    let err = serve.request(r#"{"op":"hello","v":2}"#);
+    assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(err.get("v").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("protocol_mismatch")
+    );
+
+    // Version-less requests (protocol 1 clients) keep working.
+    let stats = serve.request_ok(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("v").and_then(Value::as_u64), Some(1));
+}
+
+#[test]
+fn profiled_burst_reports_spans_and_counters_over_stdin() {
+    let mut serve = Serve::spawn(&["--profile", "--workers", "2", "--queue-depth", "32"]);
+    let loaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
+    let id = loaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    // A 20-job burst: every reply carries the per-step breakdown and the
+    // job's span tree, whose "job" root nests the pipeline phases.
+    for round in 0..20 {
+        let m = serve.request_ok(&format!(r#"{{"op":"multiply","a":"{id}","b":"{id}"}}"#));
+        assert!(
+            m.get("step3_ms").and_then(Value::as_f64).is_some(),
+            "round {round} missing breakdown"
+        );
+        let spans = m.get("spans").and_then(Value::as_arr).expect("spans");
+        let job_root = spans
+            .iter()
+            .find(|n| n.get("name").and_then(Value::as_str) == Some("job"))
+            .unwrap_or_else(|| panic!("round {round} has no job root span"));
+        let children = job_root.get("children").and_then(Value::as_arr).unwrap();
+        for phase in ["step1", "step2", "step3", "alloc"] {
+            assert!(
+                children
+                    .iter()
+                    .any(|c| c.get("name").and_then(Value::as_str) == Some(phase)),
+                "round {round} missing {phase} span"
+            );
+        }
+    }
+
+    // The aggregated counter snapshot is live through the stats verb…
+    let stats = serve.request_ok(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("profile").and_then(Value::as_bool), Some(true));
+    assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(20));
+    let counters = stats.get("counters").expect("counters object");
+    let tiles = counters
+        .get("tiles_visited")
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(tiles > 0, "the burst visited tiles");
+    assert_eq!(tiles % 20, 0, "20 identical jobs visit identical tile sets");
+    assert!(
+        counters.get("bytes_alloc").and_then(Value::as_u64).unwrap()
+            >= counters.get("bytes_freed").and_then(Value::as_u64).unwrap()
+    );
+
+    // …and the profile verb dumps every recorded job's span tree.
+    let profile = serve.request_ok(r#"{"op":"profile"}"#);
+    let jobs = profile.get("jobs").and_then(Value::as_arr).expect("jobs");
+    assert_eq!(jobs.len(), 20, "one span tree per burst job");
+    let hello = serve.request_ok(r#"{"op":"hello","v":1}"#);
+    assert_eq!(hello.get("profile").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
 fn budget_flag_feeds_admission_control() {
     // 1 MiB budget: fem-00's square cannot be admitted.
     let mut serve = Serve::spawn(&["--budget-mb", "1"]);

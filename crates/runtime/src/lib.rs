@@ -25,10 +25,15 @@
 //! * [`binning`] — row binning by work estimate, used by the row-row baseline
 //!   methods (bhSPARSE's 38 bins, NSPARSE's two-round binning, spECK's
 //!   lightweight analysis).
+//! * [`observe`] — structured observability: the [`Recorder`] trait (spans
+//!   nested under a job id, monotonic counters), a disabled-fast-path
+//!   [`NullRecorder`], and a [`CollectingRecorder`] with lock-free sharded
+//!   counters aggregated into a [`MetricsSnapshot`].
 
 pub mod atomicf64;
 pub mod binning;
 pub mod device;
+pub mod observe;
 pub mod scan;
 pub mod split;
 pub mod timer;
@@ -37,6 +42,10 @@ pub mod tracker;
 pub use atomicf64::{AtomicF32, AtomicF64};
 pub use binning::{bin_rows_by, Bins};
 pub use device::{pool_for, run_on, Device};
+pub use observe::{
+    null_recorder, CollectingRecorder, Counter, MetricsSnapshot, NullRecorder, Recorder, SpanId,
+    SpanNode,
+};
 pub use scan::{
     exclusive_scan_in_place, exclusive_scan_to, par_exclusive_scan_in_place, par_exclusive_scan_to,
 };

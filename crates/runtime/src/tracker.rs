@@ -22,7 +22,10 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::observe::{Counter, Recorder};
 
 /// Error returned when a tracked allocation would exceed the device budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +69,7 @@ pub struct MemTracker {
     epoch: Mutex<Instant>,
     timeline: Mutex<Vec<TimelinePoint>>,
     record_timeline: bool,
+    recorder: Mutex<Option<Arc<dyn Recorder>>>,
 }
 
 impl Default for MemTracker {
@@ -90,6 +94,7 @@ impl MemTracker {
             epoch: Mutex::new(Instant::now()),
             timeline: Mutex::new(Vec::new()),
             record_timeline: false,
+            recorder: Mutex::new(None),
         }
     }
 
@@ -114,6 +119,22 @@ impl MemTracker {
     /// Replaces the budget (bytes).
     pub fn set_budget(&self, budget: usize) {
         self.budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// Attaches a recorder; every subsequent successful [`Self::on_alloc`]
+    /// reports [`Counter::BytesAlloc`] and every [`Self::on_free`] reports
+    /// [`Counter::BytesFreed`]. Pass `None` to detach.
+    ///
+    /// Tracker events are per-buffer (a handful per multiply), not per-tile,
+    /// so the mutex guarding the attachment is off any hot path.
+    pub fn set_recorder(&self, recorder: Option<Arc<dyn Recorder>>) {
+        *self.recorder.lock() = recorder.filter(|r| r.is_enabled());
+    }
+
+    fn report(&self, counter: Counter, bytes: usize) {
+        if let Some(r) = self.recorder.lock().as_ref() {
+            r.add(counter, bytes as u64);
+        }
     }
 
     /// The configured budget in bytes.
@@ -152,6 +173,7 @@ impl MemTracker {
         }
         self.peak.fetch_max(now, Ordering::Relaxed);
         self.sample(now);
+        self.report(Counter::BytesAlloc, bytes);
         Ok(())
     }
 
@@ -160,6 +182,7 @@ impl MemTracker {
         let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
         debug_assert!(prev >= bytes, "memory tracker freed more than allocated");
         self.sample(prev.saturating_sub(bytes));
+        self.report(Counter::BytesFreed, bytes);
     }
 
     fn sample(&self, current: usize) {
@@ -349,6 +372,30 @@ mod tests {
         let first = t.alloc_time();
         t.timed_alloc(|| std::thread::sleep(Duration::from_millis(2)));
         assert!(t.alloc_time() >= first + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn attached_recorder_sees_alloc_and_free_bytes() {
+        use crate::observe::CollectingRecorder;
+        let r = Arc::new(CollectingRecorder::new());
+        let t = MemTracker::with_budget(128);
+        t.set_recorder(Some(r.clone()));
+        t.on_alloc(100).unwrap();
+        // Rejected allocations report nothing.
+        t.on_alloc(64).unwrap_err();
+        t.on_free(40);
+        let snap = r.snapshot();
+        assert_eq!(snap.get(Counter::BytesAlloc), 100);
+        assert_eq!(snap.get(Counter::BytesFreed), 40);
+        // The counters reconcile with the tracker's own accounting.
+        assert_eq!(
+            (snap.get(Counter::BytesAlloc) - snap.get(Counter::BytesFreed)) as usize,
+            t.current_bytes()
+        );
+        // Detached trackers stop reporting.
+        t.set_recorder(None);
+        t.on_free(60);
+        assert_eq!(r.snapshot().get(Counter::BytesFreed), 40);
     }
 
     #[test]

@@ -29,14 +29,10 @@
 //! let a = tilespgemm::gen::stencil::grid_2d_5pt(32, 32);
 //! // Convert once to the paper's tiled format...
 //! let tiled = TileMatrix::from_csr(&a);
-//! // ...and multiply with the three-step tiled algorithm.
-//! let out = tilespgemm::core::multiply(
-//!     &tiled,
-//!     &tiled,
-//!     &Config::default(),
-//!     &MemTracker::new(),
-//! )
-//! .unwrap();
+//! // ...and multiply through an execution context, which owns the
+//! // configuration, memory accounting, and (optional) profiling recorder.
+//! let ctx = SpGemm::new();
+//! let out = ctx.multiply(&tiled, &tiled).unwrap();
 //! // A² of the 5-point stencil has the 13-point pattern.
 //! assert_eq!(out.c.to_csr().row_nnz(17 * 32 + 17), 13);
 //! ```
@@ -50,7 +46,9 @@ pub use tsg_runtime as runtime;
 
 /// The types most programs need.
 pub mod prelude {
-    pub use tilespgemm_core::{multiply, multiply_csr, Config, SpGemmError};
+    pub use tilespgemm_core::{multiply, multiply_csr, Config, SpGemm, SpGemmError};
     pub use tsg_matrix::{Coo, Csr, Scalar, TileMatrix, TILE_DIM};
-    pub use tsg_runtime::{Device, MemTracker};
+    pub use tsg_runtime::{
+        CollectingRecorder, Counter, Device, MemTracker, MetricsSnapshot, NullRecorder, Recorder,
+    };
 }

@@ -20,9 +20,11 @@ fn galerkin_triple_product_preserves_mass_and_symmetry() {
         coo.push(i as u32, (i / 4) as u32, 1.0);
     }
     let p = coo.to_csr();
-    let (ap, _) = multiply_csr(&a, &p, &Config::default(), &MemTracker::new()).unwrap();
-    let (coarse, _) =
-        multiply_csr(&p.transpose(), &ap, &Config::default(), &MemTracker::new()).unwrap();
+    // The triple product runs through one execution context: both products
+    // share its tracker and configuration.
+    let ctx = SpGemm::new();
+    let ap = ctx.multiply_csr(&a, &p).unwrap().to_csr();
+    let coarse = ctx.multiply_csr(&p.transpose(), &ap).unwrap().to_csr();
     assert_eq!(coarse.nrows, n.div_ceil(4));
     let fine_mass = ops::sum_all(&a);
     let coarse_mass = ops::sum_all(&coarse);
@@ -43,7 +45,9 @@ fn triangle_count_on_complete_graph_is_n_choose_3() {
         }
     }
     let adj = coo.to_csr();
-    let (a2, _) = multiply_csr(&adj, &adj, &Config::default(), &MemTracker::new()).unwrap();
+    let a2 = multiply_csr(&adj, &adj, &Config::default(), &MemTracker::new())
+        .unwrap()
+        .to_csr();
     let masked = ops::hadamard(&a2, &adj);
     let triangles = (ops::sum_all(&masked) as f64 / 6.0).round() as u64;
     assert_eq!(triangles, 220);
@@ -59,7 +63,9 @@ fn triangle_count_on_cycle_is_zero() {
         coo.push(v as u32, u as u32, 1.0);
     }
     let adj = coo.to_csr();
-    let (a2, _) = multiply_csr(&adj, &adj, &Config::default(), &MemTracker::new()).unwrap();
+    let a2 = multiply_csr(&adj, &adj, &Config::default(), &MemTracker::new())
+        .unwrap()
+        .to_csr();
     let masked = ops::hadamard(&a2, &adj);
     assert_eq!(ops::sum_all(&masked), 0.0);
 }
@@ -75,7 +81,9 @@ fn mcl_expansion_preserves_column_stochasticity() {
         1.0,
         &Csr::identity(200), // self-loops keep columns non-empty
     ));
-    let (m2, _) = multiply_csr(&m, &m, &Config::default(), &MemTracker::new()).unwrap();
+    let m2 = multiply_csr(&m, &m, &Config::default(), &MemTracker::new())
+        .unwrap()
+        .to_csr();
     let mut colsum = vec![0.0f64; 200];
     for row in 0..200 {
         let (cols, vals) = m2.row(row);

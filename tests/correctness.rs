@@ -137,7 +137,9 @@ fn rectangular_chain_products_agree() {
     let a = tilespgemm::gen::random::erdos_renyi(60, 90, 500, 11);
     let b = tilespgemm::gen::random::erdos_renyi(90, 40, 400, 12);
     let want = reference_spgemm(&a, &b).drop_numeric_zeros();
-    let (got, _) = multiply_csr(&a, &b, &Config::default(), &MemTracker::new()).unwrap();
+    let got = multiply_csr(&a, &b, &Config::default(), &MemTracker::new())
+        .unwrap()
+        .to_csr();
     assert!(got.approx_eq_ignoring_zeros(&want, 1e-10));
 }
 
@@ -152,13 +154,14 @@ fn tilespgemm_matches_reference_under_every_config() {
             AccumulatorKind::AlwaysSparse,
             AccumulatorKind::AlwaysDense,
         ] {
-            let cfg = Config {
-                tnnz_threshold: 192,
-                intersection,
-                accumulator,
-                ..Config::default()
-            };
-            let (got, _) = multiply_csr(&a, &a, &cfg, &MemTracker::new()).unwrap();
+            let cfg = Config::builder()
+                .tnnz_threshold(192)
+                .intersection(intersection)
+                .accumulator(accumulator)
+                .build();
+            let got = multiply_csr(&a, &a, &cfg, &MemTracker::new())
+                .unwrap()
+                .to_csr();
             assert!(
                 got.approx_eq_ignoring_zeros(&want, 1e-9),
                 "config {cfg:?} disagrees"

@@ -1,0 +1,187 @@
+//! Counter-correctness tests for the observability layer: every counter a
+//! [`CollectingRecorder`] aggregates is checked against ground truth the
+//! pipeline computes independently (the step-1 structure, the persisted
+//! pair buffer, the tracker's byte accounting), and a property test pins
+//! down that recording changes nothing about the numerics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tilespgemm::core::Scheduling;
+use tilespgemm::prelude::*;
+
+/// A representative mix: a banded FEM-like pattern, a power-law scatter,
+/// and a diagonal (degenerate: every output tile accumulates one pair).
+fn fixtures() -> Vec<(&'static str, TileMatrix<f64>)> {
+    let fem = tilespgemm::gen::suite::GenSpec::Fem {
+        nodes: 120,
+        block: 5,
+        couplings: 3,
+        spread: 9,
+        seed: 7,
+    }
+    .build();
+    let scatter = tilespgemm::gen::random::erdos_renyi(600, 600, 4_000, 21);
+    let eye = Csr::<f64>::identity(300);
+    vec![
+        ("fem", TileMatrix::from_csr(&fem)),
+        ("scatter", TileMatrix::from_csr(&scatter)),
+        ("identity", TileMatrix::from_csr(&eye)),
+    ]
+}
+
+/// One profiled product; returns the recorder's snapshot alongside the
+/// output so every test reads the same run.
+fn profiled_square(
+    ta: &TileMatrix<f64>,
+    config: Config,
+) -> (
+    tilespgemm::core::pipeline::Output<f64>,
+    Arc<CollectingRecorder>,
+    SpGemm,
+) {
+    let recorder = Arc::new(CollectingRecorder::new());
+    let ctx = SpGemm::builder()
+        .config(config)
+        .recorder(recorder.clone())
+        .build();
+    let out = ctx.multiply(ta, ta).expect("multiply");
+    (out, recorder, ctx)
+}
+
+#[test]
+fn tiles_visited_equals_the_step1_tile_count() {
+    for (name, ta) in fixtures() {
+        let (out, recorder, _ctx) = profiled_square(&ta, Config::default());
+        // Step 2 visits each tile of the step-1 structure exactly once, so
+        // the counter must equal the output layout's tile count.
+        assert_eq!(
+            recorder.snapshot().get(Counter::TilesVisited) as usize,
+            out.c.tile_count(),
+            "{name}: one visit per predicted output tile"
+        );
+    }
+}
+
+#[test]
+fn matched_pairs_equal_the_persisted_pair_buffer() {
+    for (name, ta) in fixtures() {
+        let (out, recorder, _ctx) = profiled_square(&ta, Config::default());
+        let buf = out.pair_buffer.as_ref().expect("pair_reuse defaults on");
+        assert_eq!(
+            recorder.snapshot().get(Counter::MatchedPairs) as usize,
+            buf.pairs.len(),
+            "{name}: the counter totals exactly the pairs step 2 persisted"
+        );
+        // The degenerate diagonal makes the bound exact: one pair per tile.
+        if name == "identity" {
+            assert_eq!(buf.pairs.len(), out.c.tile_count());
+        }
+    }
+}
+
+#[test]
+fn accumulator_picks_partition_the_output_tiles() {
+    for (name, ta) in fixtures() {
+        let (out, recorder, _ctx) = profiled_square(&ta, Config::default());
+        let snap = recorder.snapshot();
+        // Step 3 routes every output tile through exactly one accumulator,
+        // so the two pick counters partition the tile count.
+        assert_eq!(
+            (snap.get(Counter::SparseAccPicks) + snap.get(Counter::DenseAccPicks)) as usize,
+            out.c.tile_count(),
+            "{name}: sparse + dense picks cover each tile exactly once"
+        );
+        assert!(
+            snap.get(Counter::IntersectionProbes) >= snap.get(Counter::MatchedPairs),
+            "{name}: every match costs at least one probe"
+        );
+    }
+}
+
+#[test]
+fn byte_counters_reconcile_with_the_tracker() {
+    for (name, ta) in fixtures() {
+        let (out, recorder, ctx) = profiled_square(&ta, Config::default());
+        let snap = recorder.snapshot();
+        let alloc = snap.get(Counter::BytesAlloc);
+        let freed = snap.get(Counter::BytesFreed);
+        // The pipeline drains its device attribution, so alloc == freed and
+        // the tracker sits back at zero; the cumulative alloc total must
+        // dominate the high-water mark both the tracker and the output
+        // report.
+        assert_eq!(alloc, freed, "{name}: attribution drains to zero");
+        assert_eq!(ctx.tracker().current_bytes(), 0, "{name}");
+        assert_eq!(ctx.tracker().peak_bytes(), out.peak_bytes, "{name}");
+        assert!(
+            alloc as usize >= out.peak_bytes,
+            "{name}: total bytes allocated ({alloc}) below the peak ({})",
+            out.peak_bytes
+        );
+    }
+}
+
+#[test]
+fn binned_scheduling_reports_bin_occupancy() {
+    let (_, ta) = fixtures().remove(0);
+    let cfg = Config::builder().scheduling(Scheduling::Binned).build();
+    let (out, recorder, _ctx) = profiled_square(&ta, cfg);
+    let snap = recorder.snapshot();
+    // Steps 2 and 3 each dispatch the full tile set through the bins.
+    assert_eq!(
+        snap.get(Counter::BinnedTiles) as usize,
+        2 * out.c.tile_count()
+    );
+    let occupied = snap.get(Counter::BinsOccupied);
+    assert!(occupied > 0, "some work bucket is non-empty");
+    assert!(
+        occupied <= 2 * 20,
+        "at most all 20 buckets per binned dispatch"
+    );
+}
+
+#[test]
+fn counters_accumulate_across_jobs() {
+    let (_, ta) = fixtures().remove(0);
+    let recorder = Arc::new(CollectingRecorder::new());
+    let ctx = SpGemm::builder().recorder(recorder.clone()).build();
+    ctx.multiply(&ta, &ta).expect("job 1");
+    let after_one = recorder.snapshot();
+    ctx.multiply(&ta, &ta).expect("job 2");
+    let delta = recorder.snapshot().since(&after_one);
+    // The same product again adds exactly the same per-job totals, and each
+    // job keeps its own span tree.
+    assert_eq!(
+        delta, after_one,
+        "second job repeats the first job's totals"
+    );
+    assert_eq!(recorder.jobs(), vec![1, 2]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recording must be purely observational: the same product through a
+    /// `NullRecorder` context, a `CollectingRecorder` context, and the free
+    /// function is bitwise-identical.
+    #[test]
+    fn recording_never_changes_the_product(
+        n in 8usize..96,
+        nnz in 0usize..400,
+        seed in 0u64..500,
+    ) {
+        let a = tilespgemm::gen::random::erdos_renyi(n, n, nnz.min(n * n), seed);
+        let ta = TileMatrix::from_csr(&a);
+        let free = multiply(&ta, &ta, &Config::default(), &MemTracker::new())
+            .expect("free function");
+        let null_ctx = SpGemm::new().multiply(&ta, &ta).expect("null context");
+        let collecting = SpGemm::builder()
+            .recorder(Arc::new(CollectingRecorder::new()))
+            .build()
+            .multiply(&ta, &ta)
+            .expect("collecting context");
+        prop_assert_eq!(&free.c, &null_ctx.c);
+        prop_assert_eq!(&free.c, &collecting.c);
+        prop_assert_eq!(free.peak_bytes, collecting.peak_bytes);
+    }
+}

@@ -46,8 +46,8 @@ proptest! {
     #[test]
     fn identity_is_neutral(a in arb_square(64, 250)) {
         let i = Csr::<f64>::identity(a.nrows);
-        let (left, _) = multiply_csr(&i, &a, &Config::default(), &MemTracker::new()).unwrap();
-        let (right, _) = multiply_csr(&a, &i, &Config::default(), &MemTracker::new()).unwrap();
+        let left = multiply_csr(&i, &a, &Config::default(), &MemTracker::new()).unwrap().to_csr();
+        let right = multiply_csr(&a, &i, &Config::default(), &MemTracker::new()).unwrap().to_csr();
         prop_assert!(left.approx_eq_ignoring_zeros(&a, 1e-12));
         prop_assert!(right.approx_eq_ignoring_zeros(&a, 1e-12));
     }
@@ -60,8 +60,8 @@ proptest! {
             .map_values(f64::abs);
         let cfg = Config::default();
         let t = MemTracker::new();
-        let (ab, _) = multiply_csr(&a, &b, &cfg, &t).unwrap();
-        let (btat, _) = multiply_csr(&b.transpose(), &a.transpose(), &cfg, &t).unwrap();
+        let ab = multiply_csr(&a, &b, &cfg, &t).unwrap().to_csr();
+        let btat = multiply_csr(&b.transpose(), &a.transpose(), &cfg, &t).unwrap().to_csr();
         prop_assert!(ab.transpose().approx_eq_ignoring_zeros(&btat, 1e-9));
     }
 
@@ -137,8 +137,8 @@ proptest! {
         let cfg = Config::default();
         let t = MemTracker::new();
         let doubled = a.map_values(|v| v * 2.0);
-        let (lhs, _) = multiply_csr(&doubled, &a, &cfg, &t).unwrap();
-        let (rhs_base, _) = multiply_csr(&a, &a, &cfg, &t).unwrap();
+        let lhs = multiply_csr(&doubled, &a, &cfg, &t).unwrap().to_csr();
+        let rhs_base = multiply_csr(&a, &a, &cfg, &t).unwrap().to_csr();
         let rhs = rhs_base.map_values(|v| v * 2.0);
         prop_assert!(lhs.approx_eq_ignoring_zeros(&rhs, 1e-9));
     }
