@@ -1,0 +1,232 @@
+//! `tsg-check` — the verification CLI.
+//!
+//! ```text
+//! tsg-check sweep  [--case NAME] [--seed N] [--repro PATH]
+//! tsg-check corpus
+//! tsg-check shrink --case NAME [--seed N] [--repro PATH]
+//! ```
+//!
+//! `sweep` runs the differential oracle over the adversarial corpus (or one
+//! named case) and exits nonzero on the first failure, after shrinking the
+//! failing pair and writing a JSON reproducer artifact. `corpus` lists the
+//! cases. `shrink` minimizes a (failing) case without running the whole
+//! sweep first. See README §"Reproducing a tsg-check failure".
+
+use std::process::ExitCode;
+
+use tsg_check::{check_pair, corpus, shrink_pair, ValuePolicy};
+use tsg_engine::json::{obj, Value};
+use tsg_matrix::Csr;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tsg-check <sweep|corpus|shrink> [options]\n\
+         \n\
+         sweep  [--case NAME] [--seed N] [--repro PATH]  run the oracle over the corpus\n\
+         corpus                                          list corpus cases\n\
+         shrink --case NAME [--seed N] [--repro PATH]    minimize a failing case"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    case: Option<String>,
+    seed: u64,
+    repro: String,
+}
+
+fn parse_opts(args: &[String]) -> Option<Opts> {
+    let mut opts = Opts {
+        case: None,
+        seed: 0,
+        repro: "tsg-check-repro.json".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next()?;
+        match flag.as_str() {
+            "--case" => opts.case = Some(value.clone()),
+            "--seed" => opts.seed = value.parse().ok()?,
+            "--repro" => opts.repro = value.clone(),
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+fn triplets_json(m: &Csr<f64>) -> Value {
+    Value::Arr(
+        tsg_check::shrink::triplets(m)
+            .into_iter()
+            .map(|(r, c, v)| {
+                Value::Arr(vec![
+                    Value::Num(f64::from(r)),
+                    Value::Num(f64::from(c)),
+                    Value::Num(v),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn matrix_json(m: &Csr<f64>) -> Value {
+    obj([
+        ("rows", m.nrows.into()),
+        ("cols", m.ncols.into()),
+        ("triplets", triplets_json(m)),
+    ])
+}
+
+/// Shrinks a failing pair under the oracle predicate and writes the
+/// reproducer artifact (shrunk operands as triplet lists, ready to feed
+/// back through `Coo` or the protocol's triplet `load`).
+fn write_repro(
+    path: &str,
+    case: &str,
+    seed: u64,
+    variant: &str,
+    detail: &str,
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+) {
+    let policy = ValuePolicy::default();
+    let shrunk = shrink_pair(a, b, |a, b| check_pair(a, b, &policy).is_err());
+    eprintln!(
+        "shrunk {}x{} ({} nnz) * {}x{} ({} nnz) -> {}x{} ({} nnz) * {}x{} ({} nnz) in {} runs",
+        a.nrows,
+        a.ncols,
+        a.nnz(),
+        b.nrows,
+        b.ncols,
+        b.nnz(),
+        shrunk.a.nrows,
+        shrunk.a.ncols,
+        shrunk.a.nnz(),
+        shrunk.b.nrows,
+        shrunk.b.ncols,
+        shrunk.b.nnz(),
+        shrunk.tests
+    );
+    let artifact = obj([
+        ("case", case.into()),
+        ("seed", seed.into()),
+        ("variant", variant.into()),
+        ("mismatch", detail.into()),
+        ("a", matrix_json(&shrunk.a)),
+        ("b", matrix_json(&shrunk.b)),
+    ]);
+    match std::fs::write(path, format!("{artifact}\n")) {
+        Ok(()) => eprintln!("reproducer written to {path}"),
+        Err(e) => eprintln!("could not write reproducer to {path}: {e}"),
+    }
+    eprintln!(
+        "re-run just this case with: cargo run -p tsg-check -- sweep --case {case} --seed {seed}"
+    );
+}
+
+fn sweep(opts: &Opts) -> ExitCode {
+    let policy = ValuePolicy::default();
+    let names: Vec<&str> = match &opts.case {
+        Some(name) => vec![name.as_str()],
+        None => corpus::names().collect(),
+    };
+    let mut failed = false;
+    for name in names {
+        let Some((a, b)) = corpus::build(name, opts.seed) else {
+            eprintln!("unknown corpus case {name:?}; `tsg-check corpus` lists them");
+            return ExitCode::from(2);
+        };
+        match check_pair(&a, &b, &policy) {
+            Ok(report) => println!(
+                "PASS {name} seed={} ({} variants, gold nnz {})",
+                opts.seed, report.variants, report.gold_nnz
+            ),
+            Err(failure) => {
+                println!("FAIL {name} seed={}: {failure}", opts.seed);
+                write_repro(
+                    &opts.repro,
+                    name,
+                    opts.seed,
+                    &failure.variant,
+                    &failure.mismatch.to_string(),
+                    &a,
+                    &b,
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn list_corpus() -> ExitCode {
+    for case in corpus::CASES {
+        let (a, b) = corpus::build(case.name, 0).expect("every listed case builds");
+        println!(
+            "{:<16} {}x{} ({} nnz) * {}x{} ({} nnz)  {}",
+            case.name,
+            a.nrows,
+            a.ncols,
+            a.nnz(),
+            b.nrows,
+            b.ncols,
+            b.nnz(),
+            case.summary
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn shrink_case(opts: &Opts) -> ExitCode {
+    let Some(name) = &opts.case else {
+        eprintln!("shrink needs --case NAME");
+        return ExitCode::from(2);
+    };
+    let Some((a, b)) = corpus::build(name, opts.seed) else {
+        eprintln!("unknown corpus case {name:?}");
+        return ExitCode::from(2);
+    };
+    let policy = ValuePolicy::default();
+    match check_pair(&a, &b, &policy) {
+        Ok(report) => {
+            println!(
+                "{name} seed={} passes the oracle ({} variants); nothing to shrink",
+                opts.seed, report.variants
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            println!("FAIL {name} seed={}: {failure}", opts.seed);
+            write_repro(
+                &opts.repro,
+                name,
+                opts.seed,
+                &failure.variant,
+                &failure.mismatch.to_string(),
+                &a,
+                &b,
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let Some(opts) = parse_opts(&args[1..]) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "sweep" => sweep(&opts),
+        "corpus" => list_corpus(),
+        "shrink" => shrink_case(&opts),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,299 @@
+//! Canonical form and the value-comparison policy.
+//!
+//! Every SpGEMM implementation in the workspace is free to emit its product
+//! in its own order and with its own explicit zeros; before two products can
+//! be compared they are reduced to one *canonical form*: strictly ascending
+//! columns per row, duplicate coordinates summed, and entries whose value is
+//! exactly `0.0` dropped (a numeric cancellation is not a structural
+//! nonzero for comparison purposes).
+//!
+//! Structure is then compared **exactly** — the paper's symbolic phase is
+//! deterministic, so any pattern difference is a bug, never rounding.
+//! Values are compared under [`ValuePolicy`]: floating-point addition is not
+//! associative, and the implementations legitimately sum the same products
+//! in different orders (dense accumulator: column order; sparse
+//! accumulator: pair order; row-row baselines: B-row order), so exact value
+//! equality would reject correct results. The policy accepts a value when
+//! *any* of three bounds holds:
+//!
+//! * within [`ValuePolicy::max_ulps`] units-in-the-last-place — the natural
+//!   "reordered sum" distance for well-conditioned sums;
+//! * relative error below [`ValuePolicy::rel_tol`] — covers magnitudes
+//!   where a fixed ULP count is too strict;
+//! * absolute error below [`ValuePolicy::abs_tol`] — covers near-total
+//!   cancellation, where relative error is meaningless.
+
+use tsg_matrix::{Coo, Csr};
+
+/// When two floating-point values count as "the same product".
+///
+/// The defaults accept reordered-summation noise (hundreds of ULPs covers
+/// sums of thousands of terms) while still catching any real defect — a
+/// dropped product term changes a value by many orders of magnitude more.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValuePolicy {
+    /// Maximum units-in-the-last-place distance.
+    pub max_ulps: u64,
+    /// Maximum `|got - want| / max(|got|, |want|)`.
+    pub rel_tol: f64,
+    /// Maximum `|got - want|`, the cancellation floor.
+    pub abs_tol: f64,
+}
+
+impl Default for ValuePolicy {
+    fn default() -> Self {
+        ValuePolicy {
+            max_ulps: 512,
+            rel_tol: 1e-9,
+            abs_tol: 1e-12,
+        }
+    }
+}
+
+impl ValuePolicy {
+    /// Whether `got` is acceptable for an expected value `want`.
+    pub fn accepts(&self, got: f64, want: f64) -> bool {
+        if got == want {
+            return true;
+        }
+        if got.is_nan() || want.is_nan() {
+            return false;
+        }
+        let diff = (got - want).abs();
+        diff <= self.abs_tol
+            || diff <= self.rel_tol * got.abs().max(want.abs())
+            || ulp_distance(got, want) <= self.max_ulps
+    }
+}
+
+/// Units-in-the-last-place distance between two finite doubles: how many
+/// representable values lie between them. `u64::MAX` for NaNs. Works across
+/// zero (`-0.0` and `+0.0` are 0 apart; the smallest positive and smallest
+/// negative subnormal are 2 apart).
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map the IEEE-754 bit patterns onto a single monotonic unsigned line:
+    // negatives are flipped below the midpoint, positives offset above it.
+    fn ordered(x: f64) -> u64 {
+        let bits = x.to_bits();
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+/// The first difference found between two canonicalized products.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mismatch {
+    /// The matrices have different dimensions.
+    Shape {
+        /// Dimensions of the checked product.
+        got: (usize, usize),
+        /// Dimensions of the expected product.
+        want: (usize, usize),
+    },
+    /// A row stores a different number of nonzeros.
+    RowNnz {
+        /// The differing row.
+        row: usize,
+        /// Stored nonzeros in the checked product's row.
+        got: usize,
+        /// Stored nonzeros in the expected product's row.
+        want: usize,
+    },
+    /// A row stores a different column pattern.
+    Pattern {
+        /// The differing row.
+        row: usize,
+        /// First differing column in the checked product.
+        got: u32,
+        /// Column expected at that position.
+        want: u32,
+    },
+    /// A stored value differs beyond the [`ValuePolicy`].
+    Value {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: u32,
+        /// Value in the checked product.
+        got: f64,
+        /// Expected value.
+        want: f64,
+        /// ULP distance between them.
+        ulps: u64,
+    },
+    /// A variant failed to produce a product at all, or its tiled output
+    /// was not bitwise identical where it must be.
+    Run {
+        /// Human-readable description of what went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mismatch::Shape { got, want } => {
+                write!(
+                    f,
+                    "shape {}x{} != expected {}x{}",
+                    got.0, got.1, want.0, want.1
+                )
+            }
+            Mismatch::RowNnz { row, got, want } => {
+                write!(f, "row {row}: {got} stored nonzeros, expected {want}")
+            }
+            Mismatch::Pattern { row, got, want } => {
+                write!(f, "row {row}: column {got} where {want} was expected")
+            }
+            Mismatch::Value {
+                row,
+                col,
+                got,
+                want,
+                ulps,
+            } => write!(
+                f,
+                "value at ({row},{col}): {got:e} != expected {want:e} ({ulps} ulps apart)"
+            ),
+            Mismatch::Run { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Mismatch {}
+
+/// Reduces a CSR matrix to the canonical comparison form: sorted columns,
+/// duplicates summed, entries that are exactly `0.0` dropped.
+pub fn canonicalize(m: &Csr<f64>) -> Csr<f64> {
+    let mut coo = Coo::new(m.nrows, m.ncols);
+    for r in 0..m.nrows {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(r as u32, c, v);
+        }
+    }
+    // `Coo::to_csr` sorts and sums duplicates; dropping numeric zeros
+    // afterwards also removes stored zeros that were never duplicated.
+    coo.to_csr().drop_numeric_zeros()
+}
+
+/// Compares two products after canonicalizing both: structure exactly,
+/// values under `policy`. Returns the first difference found.
+pub fn compare_csr(got: &Csr<f64>, want: &Csr<f64>, policy: &ValuePolicy) -> Result<(), Mismatch> {
+    let g = canonicalize(got);
+    let w = canonicalize(want);
+    if (g.nrows, g.ncols) != (w.nrows, w.ncols) {
+        return Err(Mismatch::Shape {
+            got: (g.nrows, g.ncols),
+            want: (w.nrows, w.ncols),
+        });
+    }
+    for r in 0..g.nrows {
+        let (gc, gv) = g.row(r);
+        let (wc, wv) = w.row(r);
+        if gc.len() != wc.len() {
+            return Err(Mismatch::RowNnz {
+                row: r,
+                got: gc.len(),
+                want: wc.len(),
+            });
+        }
+        for i in 0..gc.len() {
+            if gc[i] != wc[i] {
+                return Err(Mismatch::Pattern {
+                    row: r,
+                    got: gc[i],
+                    want: wc[i],
+                });
+            }
+            if !policy.accepts(gv[i], wv[i]) {
+                return Err(Mismatch::Value {
+                    row: r,
+                    col: gc[i],
+                    got: gv[i],
+                    want: wv[i],
+                    ulps: ulp_distance(gv[i], wv[i]),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        // Crossing zero counts both zero representations' slots:
+        // 2 * bits(MIN_POSITIVE) + 1.
+        assert_eq!(
+            ulp_distance(f64::MIN_POSITIVE, -f64::MIN_POSITIVE),
+            2 * f64::MIN_POSITIVE.to_bits() + 1
+        );
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        // Reordered three-term sums land within a few ULPs.
+        let s1 = 0.1 + 0.2 + 0.3;
+        let s2 = 0.3 + 0.2 + 0.1;
+        assert!(ulp_distance(s1, s2) <= 4);
+    }
+
+    #[test]
+    fn policy_accepts_reorder_noise_and_rejects_defects() {
+        let p = ValuePolicy::default();
+        assert!(p.accepts(0.1 + 0.2, 0.2 + 0.1));
+        assert!(!p.accepts(1.0, 2.0));
+        assert!(!p.accepts(1.0, f64::NAN));
+        // A cancellation residue near zero is accepted via the abs floor.
+        assert!(p.accepts(1e-13, -1e-13));
+    }
+
+    #[test]
+    fn canonicalize_drops_explicit_zeros_and_cancelled_duplicates() {
+        // A CSR that stores an explicit zero at (1,2)…
+        let with_zero = Csr::from_parts(2, 4, vec![0, 1, 2], vec![1, 2], vec![2.0, 0.0]).unwrap();
+        let c = canonicalize(&with_zero);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.row(0), (&[1u32][..], &[2.0][..]));
+        // …and duplicate COO pushes that cancel to exactly zero.
+        let mut coo = Coo::new(2, 4);
+        coo.push(0, 3, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 3, -1.0);
+        let c = canonicalize(&coo.to_csr());
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.row(0).0, &[1u32][..]);
+    }
+
+    #[test]
+    fn compare_reports_first_difference() {
+        let a = Csr::<f64>::identity(3);
+        let b = a.map_values(|v| v + 1e-15);
+        assert!(compare_csr(&a, &b, &ValuePolicy::default()).is_ok());
+        let c = a.map_values(|v| v * 2.0);
+        match compare_csr(&c, &a, &ValuePolicy::default()) {
+            Err(Mismatch::Value { row: 0, col: 0, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0);
+        match compare_csr(&coo.to_csr(), &a, &ValuePolicy::default()) {
+            Err(Mismatch::Pattern { row: 0, .. }) | Err(Mismatch::RowNnz { row: 0, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # tsg-check — verification subsystem for the TileSpGEMM workspace
+//!
+//! The single correctness authority the workspace's tests and CI run
+//! against (DESIGN.md §10):
+//!
+//! * [`compare`] — the canonical product form (sorted columns, duplicates
+//!   summed, explicit zeros dropped) and the documented [`ValuePolicy`]
+//!   under which reordered float summations are compared.
+//! * [`oracle`] — the differential oracle: one operand pair driven through
+//!   the full `Config` knob sweep of the tiled pipeline plus all five
+//!   baseline methods, compared bitwise (scheduling-tier knobs) or under
+//!   the value policy (summation-order-tier knobs) against the serial
+//!   Gustavson gold, with a balanced-tracker check on every run.
+//! * [`corpus`] — the deterministic adversarial corpus, addressable by
+//!   stable name + seed so failures reproduce from one CLI line.
+//! * [`shrink`] — a greedy delta-debugging shrinker that minimizes any
+//!   failing operand pair before it is reported.
+//!
+//! The `tsg-check` binary fronts all of this:
+//! `cargo run -p tsg-check -- sweep|corpus|shrink`.
+//!
+//! With `--features failpoints` the crate's test suite additionally drives
+//! the engine's fault-injection sites (`tsg_runtime::failpoint`).
+
+pub mod compare;
+pub mod corpus;
+pub mod oracle;
+pub mod shrink;
+
+pub use compare::{canonicalize, compare_csr, ulp_distance, Mismatch, ValuePolicy};
+pub use oracle::{check_configs, check_methods, check_pair, OracleFailure, OracleReport};
+pub use shrink::{shrink_pair, Shrunk};

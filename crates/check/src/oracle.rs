@@ -1,0 +1,237 @@
+//! The differential oracle.
+//!
+//! For one operand pair the oracle establishes the serial Gustavson product
+//! ([`tsg_baselines::reference::reference_spgemm`]) as gold, then drives
+//! every implementation the workspace ships and compares each against it:
+//!
+//! * **Bitwise tier** — the tiled pipeline under every knob that must not
+//!   change a single bit of the output: scheduling × pair-reuse ×
+//!   intersection strategy × recorder. These variants reorder *scheduling*,
+//!   never the per-tile arithmetic, so their tiled outputs are compared for
+//!   exact equality against the default-config run.
+//! * **Value tier** — knobs and methods that legitimately reorder the float
+//!   summation (accumulator policy × `tnnz` threshold, and all five
+//!   baseline methods). Their products are compared against gold under the
+//!   [`ValuePolicy`] after canonicalization.
+//!
+//! Every single run uses a fresh [`MemTracker`] and the oracle asserts it
+//! returns to zero bytes — a leak in any variant is a failure even when the
+//! product is right.
+
+use tilespgemm_core::{
+    multiply_csr, multiply_csr_with, AccumulatorKind, Config, IntersectionKind, Scheduling,
+};
+use tsg_baselines::reference::reference_spgemm;
+use tsg_baselines::{run_method, MethodKind};
+use tsg_matrix::Csr;
+use tsg_runtime::{CollectingRecorder, MemTracker};
+
+use crate::compare::{compare_csr, Mismatch, ValuePolicy};
+
+/// A passed oracle run.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleReport {
+    /// Implementation variants checked (pipeline configs + baselines).
+    pub variants: usize,
+    /// Stored nonzeros of the canonical gold product.
+    pub gold_nnz: usize,
+}
+
+/// A failed oracle run: which variant diverged, and how.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Human-readable variant label (e.g. `tile[sched=binned,reuse=off]`).
+    pub variant: String,
+    /// The first difference found.
+    pub mismatch: Mismatch,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "variant {}: {}", self.variant, self.mismatch)
+    }
+}
+
+impl std::error::Error for OracleFailure {}
+
+fn fail(variant: impl Into<String>, mismatch: Mismatch) -> OracleFailure {
+    OracleFailure {
+        variant: variant.into(),
+        mismatch,
+    }
+}
+
+fn run_detail(variant: &str, e: impl std::fmt::Display) -> OracleFailure {
+    fail(
+        variant,
+        Mismatch::Run {
+            detail: format!("run failed: {e}"),
+        },
+    )
+}
+
+/// Runs the tiled pipeline once under `config` with a balanced-tracker
+/// check, returning the raw output.
+fn run_tile(
+    variant: &str,
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    config: &Config,
+) -> Result<tilespgemm_core::Output<f64>, OracleFailure> {
+    let tracker = MemTracker::new();
+    let out = multiply_csr(a, b, config, &tracker).map_err(|e| run_detail(variant, e))?;
+    balanced(variant, &tracker)?;
+    Ok(out)
+}
+
+fn balanced(variant: &str, tracker: &MemTracker) -> Result<(), OracleFailure> {
+    if tracker.current_bytes() != 0 {
+        return Err(fail(
+            variant,
+            Mismatch::Run {
+                detail: format!(
+                    "tracker leaked {} bytes after the multiply",
+                    tracker.current_bytes()
+                ),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Checks the five baseline methods (and the tiled pipeline run through the
+/// same entry point) against gold. Returns how many variants were checked.
+pub fn check_methods(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    policy: &ValuePolicy,
+) -> Result<usize, OracleFailure> {
+    let gold = reference_spgemm(a, b);
+    let mut checked = 0;
+    for kind in MethodKind::all() {
+        let variant = format!("method[{}]", kind.name());
+        let tracker = MemTracker::new();
+        let got = run_method(kind, a, b, &tracker).map_err(|e| run_detail(&variant, e))?;
+        // The methods' documented accounting contract differs from the
+        // pipeline's: temporaries and inputs are credited back, but the
+        // long-lived *output* allocation stays attributed until reset (see
+        // `tsg_runtime::tracker`). So the leftover must be bounded by the
+        // peak, not zero.
+        if tracker.current_bytes() > tracker.peak_bytes() {
+            return Err(fail(
+                &variant,
+                Mismatch::Run {
+                    detail: format!(
+                        "tracker leftover {} bytes exceeds peak {}",
+                        tracker.current_bytes(),
+                        tracker.peak_bytes()
+                    ),
+                },
+            ));
+        }
+        compare_csr(&got.c, &gold, policy).map_err(|m| fail(&variant, m))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Sweeps the tiled pipeline's full `Config` space. Bitwise-tier knobs are
+/// compared exactly against the default-config run; value-tier knobs
+/// (accumulator × threshold) against gold under `policy`. Returns how many
+/// variants were checked.
+pub fn check_configs(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    policy: &ValuePolicy,
+) -> Result<usize, OracleFailure> {
+    let gold = reference_spgemm(a, b);
+    let pivot = run_tile("tile[default]", a, b, &Config::default())?;
+    compare_csr(&pivot.to_csr(), &gold, policy).map_err(|m| fail("tile[default]", m))?;
+    let mut checked = 1;
+
+    // Bitwise tier: scheduling × pair-reuse × intersection never touch the
+    // per-tile arithmetic order, so the tiled product must be identical.
+    for scheduling in [
+        Scheduling::PerTile,
+        Scheduling::PerTileRow,
+        Scheduling::Binned,
+    ] {
+        for pair_reuse in [true, false] {
+            for intersection in [IntersectionKind::BinarySearch, IntersectionKind::Merge] {
+                let variant = format!(
+                    "tile[sched={scheduling:?},reuse={},isect={intersection:?}]",
+                    if pair_reuse { "on" } else { "off" }
+                );
+                let cfg = Config::builder()
+                    .scheduling(scheduling)
+                    .pair_reuse(pair_reuse)
+                    .intersection(intersection)
+                    .build();
+                let out = run_tile(&variant, a, b, &cfg)?;
+                if out.c != pivot.c {
+                    return Err(fail(
+                        variant,
+                        Mismatch::Run {
+                            detail: "tiled output is not bitwise identical to the default run"
+                                .to_string(),
+                        },
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+
+    // Recorder attachment must also be invisible to the product.
+    {
+        let variant = "tile[recorder=collecting]";
+        let tracker = MemTracker::new();
+        let recorder = CollectingRecorder::new();
+        let out = multiply_csr_with(a, b, &Config::default(), &tracker, &recorder, 1)
+            .map_err(|e| run_detail(variant, e))?;
+        balanced(variant, &tracker)?;
+        if out.c != pivot.c {
+            return Err(fail(
+                variant,
+                Mismatch::Run {
+                    detail: "recorded run is not bitwise identical to the default run".to_string(),
+                },
+            ));
+        }
+        checked += 1;
+    }
+
+    // Value tier: accumulator policy and threshold reorder the summation,
+    // so these compare against gold under the policy — including thresholds
+    // straddling the paper's 192 on both sides and both degenerate ends.
+    for accumulator in [
+        AccumulatorKind::Adaptive,
+        AccumulatorKind::AlwaysSparse,
+        AccumulatorKind::AlwaysDense,
+    ] {
+        for tnnz in [0usize, 64, 192, 256] {
+            let variant = format!("tile[acc={accumulator:?},tnnz={tnnz}]");
+            let cfg = Config::builder()
+                .accumulator(accumulator)
+                .tnnz_threshold(tnnz)
+                .build();
+            let out = run_tile(&variant, a, b, &cfg)?;
+            compare_csr(&out.to_csr(), &gold, policy).map_err(|m| fail(&variant, m))?;
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// The full oracle: config sweep plus all baseline methods.
+pub fn check_pair(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    policy: &ValuePolicy,
+) -> Result<OracleReport, OracleFailure> {
+    let variants = check_configs(a, b, policy)? + check_methods(a, b, policy)?;
+    Ok(OracleReport {
+        variants,
+        gold_nnz: crate::compare::canonicalize(&reference_spgemm(a, b)).nnz(),
+    })
+}

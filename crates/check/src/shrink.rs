@@ -1,0 +1,175 @@
+//! Greedy input minimization for failing operand pairs.
+//!
+//! Delta-debugging over the operands' entry lists: repeatedly try dropping
+//! chunks of entries (halving the chunk size down to single entries) from
+//! `A`, then from `B`, keeping any removal that preserves the failure;
+//! iterate to a fixpoint, then trim unused trailing dimensions. The result
+//! is the small reproducer `tsg-check sweep` prints and CI uploads.
+
+use tsg_matrix::{Coo, Csr};
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// Minimized left operand (still failing).
+    pub a: Csr<f64>,
+    /// Minimized right operand (still failing).
+    pub b: Csr<f64>,
+    /// Predicate evaluations spent.
+    pub tests: usize,
+}
+
+/// `(row, col, value)` entries of a CSR matrix.
+pub fn triplets(m: &Csr<f64>) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::with_capacity(m.nnz());
+    for r in 0..m.nrows {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            out.push((r as u32, c, v));
+        }
+    }
+    out
+}
+
+/// Rebuilds a CSR from triplets at fixed dimensions.
+pub fn from_triplets(nrows: usize, ncols: usize, entries: &[(u32, u32, f64)]) -> Csr<f64> {
+    let mut coo = Coo::new(nrows, ncols);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
+}
+
+/// One ddmin pass over `entries`: tries dropping chunks, keeping drops that
+/// still satisfy `fails`. Returns whether anything was removed.
+fn reduce(
+    entries: &mut Vec<(u32, u32, f64)>,
+    mut fails: impl FnMut(&[(u32, u32, f64)]) -> bool,
+) -> bool {
+    let mut removed_any = false;
+    let mut chunk = (entries.len() / 2).max(1);
+    while !entries.is_empty() {
+        let mut start = 0;
+        let mut removed_this_size = false;
+        while start < entries.len() {
+            let end = (start + chunk).min(entries.len());
+            let mut candidate = Vec::with_capacity(entries.len() - (end - start));
+            candidate.extend_from_slice(&entries[..start]);
+            candidate.extend_from_slice(&entries[end..]);
+            if fails(&candidate) {
+                *entries = candidate;
+                removed_any = true;
+                removed_this_size = true;
+                // Re-test the same offset: it now holds different entries.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_this_size {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    removed_any
+}
+
+/// Minimizes a failing pair. `fails` must return `true` for the original
+/// operands (otherwise they are returned unchanged); the returned pair is a
+/// local minimum — removing any single remaining entry, or trimming the
+/// dimensions further, makes the failure disappear.
+pub fn shrink_pair(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    mut fails: impl FnMut(&Csr<f64>, &Csr<f64>) -> bool,
+) -> Shrunk {
+    let mut tests = 0;
+    let mut check = |a: &Csr<f64>, b: &Csr<f64>, tests: &mut usize| {
+        *tests += 1;
+        fails(a, b)
+    };
+    if !check(a, b, &mut tests) {
+        return Shrunk {
+            a: a.clone(),
+            b: b.clone(),
+            tests,
+        };
+    }
+    let (mut ta, mut tb) = (triplets(a), triplets(b));
+    let (nrows_a, ncols_a) = (a.nrows, a.ncols);
+    let (nrows_b, ncols_b) = (b.nrows, b.ncols);
+    loop {
+        let cur_b = from_triplets(nrows_b, ncols_b, &tb);
+        let changed_a = reduce(&mut ta, |cand| {
+            check(&from_triplets(nrows_a, ncols_a, cand), &cur_b, &mut tests)
+        });
+        let cur_a = from_triplets(nrows_a, ncols_a, &ta);
+        let changed_b = reduce(&mut tb, |cand| {
+            check(&cur_a, &from_triplets(nrows_b, ncols_b, cand), &mut tests)
+        });
+        if !changed_a && !changed_b {
+            break;
+        }
+    }
+    let mut best_a = from_triplets(nrows_a, ncols_a, &ta);
+    let mut best_b = from_triplets(nrows_b, ncols_b, &tb);
+    // Trim trailing dimensions the surviving entries never touch. The inner
+    // dimension must stay shared between the operands.
+    let used_rows_a = ta.iter().map(|e| e.0 + 1).max().unwrap_or(1) as usize;
+    let used_cols_b = tb.iter().map(|e| e.1 + 1).max().unwrap_or(1) as usize;
+    let used_inner = ta
+        .iter()
+        .map(|e| e.1 + 1)
+        .chain(tb.iter().map(|e| e.0 + 1))
+        .max()
+        .unwrap_or(1) as usize;
+    let trimmed_a = from_triplets(used_rows_a, used_inner, &ta);
+    let trimmed_b = from_triplets(used_inner, used_cols_b, &tb);
+    if check(&trimmed_a, &trimmed_b, &mut tests) {
+        best_a = trimmed_a;
+        best_b = trimmed_b;
+    }
+    Shrunk {
+        a: best_a,
+        b: best_b,
+        tests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_round_trip() {
+        let m = tsg_gen::random::erdos_renyi(20, 30, 80, 5);
+        let t = triplets(&m);
+        let back = from_triplets(20, 30, &t);
+        assert_eq!(m.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn shrinks_to_the_single_poison_entry() {
+        // Failure: "A contains an entry with value 666 anywhere".
+        let mut ta = triplets(&tsg_gen::random::erdos_renyi(40, 40, 200, 9));
+        ta.push((17, 23, 666.0));
+        let a = from_triplets(40, 40, &ta);
+        let b = tsg_gen::random::erdos_renyi(40, 40, 150, 10);
+        let shrunk = shrink_pair(&a, &b, |a, _| {
+            triplets(a).iter().any(|&(_, _, v)| v == 666.0)
+        });
+        assert_eq!(shrunk.a.nnz(), 1);
+        assert_eq!(shrunk.b.nnz(), 0);
+        assert_eq!(triplets(&shrunk.a), vec![(17, 23, 666.0)]);
+        // Dimensions were trimmed to the surviving entry.
+        assert_eq!(shrunk.a.nrows, 18);
+        assert!(shrunk.tests > 1);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let a = tsg_gen::random::erdos_renyi(10, 10, 30, 1);
+        let shrunk = shrink_pair(&a, &a, |_, _| false);
+        assert_eq!(shrunk.a.content_hash(), a.content_hash());
+        assert_eq!(shrunk.tests, 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Fault-injection tests (`--features failpoints`).
+//!
+//! Each test arms one failpoint from the catalog (DESIGN.md §10.3) and
+//! asserts *graceful degradation*: the stable error code comes back, the
+//! memory tracker unwinds to balance, and the component keeps serving
+//! afterwards. Every test holds [`failpoint::exclusive`] because the
+//! registry is process-global.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Arc;
+
+use tilespgemm_core::{multiply_csr, Config};
+use tsg_baselines::reference::reference_spgemm;
+use tsg_check::{compare_csr, corpus, ValuePolicy};
+use tsg_engine::protocol::{Control, Session};
+use tsg_engine::{Engine, EngineConfig, JobSpec};
+use tsg_runtime::failpoint;
+use tsg_runtime::MemTracker;
+
+fn operands() -> (tsg_matrix::Csr<f64>, tsg_matrix::Csr<f64>) {
+    corpus::build("dense-tile-row", 0).expect("corpus case exists")
+}
+
+/// Every tracked allocation of the pipeline, failed one at a time: the
+/// multiply must return the stable `out_of_memory` code and credit back
+/// everything it had allocated — including the failure *inside step 3*
+/// (the output-array allocation, the last tracked site).
+#[test]
+fn oom_at_every_pipeline_allocation_unwinds_and_recovers() {
+    let _x = failpoint::exclusive();
+    let (a, b) = operands();
+
+    // First, count the tracked allocation sites of one clean run by arming
+    // with an infinite skip (never fails, still counts hits).
+    failpoint::arm("tracker.alloc", u64::MAX, 1);
+    let tracker = MemTracker::new();
+    multiply_csr(&a, &b, &Config::default(), &tracker).expect("clean run");
+    let allocs = failpoint::hits("tracker.alloc");
+    assert!(allocs >= 3, "pipeline has inputs/temps/output allocations");
+
+    // Now fail each site in turn, the last being mid-step-3.
+    for k in 0..allocs {
+        failpoint::arm("tracker.alloc", k, 1);
+        let tracker = MemTracker::new();
+        let err = multiply_csr(&a, &b, &Config::default(), &tracker)
+            .expect_err("armed allocation must fail");
+        assert_eq!(err.code(), "out_of_memory", "allocation #{k}");
+        assert_eq!(
+            tracker.current_bytes(),
+            0,
+            "allocation #{k} must unwind everything already charged"
+        );
+    }
+
+    // Disarmed, the same operands multiply fine and match the reference.
+    failpoint::clear("tracker.alloc");
+    let tracker = MemTracker::new();
+    let out = multiply_csr(&a, &b, &Config::default(), &tracker).expect("recovered");
+    compare_csr(
+        &out.to_csr(),
+        &reference_spgemm(&a, &b),
+        &ValuePolicy::default(),
+    )
+    .unwrap();
+}
+
+/// An allocation failure during an engine job: the job fails with
+/// `out_of_memory`, the shared device tracker balances, and the *next* job
+/// on the same engine succeeds.
+#[test]
+fn engine_job_survives_device_oom() {
+    let _x = failpoint::exclusive();
+    let engine = Engine::new(EngineConfig::default());
+    let (a, b) = operands();
+    let (ida, _) = engine.register(a);
+    let (idb, _) = engine.register(b);
+    // Pre-convert so the armed failpoint hits the multiply, not the cache.
+    engine.convert(ida).unwrap();
+    engine.convert(idb).unwrap();
+
+    failpoint::arm("tracker.alloc", 0, 1);
+    let err = engine
+        .multiply_now(JobSpec::new(ida, idb))
+        .expect_err("armed job must fail");
+    assert_eq!(err.code(), "out_of_memory");
+    assert_eq!(engine.device_tracker().current_bytes(), 0);
+    assert_eq!(engine.stats().failed, 1);
+
+    let report = engine
+        .multiply_now(JobSpec::new(ida, idb))
+        .expect("engine keeps serving after a failed job");
+    assert!(report.nnz_c > 0);
+    engine.shutdown();
+}
+
+/// The cache refuses to account a conversion: the registry serves it
+/// uncached instead of failing, and later multiplies still work.
+#[test]
+fn cache_alloc_failure_falls_back_to_uncached_conversion() {
+    let _x = failpoint::exclusive();
+    let engine = Engine::new(EngineConfig::default());
+    let (a, _) = operands();
+    let (id, _) = engine.register(a);
+
+    failpoint::arm("registry.cache_alloc", 0, 1);
+    let (_tiles, _bytes, hit) = engine.convert(id).unwrap();
+    assert!(!hit, "conversion served fresh, not from cache");
+    assert_eq!(engine.stats().registry.uncached_conversions, 1);
+
+    let report = engine.multiply_now(JobSpec::new(id, id)).unwrap();
+    assert!(report.nnz_c > 0);
+    engine.shutdown();
+}
+
+/// Every cached conversion vanishes between admission and resolve (the
+/// eviction race): the job reconverts and completes with the right product.
+#[test]
+fn eviction_race_reconverts_and_completes() {
+    let _x = failpoint::exclusive();
+    let engine = Engine::new(EngineConfig::default());
+    let (a, b) = operands();
+    let gold = reference_spgemm(&a, &b);
+    let (ida, _) = engine.register(a);
+    let (idb, _) = engine.register(b);
+    engine.convert(ida).unwrap();
+    engine.convert(idb).unwrap();
+
+    failpoint::arm("registry.evict_all", 0, 1);
+    let report = engine.multiply_now(JobSpec::new(ida, idb)).unwrap();
+    let stats = engine.stats();
+    assert!(
+        stats.registry.evictions >= 2,
+        "both cached conversions were dropped mid-flight"
+    );
+    compare_csr(
+        &report.c.to_csr().drop_numeric_zeros(),
+        &gold,
+        &ValuePolicy::default(),
+    )
+    .unwrap();
+    engine.shutdown();
+}
+
+/// Backpressure shedding: a full queue rejects with the stable
+/// `queue_full` code, counts the shed, and the next submission sails.
+#[test]
+fn queue_full_sheds_and_recovers() {
+    let _x = failpoint::exclusive();
+    let engine = Engine::new(EngineConfig::default());
+    let (a, _) = operands();
+    let (id, _) = engine.register(a);
+
+    failpoint::arm("engine.queue_full", 0, 1);
+    let err = engine
+        .submit(JobSpec::new(id, id))
+        .expect_err("armed submission is shed");
+    assert_eq!(err.code(), "queue_full");
+    assert_eq!(engine.stats().shed, 1);
+
+    let report = engine.multiply_now(JobSpec::new(id, id)).unwrap();
+    assert!(report.nnz_c > 0);
+    engine.shutdown();
+}
+
+/// An operand disappearing between admission and execution (the
+/// unregister race): the job fails with `unknown_matrix`, the worker loop
+/// survives, and the engine completes the next job.
+#[test]
+fn resolve_race_fails_job_but_not_the_worker() {
+    let _x = failpoint::exclusive();
+    let engine = Engine::new(EngineConfig::default());
+    let (a, _) = operands();
+    let (id, _) = engine.register(a);
+
+    failpoint::arm("engine.resolve", 0, 1);
+    let err = engine
+        .multiply_now(JobSpec::new(id, id))
+        .expect_err("armed resolve must fail");
+    assert_eq!(err.code(), "unknown_matrix");
+    assert_eq!(engine.device_tracker().current_bytes(), 0);
+
+    let report = engine.multiply_now(JobSpec::new(id, id)).unwrap();
+    assert!(report.nnz_c > 0);
+    engine.shutdown();
+}
+
+/// A request frame truncated in transit parses as garbage: the session
+/// answers `bad_request` and keeps serving the same connection.
+#[test]
+fn truncated_frame_is_bad_request_and_session_survives() {
+    let _x = failpoint::exclusive();
+    let session = Session::new(Arc::new(Engine::new(EngineConfig::default())));
+
+    failpoint::arm("protocol.truncate_request", 0, 1);
+    let (resp, ctl) = session.handle_line(r#"{"op":"stats"}"#);
+    assert_eq!(ctl, Control::Continue);
+    assert!(resp.contains("\"bad_request\""), "got: {resp}");
+
+    let (resp, ctl) = session.handle_line(r#"{"op":"stats"}"#);
+    assert_eq!(ctl, Control::Continue);
+    assert!(
+        !resp.contains("\"error\""),
+        "session must keep serving: {resp}"
+    );
+    session.engine().shutdown();
+}
+
+/// A frame over the 16 MiB limit — injected, so the harness does not ship
+/// 16 MiB — is refused with `frame_too_large` before parsing, and the
+/// session keeps serving.
+#[test]
+fn oversized_frame_is_refused_and_session_survives() {
+    let _x = failpoint::exclusive();
+    let session = Session::new(Arc::new(Engine::new(EngineConfig::default())));
+
+    failpoint::arm("protocol.oversized_request", 0, 1);
+    let (resp, ctl) = session.handle_line(r#"{"op":"hello"}"#);
+    assert_eq!(ctl, Control::Continue);
+    assert!(resp.contains("\"frame_too_large\""), "got: {resp}");
+
+    let (resp, _) = session.handle_line(r#"{"op":"hello"}"#);
+    assert!(
+        !resp.contains("\"error\""),
+        "session must keep serving: {resp}"
+    );
+    session.engine().shutdown();
+}

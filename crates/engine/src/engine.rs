@@ -343,6 +343,13 @@ impl Engine {
         }
     }
 
+    /// Unregisters a matrix entirely (CSR and cached conversion); later
+    /// references fail with `unknown_matrix`. Jobs already holding `Arc`s
+    /// are unaffected.
+    pub fn unregister(&self, id: MatrixId) -> Result<(), EngineError> {
+        self.lock_registry().remove(id)
+    }
+
     /// Predicts the cost of `a · b` without running it.
     pub fn estimate(&self, a: MatrixId, b: MatrixId) -> Result<JobEstimate, EngineError> {
         let reg = self.lock_registry();
@@ -402,6 +409,16 @@ impl Engine {
             deadline: timeout.map(|t| now + t),
             ticket: Arc::clone(&ticket_inner),
         };
+        // Failpoint `engine.queue_full`: sheds this submission as if the
+        // queue were at capacity, letting backpressure tests run without
+        // actually saturating workers.
+        #[cfg(feature = "failpoints")]
+        if tsg_runtime::failpoint::should_fail("engine.queue_full") {
+            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::QueueFull {
+                depth: self.shared.cfg.queue_depth,
+            });
+        }
         {
             let mut q = self.lock_queue();
             if q.len() >= self.shared.cfg.queue_depth {
@@ -562,6 +579,14 @@ fn run_job(shared: &Shared, job: QueuedJob) {
     // multiply's "job" root), so a profile shows conversion stalls next to
     // the pipeline phases.
     let resolve = |id| {
+        // Failpoint `engine.resolve`: the operand disappears between
+        // admission (which saw it) and execution — the unregister/eviction
+        // race. The job must fail with the stable `unknown_matrix` code and
+        // leave the worker loop alive.
+        #[cfg(feature = "failpoints")]
+        if tsg_runtime::failpoint::should_fail("engine.resolve") {
+            return Err(EngineError::UnknownMatrix(id));
+        }
         let span = recorder.span_enter(job.id, "resolve");
         let out = shared
             .registry

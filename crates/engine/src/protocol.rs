@@ -26,7 +26,12 @@
 //! | `{"op":"stats"}` | `{"ok":true,"submitted":..,"cache_hit_rate":..,"counters":{…},…}` |
 //! | `{"op":"profile"}` | `{"ok":true,"profile":true,"counters":{…},"jobs":[{"job":1,"spans":[…]}]}` |
 //! | `{"op":"evict"}` / `{"op":"evict","id":"m…"}` | `{"ok":true,"evicted":n}` |
+//! | `{"op":"unload","id":"m…"}` | `{"ok":true,"id":"m…","unloaded":true}` — drops the CSR too; later references are `unknown_matrix` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"bye":true}` and the session ends |
+//!
+//! Requests longer than [`MAX_FRAME_BYTES`] are refused with the stable
+//! `frame_too_large` error code without being parsed; the session keeps
+//! serving subsequent lines.
 //!
 //! `multiply` accepts optional `"scheduling"` (`"per-tile"`, `"per-tile-row"`,
 //! `"binned"`), `"pair_reuse"` (bool), and `"timeout_ms"` overrides.
@@ -56,6 +61,12 @@ use crate::EngineError;
 /// changes; every response echoes it as `"v"`, and requests naming a
 /// different `"v"` are rejected with the `protocol_mismatch` error code.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Largest request line the session will parse. A 16 MiB line comfortably
+/// holds the triplet loads the protocol is meant for; anything longer is
+/// refused with the stable `frame_too_large` code before the parser touches
+/// it, bounding per-request memory on hostile input.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
 /// A protocol session: parses request lines, drives the shared engine, and
 /// renders response lines. Tickets of `"async"` multiplies are held per
@@ -92,6 +103,36 @@ impl Session {
     /// newline) and whether the transport should stop. Every response object
     /// carries the `"v"` protocol version.
     pub fn handle_line(&self, line: &str) -> (String, Control) {
+        // Failpoint `protocol.truncate_request`: the tail of the frame is
+        // lost in transit. The remainder must fail as a plain `bad_request`
+        // and leave the session serving.
+        #[cfg(feature = "failpoints")]
+        let line = if tsg_runtime::failpoint::should_fail("protocol.truncate_request") {
+            let mut cut = line.len() / 2;
+            while !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            &line[..cut]
+        } else {
+            line
+        };
+        let oversized = line.len() > MAX_FRAME_BYTES;
+        // Failpoint `protocol.oversized_request`: treat this frame as if it
+        // blew the limit, so the refusal path is testable without shipping a
+        // 16 MiB line through the harness.
+        #[cfg(feature = "failpoints")]
+        let oversized =
+            oversized || tsg_runtime::failpoint::should_fail("protocol.oversized_request");
+        if oversized {
+            let msg = format!(
+                "request of {} bytes exceeds the {MAX_FRAME_BYTES}-byte frame limit",
+                line.len()
+            );
+            return (
+                versioned(error_response("frame_too_large", &msg, &[])).to_string(),
+                Control::Continue,
+            );
+        }
         let (value, control) = match parse(line) {
             Ok(req) => self.dispatch(&req),
             Err(e) => (
@@ -134,6 +175,7 @@ impl Session {
             "stats" => Ok(self.stats()),
             "profile" => Ok(self.profile()),
             "evict" => self.evict(req),
+            "unload" => self.unload(req),
             "shutdown" => {
                 return (
                     obj([("ok", true.into()), ("bye", true.into())]),
@@ -389,6 +431,16 @@ impl Session {
         };
         let evicted = self.engine.evict(id)?;
         Ok(obj([("ok", true.into()), ("evicted", evicted.into())]))
+    }
+
+    fn unload(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let id = Self::matrix_id(req, "id")?;
+        self.engine.unregister(id)?;
+        Ok(obj([
+            ("ok", true.into()),
+            ("id", id.to_string().into()),
+            ("unloaded", true.into()),
+        ]))
     }
 
     fn lock_tickets(&self) -> std::sync::MutexGuard<'_, HashMap<u64, JobTicket>> {

@@ -130,6 +130,13 @@ impl Registry {
     /// The tiled form of `id`, converting (and caching, budget permitting)
     /// on first use. The boolean is `true` when served from the cache.
     pub fn tiled(&mut self, id: MatrixId) -> Result<(Arc<TileMatrix<f64>>, bool), EngineError> {
+        // Failpoint `registry.evict_all`: every cached conversion vanishes
+        // right before this lookup, simulating an eviction racing the
+        // resolve. The lookup must fall through to a fresh conversion.
+        #[cfg(feature = "failpoints")]
+        if tsg_runtime::failpoint::should_fail("registry.evict_all") {
+            self.evict_all();
+        }
         let now = self.tick();
         {
             let e = self
@@ -147,6 +154,13 @@ impl Registry {
         let tiled = Arc::new(TileMatrix::from_csr(&csr));
         self.stats.conversions += 1;
         let bytes = tiled.bytes();
+        // Failpoint `registry.cache_alloc`: the cache refuses to account the
+        // conversion, exercising the serve-uncached fallback on any budget.
+        #[cfg(feature = "failpoints")]
+        if tsg_runtime::failpoint::should_fail("registry.cache_alloc") {
+            self.stats.uncached_conversions += 1;
+            return Ok((tiled, false));
+        }
         while self.cache_tracker.on_alloc(bytes).is_err() {
             if !self.evict_lru() {
                 // Nothing left to evict: serve the conversion uncached.
@@ -199,6 +213,15 @@ impl Registry {
         } else {
             Ok(false)
         }
+    }
+
+    /// Unregisters `id` entirely: the cached tiled form (if any) is evicted
+    /// and the CSR itself is dropped, so later lookups fail with
+    /// `unknown_matrix`. In-flight users holding `Arc`s keep their data.
+    pub fn remove(&mut self, id: MatrixId) -> Result<(), EngineError> {
+        self.evict(id)?;
+        self.entries.remove(&id.0);
+        Ok(())
     }
 
     /// Drops every cached tiled form, returning how many were cached.

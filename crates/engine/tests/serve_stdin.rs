@@ -197,6 +197,68 @@ fn profiled_burst_reports_spans_and_counters_over_stdin() {
 }
 
 #[test]
+fn hostile_input_stays_on_protocol_and_never_kills_the_loop() {
+    let mut serve = Serve::spawn(&[]);
+    let error_code = |v: &Value| {
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .expect("typed error object")
+    };
+
+    // Malformed JSON — truncated object, then plain garbage.
+    assert_eq!(error_code(&serve.request(r#"{"op":"#)), "bad_request");
+    assert_eq!(error_code(&serve.request("!!not json!!")), "bad_request");
+    // A valid object with an unknown verb.
+    assert_eq!(
+        error_code(&serve.request(r#"{"op":"frobnicate"}"#)),
+        "bad_request"
+    );
+    // Missing the "op" member entirely.
+    assert_eq!(error_code(&serve.request(r#"{"v":1}"#)), "bad_request");
+
+    // A frame past the 16 MiB limit is refused before parsing.
+    let oversized = format!(r#"{{"op":"hello","pad":"{}"}}"#, "x".repeat(16 << 20));
+    assert_eq!(error_code(&serve.request(&oversized)), "frame_too_large");
+
+    // After all of that the very same session still serves normal traffic.
+    let loaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
+    let id = loaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    // Unload drops the matrix entirely: multiplying or re-unloading it is
+    // the stable unknown_matrix error, not a crash.
+    let gone = serve.request_ok(&format!(r#"{{"op":"unload","id":"{id}"}}"#));
+    assert_eq!(gone.get("unloaded").and_then(Value::as_bool), Some(true));
+    let err = serve.request(&format!(r#"{{"op":"multiply","a":"{id}","b":"{id}"}}"#));
+    assert_eq!(error_code(&err), "unknown_matrix");
+    let err = serve.request(&format!(r#"{{"op":"unload","id":"{id}"}}"#));
+    assert_eq!(error_code(&err), "unknown_matrix");
+
+    // Reloading the same content registers fresh (no stale dedup hit) and
+    // multiplies fine — the loop survived every hostile frame above.
+    let reloaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
+    assert_eq!(reloaded.get("dedup").and_then(Value::as_bool), Some(false));
+    let id2 = reloaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    let product = serve.request_ok(&format!(r#"{{"op":"multiply","a":"{id2}","b":"{id2}"}}"#));
+    assert!(product.get("nnz_c").and_then(Value::as_u64).unwrap() > 0);
+
+    let bye = serve.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    let status = serve.child.wait().expect("server exits after shutdown");
+    assert!(status.success());
+}
+
+#[test]
 fn budget_flag_feeds_admission_control() {
     // 1 MiB budget: fem-00's square cannot be admitted.
     let mut serve = Serve::spawn(&["--budget-mb", "1"]);

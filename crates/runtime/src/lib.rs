@@ -25,6 +25,10 @@
 //! * [`binning`] — row binning by work estimate, used by the row-row baseline
 //!   methods (bhSPARSE's 38 bins, NSPARSE's two-round binning, spECK's
 //!   lightweight analysis).
+//! * `failpoint` (behind `--features failpoints`) — a deterministic fault
+//!   injection registry for tests: named sites in the tracker, the engine's
+//!   registry/queue, and the protocol front end that tests can arm to force
+//!   OOM, eviction races, and truncated frames. Compiled out otherwise.
 //! * [`observe`] — structured observability: the [`Recorder`] trait (spans
 //!   nested under a job id, monotonic counters), a disabled-fast-path
 //!   [`NullRecorder`], and a [`CollectingRecorder`] with lock-free sharded
@@ -33,6 +37,8 @@
 pub mod atomicf64;
 pub mod binning;
 pub mod device;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod observe;
 pub mod scan;
 pub mod split;

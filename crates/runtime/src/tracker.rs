@@ -160,6 +160,18 @@ impl MemTracker {
     /// Attributes `bytes` to the device, failing if the budget would be
     /// exceeded.
     pub fn on_alloc(&self, bytes: usize) -> Result<(), BudgetExceeded> {
+        // Failpoint `tracker.alloc`: behaves exactly like hitting the budget
+        // — the request is refused before any accounting happens, so the
+        // tracker stays balanced. Lets tests force OOM at a chosen
+        // allocation (e.g. the step-3 output buffers) on any budget.
+        #[cfg(feature = "failpoints")]
+        if crate::failpoint::should_fail("tracker.alloc") {
+            return Err(BudgetExceeded {
+                requested: bytes,
+                in_use: self.current_bytes(),
+                budget: self.budget(),
+            });
+        }
         let budget = self.budget();
         let prev = self.current.fetch_add(bytes, Ordering::Relaxed);
         let now = prev.saturating_add(bytes);

@@ -1,11 +1,14 @@
 //! Cross-method correctness: every SpGEMM implementation in the workspace
 //! must produce the same product as the serial gold reference, on every
 //! generator family, for both `A²` and `A·Aᵀ`.
+//!
+//! Comparison runs through the shared `tsg-check` oracle (DESIGN.md §10):
+//! canonical form and the documented value policy live there, not here.
 
 use tilespgemm::baselines::reference::reference_spgemm;
-use tilespgemm::baselines::{run_method, MethodKind};
 use tilespgemm::gen::suite::GenSpec;
 use tilespgemm::prelude::*;
+use tsg_check::{check_configs, check_methods, check_pair, compare_csr, ValuePolicy};
 
 fn family_zoo() -> Vec<(&'static str, Csr<f64>)> {
     use GenSpec::*;
@@ -99,81 +102,48 @@ fn family_zoo() -> Vec<(&'static str, Csr<f64>)> {
 
 #[test]
 fn all_methods_match_reference_on_a_squared() {
+    let policy = ValuePolicy::default();
     for (name, a) in family_zoo() {
-        let want = reference_spgemm(&a, &a).drop_numeric_zeros();
-        for kind in MethodKind::all() {
-            let got = run_method(kind, &a, &a, &MemTracker::new())
-                .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", kind.name()));
-            assert!(
-                got.c.approx_eq_ignoring_zeros(&want, 1e-9),
-                "{} disagrees with reference on {name} (A^2)",
-                kind.name()
-            );
-        }
+        let checked =
+            check_methods(&a, &a, &policy).unwrap_or_else(|f| panic!("{name} (A^2): {f}"));
+        assert_eq!(checked, 5, "{name}: all five methods checked");
     }
 }
 
 #[test]
 fn all_methods_match_reference_on_aat() {
+    let policy = ValuePolicy::default();
     for (name, a) in family_zoo() {
         let at = a.transpose();
-        let want = reference_spgemm(&a, &at).drop_numeric_zeros();
-        for kind in MethodKind::all() {
-            let got = run_method(kind, &a, &at, &MemTracker::new())
-                .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", kind.name()));
-            assert!(
-                got.c.approx_eq_ignoring_zeros(&want, 1e-9),
-                "{} disagrees with reference on {name} (A*A^T)",
-                kind.name()
-            );
-        }
+        check_methods(&a, &at, &policy).unwrap_or_else(|f| panic!("{name} (A*A^T): {f}"));
     }
 }
 
 #[test]
 fn rectangular_chain_products_agree() {
-    // A (60x90) * B (90x40): only the tiled method and the reference take
-    // arbitrary rectangles through the public `multiply_csr` API.
+    // A (60x90) * B (90x40): the full oracle — every pipeline config plus
+    // every baseline — on an arbitrary rectangular chain.
     let a = tilespgemm::gen::random::erdos_renyi(60, 90, 500, 11);
     let b = tilespgemm::gen::random::erdos_renyi(90, 40, 400, 12);
-    let want = reference_spgemm(&a, &b).drop_numeric_zeros();
-    let got = multiply_csr(&a, &b, &Config::default(), &MemTracker::new())
-        .unwrap()
-        .to_csr();
-    assert!(got.approx_eq_ignoring_zeros(&want, 1e-10));
+    let report = check_pair(&a, &b, &ValuePolicy::default()).unwrap();
+    assert!(report.gold_nnz > 0);
 }
 
 #[test]
 fn tilespgemm_matches_reference_under_every_config() {
-    use tilespgemm::core::{AccumulatorKind, IntersectionKind};
+    // The shared oracle's config sweep covers intersection × accumulator ×
+    // scheduling × pair-reuse × threshold; 26 pipeline variants in all.
     let a = tilespgemm::gen::fem::fem_blocks(40, 6, 4, 6, 9);
-    let want = reference_spgemm(&a, &a).drop_numeric_zeros();
-    for intersection in [IntersectionKind::BinarySearch, IntersectionKind::Merge] {
-        for accumulator in [
-            AccumulatorKind::Adaptive,
-            AccumulatorKind::AlwaysSparse,
-            AccumulatorKind::AlwaysDense,
-        ] {
-            let cfg = Config::builder()
-                .tnnz_threshold(192)
-                .intersection(intersection)
-                .accumulator(accumulator)
-                .build();
-            let got = multiply_csr(&a, &a, &cfg, &MemTracker::new())
-                .unwrap()
-                .to_csr();
-            assert!(
-                got.approx_eq_ignoring_zeros(&want, 1e-9),
-                "config {cfg:?} disagrees"
-            );
-        }
-    }
+    let checked = check_configs(&a, &a, &ValuePolicy::default())
+        .unwrap_or_else(|f| panic!("config sweep: {f}"));
+    assert_eq!(checked, 26);
 }
 
 #[test]
 fn chained_products_stay_in_tiled_form() {
     // (A*A)*A == A*(A*A) — exercises reusing a TileSpGEMM output matrix as
     // an operand without round-tripping through CSR.
+    let policy = ValuePolicy::default();
     let a_csr = tilespgemm::gen::stencil::grid_2d_5pt(40, 40);
     let a = TileMatrix::from_csr(&a_csr);
     let cfg = Config::default();
@@ -181,10 +151,8 @@ fn chained_products_stay_in_tiled_form() {
     let a2 = tilespgemm::core::multiply(&a, &a, &cfg, &t).unwrap().c;
     let left = tilespgemm::core::multiply(&a2, &a, &cfg, &t).unwrap().c;
     let right_in = tilespgemm::core::multiply(&a, &a2, &cfg, &t).unwrap().c;
-    let l = left.to_csr().drop_numeric_zeros();
-    let r = right_in.to_csr().drop_numeric_zeros();
-    assert!(l.approx_eq_ignoring_zeros(&r, 1e-9));
+    compare_csr(&left.to_csr(), &right_in.to_csr(), &policy).expect("associativity");
     // And equals the reference A^3.
-    let want = reference_spgemm(&reference_spgemm(&a_csr, &a_csr), &a_csr).drop_numeric_zeros();
-    assert!(l.approx_eq_ignoring_zeros(&want, 1e-9));
+    let want = reference_spgemm(&reference_spgemm(&a_csr, &a_csr), &a_csr);
+    compare_csr(&left.to_csr(), &want, &policy).expect("matches reference A^3");
 }

@@ -1,11 +1,16 @@
 //! Property-based tests of the SpGEMM kernels: every method against the
 //! dense oracle, algebraic identities, and structural guarantees of the
 //! tiled product.
+//!
+//! Value comparison goes through the shared `tsg-check` comparator
+//! (canonical form + documented `ValuePolicy`), so this file holds no
+//! canonicalization of its own.
 
 use proptest::prelude::*;
 use tilespgemm::baselines::{run_method, MethodKind};
 use tilespgemm::matrix::{Coo, Csr, Dense, TileMatrix};
 use tilespgemm::prelude::*;
+use tsg_check::{compare_csr, ValuePolicy};
 
 fn arb_square(n_max: usize, nnz_max: usize) -> impl Strategy<Value = Csr<f64>> {
     (2usize..n_max).prop_flat_map(move |n| {
@@ -30,39 +35,45 @@ proptest! {
         a in arb_square(48, 200),
         b_seed in 0u64..1000,
     ) {
-        // B: a permuted variant of A's pattern with fresh values.
+        // B: a permuted variant of A's pattern with fresh values. The dense
+        // oracle is independent of the sparse reference tsg-check uses.
+        let policy = ValuePolicy::default();
         let b = tilespgemm::gen::random::erdos_renyi(a.nrows, a.ncols, a.nnz().max(1), b_seed)
             .map_values(f64::abs);
         let want = Dense::from_csr(&a).matmul(&Dense::from_csr(&b)).to_csr();
         for kind in MethodKind::all() {
             let got = run_method(kind, &a, &b, &MemTracker::new()).unwrap();
+            let cmp = compare_csr(&got.c, &want, &policy);
             prop_assert!(
-                got.c.approx_eq_ignoring_zeros(&want, 1e-9),
-                "{} disagrees with the dense oracle", kind.name()
+                cmp.is_ok(),
+                "{} disagrees with the dense oracle: {:?}", kind.name(), cmp.err()
             );
         }
     }
 
     #[test]
     fn identity_is_neutral(a in arb_square(64, 250)) {
+        let policy = ValuePolicy::default();
         let i = Csr::<f64>::identity(a.nrows);
         let left = multiply_csr(&i, &a, &Config::default(), &MemTracker::new()).unwrap().to_csr();
         let right = multiply_csr(&a, &i, &Config::default(), &MemTracker::new()).unwrap().to_csr();
-        prop_assert!(left.approx_eq_ignoring_zeros(&a, 1e-12));
-        prop_assert!(right.approx_eq_ignoring_zeros(&a, 1e-12));
+        prop_assert!(compare_csr(&left, &a, &policy).is_ok(), "I*A != A");
+        prop_assert!(compare_csr(&right, &a, &policy).is_ok(), "A*I != A");
     }
 
     #[test]
     fn transpose_identity_holds(a in arb_square(40, 150), b_seed in 0u64..1000) {
         // (A·B)ᵀ == Bᵀ·Aᵀ — with positive values both sides keep the same
         // stored pattern, so the comparison is strict.
+        let policy = ValuePolicy::default();
         let b = tilespgemm::gen::random::erdos_renyi(a.nrows, a.ncols, a.nnz().max(1), b_seed)
             .map_values(f64::abs);
         let cfg = Config::default();
         let t = MemTracker::new();
         let ab = multiply_csr(&a, &b, &cfg, &t).unwrap().to_csr();
         let btat = multiply_csr(&b.transpose(), &a.transpose(), &cfg, &t).unwrap().to_csr();
-        prop_assert!(ab.transpose().approx_eq_ignoring_zeros(&btat, 1e-9));
+        let cmp = compare_csr(&ab.transpose(), &btat, &policy);
+        prop_assert!(cmp.is_ok(), "(AB)^T != B^T A^T: {:?}", cmp.err());
     }
 
     #[test]
@@ -134,12 +145,14 @@ proptest! {
     #[test]
     fn scalar_distributes(a in arb_square(32, 120)) {
         // (2A)·A == 2·(A·A)
+        let policy = ValuePolicy::default();
         let cfg = Config::default();
         let t = MemTracker::new();
         let doubled = a.map_values(|v| v * 2.0);
         let lhs = multiply_csr(&doubled, &a, &cfg, &t).unwrap().to_csr();
         let rhs_base = multiply_csr(&a, &a, &cfg, &t).unwrap().to_csr();
         let rhs = rhs_base.map_values(|v| v * 2.0);
-        prop_assert!(lhs.approx_eq_ignoring_zeros(&rhs, 1e-9));
+        let cmp = compare_csr(&lhs, &rhs, &policy);
+        prop_assert!(cmp.is_ok(), "(2A)A != 2(AA): {:?}", cmp.err());
     }
 }
