@@ -1,6 +1,7 @@
 //! Ablation of §3.3's set-intersection choice: the paper reports that
 //! binary search (with left-bound narrowing) beats the merge primitive for
-//! matching tile pairs; this bench reproduces the comparison both on raw
+//! matching tile pairs; this bench reproduces the comparison — extended
+//! with the bitmap kernel and the adaptive per-tile selector — both on raw
 //! index lists and end-to-end.
 //!
 //! ```text
@@ -8,10 +9,10 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tilespgemm_core::intersect::{intersect_into, IntersectionKind};
+use tilespgemm_core::intersect::{intersect_bitmap, intersect_into, IntersectionKind};
 use tilespgemm_core::{AccumulatorKind, Config};
 use tsg_gen::suite::GenSpec;
-use tsg_matrix::TileMatrix;
+use tsg_matrix::{ListBitmaps, TileMatrix};
 use tsg_runtime::MemTracker;
 
 /// Sorted random list of `len` values below `universe`.
@@ -51,6 +52,23 @@ fn bench_raw_intersection(c: &mut Criterion) {
                 },
             );
         }
+        // The bitmap kernel consumes pre-built sidecars (amortized over a
+        // whole pipeline run), so only the AND+rank walk is on the clock.
+        let a_map = ListBitmaps::from_csr(&[0, a.len()], &a, 4096);
+        let b_map = ListBitmaps::from_csr(&[0, b.len()], &b, 4096);
+        group.bench_with_input(
+            BenchmarkId::new("Bitmap", format!("{short}x{long}")),
+            &(a_map, b_map),
+            |bench, (a_map, b_map)| {
+                let (aw, ar) = a_map.list(0);
+                let (bw, br) = b_map.list(0);
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    intersect_bitmap(aw, ar, bw, br, &mut out);
+                    out.len()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -66,7 +84,12 @@ fn bench_end_to_end(c: &mut Criterion) {
     let ta = TileMatrix::from_csr(&a);
     let mut group = c.benchmark_group("intersect_end_to_end");
     group.sample_size(10);
-    for kind in [IntersectionKind::BinarySearch, IntersectionKind::Merge] {
+    for kind in [
+        IntersectionKind::BinarySearch,
+        IntersectionKind::Merge,
+        IntersectionKind::Bitmap,
+        IntersectionKind::Adaptive,
+    ] {
         let cfg = Config::builder()
             .tnnz_threshold(192)
             .intersection(kind)

@@ -1,0 +1,117 @@
+//! CI perf-smoke gate for the step-2/step-3 hot path.
+//!
+//! Runs the default pipeline (adaptive intersection, pair reuse, per-tile
+//! scheduling) on the webbase-like R-MAT matrix `BENCH_pipeline.json` was
+//! measured on, takes the best-of-N step2+step3 time, and fails (exit 1)
+//! when it regresses more than [`GATE_PCT`] over the committed baseline row
+//! (`matrix=webbase-like, scheduling=per-tile, pair_reuse=true`). A fresh
+//! machine-readable record is written to `target/perf_smoke.json` for CI to
+//! upload next to the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin perf_smoke
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tilespgemm_core::Config;
+use tsg_gen::suite::GenSpec;
+use tsg_matrix::TileMatrix;
+use tsg_runtime::MemTracker;
+
+/// Allowed step2+step3 regression over the committed baseline, in percent.
+/// Wall-clock minima on shared runners still jitter at the several-percent
+/// level, so the gate is looser than the ~0% target.
+const GATE_PCT: f64 = 10.0;
+
+/// Repetitions; the gate compares per-step minima, which stabilize faster
+/// than whole-run wall times.
+const REPS: usize = 7;
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Extracts `"key":<number>` from a JSON fragment (crude, but the baseline
+/// file is machine-written by `tile_pipeline.rs` with a fixed shape).
+fn field(fragment: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = fragment.find(&pat)? + pat.len();
+    let rest = &fragment[at..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The committed baseline's step2+step3 time for the gated row.
+fn baseline_step23(json: &str) -> Option<f64> {
+    for line in json.lines() {
+        if line.contains("\"matrix\":\"webbase-like\"")
+            && line.contains("\"scheduling\":\"per-tile\"")
+            && line.contains("\"pair_reuse\":true")
+        {
+            return Some(field(line, "step2_ms")? + field(line, "step3_ms")?);
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let a = GenSpec::Rmat {
+        scale: 14,
+        edges: 80_000,
+        mild: false,
+        seed: 112,
+    }
+    .build();
+    let ta = TileMatrix::from_csr(&a);
+    let cfg = Config::default();
+    tilespgemm_core::multiply(&ta, &ta, &cfg, &MemTracker::new()).expect("warmup");
+
+    let (mut best2, mut best3, mut best_wall) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut peak_bytes = 0usize;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = tilespgemm_core::multiply(&ta, &ta, &cfg, &MemTracker::new()).expect("multiply");
+        best_wall = best_wall.min(ms(t0.elapsed()));
+        best2 = best2.min(ms(out.breakdown.step2));
+        best3 = best3.min(ms(out.breakdown.step3));
+        peak_bytes = out.peak_bytes;
+    }
+    let fresh = best2 + best3;
+
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let json = std::fs::read_to_string(baseline_path).expect("read committed BENCH_pipeline.json");
+    let baseline = baseline_step23(&json).expect("baseline row for webbase-like/per-tile/reuse");
+
+    let delta_pct = (fresh - baseline) / baseline * 100.0;
+    println!(
+        "perf_smoke: webbase-like step2+step3 {fresh:.1} ms vs baseline {baseline:.1} ms \
+         ({delta_pct:+.1}%, gate +{GATE_PCT}%)"
+    );
+    println!("  step2 {best2:.1} ms | step3 {best3:.1} ms | wall {best_wall:.1} ms | peak {peak_bytes} B");
+
+    let record = format!(
+        concat!(
+            "{{\"matrix\":\"webbase-like\",\"method\":\"perf_smoke\",",
+            "\"step2_ms\":{:.4},\"step3_ms\":{:.4},\"wall_ms\":{:.4},",
+            "\"peak_bytes\":{},\"baseline_step23_ms\":{:.4},\"delta_pct\":{:.2}}}\n"
+        ),
+        best2, best3, best_wall, peak_bytes, baseline, delta_pct
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/perf_smoke.json");
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(out_path, &record).expect("write perf_smoke.json");
+    println!("wrote {out_path}");
+
+    if delta_pct > GATE_PCT {
+        eprintln!("perf_smoke: FAIL — step2+step3 regressed {delta_pct:+.1}% (gate +{GATE_PCT}%)");
+        return ExitCode::FAILURE;
+    }
+    println!("perf_smoke: OK");
+    ExitCode::SUCCESS
+}

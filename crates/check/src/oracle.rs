@@ -155,9 +155,15 @@ pub fn check_configs(
         Scheduling::PerTile,
         Scheduling::PerTileRow,
         Scheduling::Binned,
+        Scheduling::Auto,
     ] {
         for pair_reuse in [true, false] {
-            for intersection in [IntersectionKind::BinarySearch, IntersectionKind::Merge] {
+            for intersection in [
+                IntersectionKind::BinarySearch,
+                IntersectionKind::Merge,
+                IntersectionKind::Bitmap,
+                IntersectionKind::Adaptive,
+            ] {
                 let variant = format!(
                     "tile[sched={scheduling:?},reuse={},isect={intersection:?}]",
                     if pair_reuse { "on" } else { "off" }

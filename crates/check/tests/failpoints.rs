@@ -65,6 +65,36 @@ fn oom_at_every_pipeline_allocation_unwinds_and_recovers() {
     .unwrap();
 }
 
+/// Scratch-arena pool growth refused by the `arena.grow` failpoint: the
+/// multiply fails with the stable `out_of_memory` code before steps 2/3
+/// run, the tracker unwinds to balance, and a disarmed retry — reusing the
+/// very same tracker — succeeds and matches the reference.
+#[test]
+fn arena_growth_failure_unwinds_and_recovers() {
+    let _x = failpoint::exclusive();
+    let (a, b) = operands();
+    failpoint::arm("arena.grow", 0, 1);
+    let tracker = MemTracker::new();
+    let err = multiply_csr(&a, &b, &Config::default(), &tracker)
+        .expect_err("armed arena growth must fail");
+    assert_eq!(err.code(), "out_of_memory");
+    assert_eq!(
+        tracker.current_bytes(),
+        0,
+        "arena reservation failure must credit back the step-2 temporaries"
+    );
+    assert!(failpoint::hits("arena.grow") >= 1, "the site was exercised");
+    failpoint::clear("arena.grow");
+    let out = multiply_csr(&a, &b, &Config::default(), &tracker).expect("recovered");
+    assert_eq!(tracker.current_bytes(), 0);
+    compare_csr(
+        &out.to_csr(),
+        &reference_spgemm(&a, &b),
+        &ValuePolicy::default(),
+    )
+    .unwrap();
+}
+
 /// An allocation failure during an engine job: the job fails with
 /// `out_of_memory`, the shared device tracker balances, and the *next* job
 /// on the same engine succeeds.

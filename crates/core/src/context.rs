@@ -44,16 +44,19 @@ use std::sync::Arc;
 
 use tsg_matrix::{Csr, Scalar, TileMatrix};
 use tsg_runtime::observe::{MetricsSnapshot, NullRecorder, Recorder};
-use tsg_runtime::MemTracker;
+use tsg_runtime::{MemTracker, ScratchPool};
 
 #[cfg(doc)]
 use tsg_runtime::CollectingRecorder;
 
-use crate::pipeline::{multiply_csr_with, multiply_with, Output};
+use crate::convert::{timed_csr_to_tile, ConversionTiming};
+use crate::pipeline::{multiply_with_pool, Output};
 use crate::{Config, SpGemmError};
 
 /// An execution context owning the configuration, device-memory accounting,
-/// and recorder that every multiplication it runs shares.
+/// recorder, and reusable scratch arenas that every multiplication it runs
+/// shares. The arenas warm up on the first product and make later steady-
+/// state step-2/3 execution allocation-free.
 ///
 /// Construct with [`SpGemm::new`] (paper defaults, unlimited budget, no
 /// recording) or [`SpGemm::builder`]. Each [`SpGemm::multiply`] /
@@ -65,6 +68,7 @@ pub struct SpGemm {
     config: Config,
     tracker: Arc<MemTracker>,
     recorder: Arc<dyn Recorder>,
+    arena: ScratchPool,
     next_job: AtomicU64,
 }
 
@@ -106,6 +110,14 @@ impl SpGemm {
         self.recorder.snapshot()
     }
 
+    /// High-water mark, in bytes, of the context's reusable scratch arenas
+    /// across every multiplication it has run. Scratch stays warm between
+    /// multiplies (steady-state step 2/3 execution allocates nothing), so
+    /// this reports the arenas' largest combined footprint so far.
+    pub fn arena_high_water_bytes(&self) -> usize {
+        self.arena.high_water_bytes()
+    }
+
     /// Runs `C = A·B` on tiled operands under the next job id.
     pub fn multiply<T: Scalar>(
         &self,
@@ -123,7 +135,15 @@ impl SpGemm {
         a: &TileMatrix<T>,
         b: &TileMatrix<T>,
     ) -> Result<Output<T>, SpGemmError> {
-        multiply_with(a, b, &self.config, &self.tracker, &*self.recorder, job)
+        multiply_with_pool(
+            a,
+            b,
+            &self.config,
+            &self.tracker,
+            &*self.recorder,
+            job,
+            &self.arena,
+        )
     }
 
     /// Converts CSR operands to tiled form and multiplies, under the next
@@ -145,7 +165,17 @@ impl SpGemm {
         a: &Csr<T>,
         b: &Csr<T>,
     ) -> Result<Output<T>, SpGemmError> {
-        multiply_csr_with(a, b, &self.config, &self.tracker, &*self.recorder, job)
+        let span = self.recorder.span_enter(job, "convert");
+        let (ta, conv_a) = timed_csr_to_tile(a);
+        let (tb, conv_b) = timed_csr_to_tile(b);
+        self.recorder.span_exit(span);
+        let mut out = self.multiply_as(job, &ta, &tb)?;
+        out.conversion = Some(ConversionTiming {
+            conversion: conv_a.conversion + conv_b.conversion,
+            tiles: conv_a.tiles + conv_b.tiles,
+            nnz: conv_a.nnz + conv_b.nnz,
+        });
+        Ok(out)
     }
 
     fn next_job(&self) -> u64 {
@@ -205,6 +235,7 @@ impl SpGemmBuilder {
             config: self.config,
             tracker,
             recorder,
+            arena: ScratchPool::new(),
             next_job: AtomicU64::new(1),
         }
     }
@@ -265,6 +296,23 @@ mod tests {
         let snap = ctx.metrics();
         assert_eq!(snap.get(Counter::BytesAlloc), snap.get(Counter::BytesFreed));
         assert!(snap.get(Counter::BytesAlloc) as usize >= out.peak_bytes);
+    }
+
+    #[test]
+    fn context_arena_warms_once_and_reports_high_water() {
+        let ctx = SpGemm::new();
+        assert_eq!(ctx.arena_high_water_bytes(), 0);
+        let a = identity_tiled(128);
+        ctx.multiply(&a, &a).unwrap();
+        let after_first = ctx.arena_high_water_bytes();
+        assert!(after_first > 0, "first multiply warms the pool");
+        ctx.multiply(&a, &a).unwrap();
+        assert_eq!(
+            ctx.arena_high_water_bytes(),
+            after_first,
+            "steady state adds no scratch"
+        );
+        assert_eq!(ctx.tracker().current_bytes(), 0);
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub use context::{SpGemm, SpGemmBuilder};
 pub use convert::{timed_csr_to_tile, ConversionTiming};
 pub use intersect::IntersectionKind;
 pub use masked::multiply_masked;
-pub use pipeline::{multiply, multiply_csr, multiply_csr_with, multiply_with, Output};
+pub use pipeline::{
+    multiply, multiply_csr, multiply_csr_with, multiply_with, multiply_with_pool, Output,
+};
 pub use spmv::{spmv, spmv_masked};
 pub use step2::PairBuffer;
 pub use step3::AccumulatorKind;
@@ -78,8 +80,12 @@ pub struct Config {
     /// Sparse/dense accumulator switch-over: tiles with more stored nonzeros
     /// than this use the dense accumulator. The paper sets 192 (75% of 256).
     pub tnnz_threshold: usize,
-    /// Set-intersection strategy for step 2 (paper: binary search, which it
-    /// found faster than merging).
+    /// Set-intersection strategy for step 2. The paper fixes binary search
+    /// (which it found faster than merging); the default here is
+    /// [`IntersectionKind::Adaptive`], which picks binary search, merge, or
+    /// the bitmap kernel per tile from list lengths and sidecar density —
+    /// a documented departure in the spirit of [`Config::pair_reuse`]. Set
+    /// [`IntersectionKind::BinarySearch`] for the paper-faithful kernel.
     pub intersection: IntersectionKind,
     /// Accumulator policy for step 3 (paper: adaptive).
     pub accumulator: AccumulatorKind,
@@ -98,7 +104,7 @@ impl Default for Config {
     fn default() -> Self {
         Self {
             tnnz_threshold: 192,
-            intersection: IntersectionKind::BinarySearch,
+            intersection: IntersectionKind::Adaptive,
             accumulator: AccumulatorKind::Adaptive,
             scheduling: Scheduling::PerTile,
             pair_reuse: true,
@@ -167,10 +173,16 @@ pub enum Scheduling {
     /// decomposition kept for the scheduling ablation bench.
     PerTileRow,
     /// Per-tile tasks dispatched heaviest bucket first: tiles are binned by
-    /// a cheap spECK-style work estimate (matched-pair count × tile nnz for
-    /// step 3) and the self-scheduling chunk queue consumes the heaviest
-    /// bins first, so giant tail tiles cannot defeat work stealing.
+    /// a cheap spECK-style work estimate (for step 3: tile nnz plus matched
+    /// pairs × average tile density of the A row) and the self-scheduling
+    /// chunk queue consumes the heaviest bins first, so giant tail tiles
+    /// cannot defeat work stealing.
     Binned,
+    /// Picks [`Scheduling::Binned`] when the worker count and tile count
+    /// are both large enough for binning's extra pass to pay off, and
+    /// [`Scheduling::PerTile`] otherwise (small problems or low
+    /// parallelism, where binning is pure overhead).
+    Auto,
 }
 
 /// Errors surfaced by the SpGEMM pipelines in this workspace.
@@ -235,11 +247,13 @@ mod tests {
     fn default_config_is_the_papers() {
         let c = Config::default();
         assert_eq!(c.tnnz_threshold, 192);
-        assert_eq!(c.intersection, IntersectionKind::BinarySearch);
+        // Two deliberate departures from the paper (DESIGN.md §7, §11):
+        // matched pairs found in step 2 are reused in step 3, and the
+        // intersection kernel is chosen adaptively per tile. Both are
+        // bitwise-invisible in the output.
+        assert_eq!(c.intersection, IntersectionKind::Adaptive);
         assert_eq!(c.accumulator, AccumulatorKind::Adaptive);
         assert_eq!(c.scheduling, Scheduling::PerTile);
-        // The one deliberate departure from the paper: matched pairs found
-        // in step 2 are reused in step 3 by default (DESIGN.md §7).
         assert!(c.pair_reuse);
     }
 
@@ -253,7 +267,7 @@ mod tests {
         assert!(!cfg.pair_reuse);
         // Everything unset keeps the paper defaults.
         assert_eq!(cfg.tnnz_threshold, 192);
-        assert_eq!(cfg.intersection, IntersectionKind::BinarySearch);
+        assert_eq!(cfg.intersection, IntersectionKind::Adaptive);
         assert_eq!(cfg.accumulator, AccumulatorKind::Adaptive);
         assert_eq!(Config::builder().build(), Config::default());
     }

@@ -3,16 +3,18 @@
 //! accounting for Figures 7 and 9.
 
 use crate::convert::{timed_csr_to_tile, ConversionTiming};
-use crate::intersect::{IntersectionKind, MatchedPair};
+use crate::intersect::{resolve_kind, IntersectionKind};
 use crate::step1::tile_structure_spgemm;
-use crate::step2::{matched_pairs, symbolic_tile, PairBuffer};
+use crate::step2::{encode_pairs, matched_pairs_with, symbolic_tile, PairBuffer};
 use crate::step3::{fill_indices_from_masks, numeric_tile_dense, numeric_tile_sparse};
-use crate::{Config, SpGemmError};
+use crate::{Config, Scheduling, SpGemmError};
 use rayon::prelude::*;
-use tsg_matrix::{Csr, Scalar, TileColIndex, TileMatrix, TILE_DIM};
+use tsg_matrix::{Csr, ListBitmaps, Scalar, TileColIndex, TileMatrix, TILE_DIM};
+use tsg_runtime::arena::Scratch;
 use tsg_runtime::observe::{Counter, NullRecorder, Recorder};
 use tsg_runtime::{
-    bin_rows_by, split_mut_by_offsets, split_mut_uniform, Bins, Breakdown, MemTracker, Step,
+    bin_rows_by, split_mut_by_offsets, split_mut_uniform, Bins, Breakdown, MemTracker, ScratchPool,
+    Step,
 };
 
 /// The result of a TileSpGEMM multiplication — the one result type both the
@@ -47,6 +49,45 @@ impl<T: Scalar> Output<T> {
 /// Bucket count for [`crate::Scheduling::Binned`]: keys up to `2^18` get
 /// their own power-of-two bucket, larger ones clamp into the last.
 const BINNED_BUCKETS: usize = 20;
+
+/// Footprint cap for the bitmap intersection sidecars: when
+/// [`ListBitmaps::bytes_for`] over both operands exceeds this, the sidecars
+/// are skipped and `Bitmap`/`Adaptive` degrade to the list kernels. The cap
+/// bounds the sidecar to a small fraction of any realistic operand set
+/// while admitting every matrix in the evaluation suite (webbase-like at
+/// scale 14 needs ≈0.4 MB).
+const TILE_BITMAP_MAX_BYTES: usize = 8 << 20;
+
+/// [`crate::Scheduling::Auto`] picks `Binned` only at or above this worker
+/// count: below it, the bin/permute bookkeeping cannot buy back anything
+/// because there is hardly any imbalance to fix.
+const AUTO_MIN_THREADS: usize = 4;
+
+/// [`crate::Scheduling::Auto`] picks `Binned` only at or above this tile
+/// count: with few tiles the phase is too short for dispatch order to
+/// matter.
+const AUTO_MIN_TILES: usize = 4096;
+
+/// Resolves [`crate::Scheduling::Auto`] to a concrete strategy from the
+/// available parallelism and the output's tile count.
+fn resolve_scheduling(s: Scheduling, num_tiles: usize) -> Scheduling {
+    match s {
+        Scheduling::Auto => {
+            if rayon::current_num_threads() >= AUTO_MIN_THREADS && num_tiles >= AUTO_MIN_TILES {
+                Scheduling::Binned
+            } else {
+                Scheduling::PerTile
+            }
+        }
+        other => other,
+    }
+}
+
+/// Stored nonzeros of `A`'s tile row `ti` — O(1) from the cumulative
+/// per-tile nnz offsets. Feeds the binned work estimates.
+fn tile_row_nnz<T: Scalar>(a: &TileMatrix<T>, ti: usize) -> usize {
+    a.tile_nnz[a.tile_ptr[ti + 1]] - a.tile_nnz[a.tile_ptr[ti]]
+}
 
 /// Flattens bins heaviest bucket first. The runtime's self-scheduling chunk
 /// queue consumes the permutation front to back, so dispatching heavy tiles
@@ -94,28 +135,44 @@ fn permuted<W>(windows: Vec<W>, order: &[u32]) -> Vec<W> {
         .collect()
 }
 
-/// Set-intersection lookups a step-2/step-3 intersection pass issues, from
-/// list lengths alone: binary search probes once per element of the shorter
-/// tile list; merge advances at most `|a| + |b|` times. Counting from the
-/// lengths (all O(1) lookups) keeps the observability cost out of the inner
-/// loops — the counter is a deterministic proxy, not a hardware event count.
-fn intersection_probes<T: Scalar>(
+/// Set-intersection lookups a step-2/step-3 intersection pass issues, plus
+/// the chosen-kernel histogram `[binary-search, merge, bitmap]`, derived
+/// from list lengths alone: binary search probes once per element of the
+/// shorter tile list; merge advances at most `|a| + |b|` times; the bitmap
+/// kernel touches its fixed word count. The per-tile kernel choice is a
+/// pure function of the lengths ([`resolve_kind`]), so the histogram can be
+/// replayed here, outside the parallel hot loops — the counters are a
+/// deterministic proxy, not a hardware event count.
+fn intersection_stats<T: Scalar>(
     a: &TileMatrix<T>,
     b_cols: &TileColIndex,
     c_rowidx: &[u32],
     c_colidx: &[u32],
     kind: IntersectionKind,
-) -> u64 {
+    bitmap_words: Option<usize>,
+) -> (u64, [u64; 3]) {
     let mut probes = 0u64;
+    let mut picks = [0u64; 3];
     for t in 0..c_rowidx.len() {
-        let la = a.tile_row_range(c_rowidx[t] as usize).len() as u64;
-        let lb = b_cols.col(c_colidx[t] as usize).0.len() as u64;
-        probes += match kind {
-            IntersectionKind::BinarySearch => la.min(lb),
-            IntersectionKind::Merge => la + lb,
+        let la = a.tile_row_range(c_rowidx[t] as usize).len();
+        let lb = b_cols.col(c_colidx[t] as usize).0.len();
+        probes += match resolve_kind(kind, la, lb, bitmap_words) {
+            IntersectionKind::BinarySearch => {
+                picks[0] += 1;
+                la.min(lb) as u64
+            }
+            IntersectionKind::Merge => {
+                picks[1] += 1;
+                (la + lb) as u64
+            }
+            IntersectionKind::Bitmap => {
+                picks[2] += 1;
+                bitmap_words.expect("Bitmap only resolves with sidecars") as u64
+            }
+            IntersectionKind::Adaptive => unreachable!("resolve_kind never yields Adaptive"),
         };
     }
-    probes
+    (probes, picks)
 }
 
 /// Runs `C = A·B` on tiled operands with the paper's three-step algorithm.
@@ -139,13 +196,19 @@ pub fn multiply<T: Scalar>(
 
 /// [`multiply`] with an explicit recorder and job id: phase spans nest under
 /// a `"job"` root span recorded for `job`, and the pipeline's counters
-/// ([`Counter::TilesVisited`], matched pairs, intersection probes,
-/// accumulator picks, bin occupancy) flow into the recorder.
+/// ([`Counter::TilesVisited`], matched pairs, intersection probes, the
+/// chosen-kernel histogram, accumulator picks, bin occupancy) flow into the
+/// recorder.
 ///
 /// All per-tile instrumentation is derived outside the parallel hot loops
 /// from state the pipeline already computes, and is skipped entirely when
 /// [`Recorder::is_enabled`] is `false` — a [`NullRecorder`] run costs a few
 /// virtual calls per multiply, not per tile.
+///
+/// Worker scratch comes from a throwaway [`ScratchPool`]; long-lived
+/// callers (the [`crate::SpGemm`] context, the engine) should hold a pool
+/// and call [`multiply_with_pool`] so the arenas stay warm across
+/// multiplies.
 pub fn multiply_with<T: Scalar>(
     a: &TileMatrix<T>,
     b: &TileMatrix<T>,
@@ -153,6 +216,28 @@ pub fn multiply_with<T: Scalar>(
     tracker: &MemTracker,
     recorder: &dyn Recorder,
     job: u64,
+) -> Result<Output<T>, SpGemmError> {
+    let arena = ScratchPool::new();
+    multiply_with_pool(a, b, config, tracker, recorder, job, &arena)
+}
+
+/// [`multiply_with`] against a caller-owned [`ScratchPool`].
+///
+/// Steps 2 and 3 check a [`Scratch`] arena out of `arena` once per task
+/// chunk; after the first multiply warms the pool, the per-tile hot path
+/// performs zero heap allocations (DESIGN.md §11). The pool's total
+/// footprint is charged to `tracker` for the duration of the call (so
+/// `peak_bytes` covers scratch memory) and credited back at the end —
+/// growth observed during the run is reconciled before the peak is read.
+#[allow(clippy::too_many_arguments)]
+pub fn multiply_with_pool<T: Scalar>(
+    a: &TileMatrix<T>,
+    b: &TileMatrix<T>,
+    config: &Config,
+    tracker: &MemTracker,
+    recorder: &dyn Recorder,
+    job: u64,
+    arena: &ScratchPool,
 ) -> Result<Output<T>, SpGemmError> {
     if a.ncols != b.nrows {
         return Err(SpGemmError::ShapeMismatch {
@@ -192,63 +277,120 @@ pub fn multiply_with<T: Scalar>(
     let num_tiles = c_pattern.nnz();
 
     // ---- Allocation for step 2 (counted like the paper's cudaMalloc). ----
-    // B's column-wise tile index (Algorithm 2's tileColPtr_B/tileRowidx_B)
-    // and C's expanded tile-row indices.
+    // B's column-wise tile index (Algorithm 2's tileColPtr_B/tileRowidx_B),
+    // C's expanded tile-row indices, and — when the intersection kind wants
+    // them and the footprint gate admits them — the bitmap sidecars of A's
+    // tile rows and B's tile columns.
     let span = recorder.span_enter(job, "alloc");
-    let (b_cols, c_rowidx, mut c_masks, mut c_row_ptr) = breakdown.timed(Step::Alloc, || {
-        let b_cols = b.col_index();
-        let mut c_rowidx = vec![0u32; num_tiles];
-        for ti in 0..c_pattern.rows {
-            c_rowidx[c_pattern.ptr[ti]..c_pattern.ptr[ti + 1]].fill(ti as u32);
-        }
-        let c_masks = vec![0u16; num_tiles * TILE_DIM];
-        let c_row_ptr = vec![0u8; num_tiles * TILE_DIM];
-        (b_cols, c_rowidx, c_masks, c_row_ptr)
-    });
+    let (b_cols, bitmaps, c_rowidx, mut c_masks, mut c_row_ptr) =
+        breakdown.timed(Step::Alloc, || {
+            let b_cols = b.col_index();
+            let bitmaps: Option<(ListBitmaps, ListBitmaps)> = match config.intersection {
+                IntersectionKind::Bitmap | IntersectionKind::Adaptive if num_tiles > 0 => {
+                    // Both lists live in the shared universe K = A.tile_n ==
+                    // B.tile_m (shapes were checked above).
+                    let k = a.tile_n;
+                    let est =
+                        ListBitmaps::bytes_for(a.tile_m, k) + ListBitmaps::bytes_for(b.tile_n, k);
+                    (est <= TILE_BITMAP_MAX_BYTES).then(|| {
+                        (
+                            ListBitmaps::from_csr(&a.tile_ptr, &a.tile_colidx, k),
+                            ListBitmaps::from_csr(&b_cols.colptr, &b_cols.rowidx, k),
+                        )
+                    })
+                }
+                _ => None,
+            };
+            let mut c_rowidx = vec![0u32; num_tiles];
+            for ti in 0..c_pattern.rows {
+                c_rowidx[c_pattern.ptr[ti]..c_pattern.ptr[ti + 1]].fill(ti as u32);
+            }
+            let c_masks = vec![0u16; num_tiles * TILE_DIM];
+            let c_row_ptr = vec![0u8; num_tiles * TILE_DIM];
+            (b_cols, bitmaps, c_rowidx, c_masks, c_row_ptr)
+        });
     recorder.span_exit(span);
+    let bitmaps_ref = bitmaps.as_ref().map(|(am, bm)| (am, bm));
+    let bitmap_words = bitmaps_ref.map(|(am, _)| am.words_per_list());
     let step2_temp_bytes = c_pattern.nnz() * 4
         + b_cols.colptr.len() * 8
         + b_cols.rowidx.len() * 8
         + num_tiles * (4 + TILE_DIM * 3 + 8)
+        + bitmaps_ref.map_or(0, |(am, bm)| am.bytes() + bm.bytes())
         + 8;
     if let Err(e) = tracker.on_alloc(step2_temp_bytes) {
         tracker.on_free(input_bytes);
         return Err(fail(e.into()));
     }
 
+    // Reserve one scratch arena per executor chunk (the same sizing the
+    // `for_each_init` dispatch below uses) and charge the pool's footprint
+    // for the duration of this multiply. A warmed pool re-charges its grown
+    // size, so scratch memory shows up in `peak_bytes` every run.
+    let arena_slots = rayon::current_num_threads().max(1) * 4;
+    let arena_charged = match arena.reserve(arena_slots, tracker) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            tracker.on_free(input_bytes + step2_temp_bytes);
+            return Err(fail(e.into()));
+        }
+    };
+    let scheduling = resolve_scheduling(config.scheduling, num_tiles);
+
     // ---- Step 2: per-tile symbolic (Algorithm 2). ----
     let mut c_counts = vec![0usize; num_tiles];
     // Matched-pair count per tile: always recorded (one word per tile) — it
-    // feeds the Binned step-3 work estimate and the pair-buffer offsets.
+    // feeds the Binned step-3 work estimate and the counters.
     let mut pair_counts = vec![0usize; num_tiles];
-    // With pair reuse on, step 2 parks each tile's matched pairs here; they
-    // are flattened into the compact PairBuffer right after the phase.
-    let mut pair_slots: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_tiles];
-    let step2_tile = |scratch: &mut Vec<MatchedPair>,
-                      pairs: &mut Vec<(u32, u32)>,
+    // With pair reuse on, step 2 parks each tile's packed pair words here;
+    // they are flattened into the compact PairBuffer right after the phase.
+    let mut pair_slots: Vec<Vec<u16>> = vec![Vec::new(); num_tiles];
+    let step2_tile = |s: &mut Scratch,
                       t: usize,
                       mask_w: &mut [u16],
                       row_ptr_w: &mut [u8],
                       count: &mut usize,
                       pair_count: &mut usize,
-                      slot: &mut Vec<(u32, u32)>| {
+                      slot: &mut Vec<u16>| {
         let ti = c_rowidx[t] as usize;
         let tj = c_pattern.idx[t] as usize;
-        matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
-        *pair_count = pairs.len();
-        let sym = symbolic_tile(a, b, pairs);
+        matched_pairs_with(
+            a,
+            &b_cols,
+            ti,
+            tj,
+            config.intersection,
+            bitmaps_ref,
+            &mut s.pos_pairs,
+            &mut s.id_pairs,
+        );
+        *pair_count = s.id_pairs.len();
+        let sym = symbolic_tile(a, b, &s.id_pairs);
         mask_w.copy_from_slice(&sym.masks);
         row_ptr_w.copy_from_slice(&sym.row_ptr);
         *count = sym.nnz;
         if config.pair_reuse {
-            // Move, don't copy: `pairs` takes the slot's empty vector and is
-            // cleared by the next `matched_pairs` call anyway.
-            std::mem::swap(slot, pairs);
+            // Pack the list positions straight into the tile's slot; step 3
+            // decodes them back to flat ids with the same base/id context.
+            encode_pairs(&s.pos_pairs, slot);
         }
     };
+    // Per-tile work estimate for the binned dispatch, calibrated against
+    // measured per-pair cost: the intersection visits ~min(la, lb)
+    // candidates, and each matched pair (≤ min(la, lb)) then walks one of
+    // A's tiles in the row (average nnz = row nnz / la) for the mask-OR —
+    // the part the old |la| + |lb| estimate missed entirely.
+    let step2_estimate = |t: usize| {
+        let ti = c_rowidx[t] as usize;
+        let tj = c_pattern.idx[t] as usize;
+        let la = a.tile_row_range(ti).len();
+        let lb = b_cols.col(tj).0.len();
+        let m = la.min(lb);
+        m + m * (tile_row_nnz(a, ti) / la.max(1))
+    };
     let span = recorder.span_enter(job, "step2");
-    breakdown.timed(Step::Step2, || match config.scheduling {
-        crate::Scheduling::PerTile => {
+    breakdown.timed(Step::Step2, || match scheduling {
+        Scheduling::PerTile => {
             c_masks
                 .par_chunks_mut(TILE_DIM)
                 .zip(c_row_ptr.par_chunks_mut(TILE_DIM))
@@ -257,15 +399,13 @@ pub fn multiply_with<T: Scalar>(
                 .zip(pair_slots.par_iter_mut())
                 .enumerate()
                 .for_each_init(
-                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs), (t, ((((mask_w, row_ptr_w), count), pair_count), slot))| {
-                        step2_tile(
-                            scratch, pairs, t, mask_w, row_ptr_w, count, pair_count, slot,
-                        );
+                    || arena.checkout(),
+                    |s, (t, ((((mask_w, row_ptr_w), count), pair_count), slot))| {
+                        step2_tile(s, t, mask_w, row_ptr_w, count, pair_count, slot);
                     },
                 );
         }
-        crate::Scheduling::PerTileRow => {
+        Scheduling::PerTileRow => {
             let elem_bounds: Vec<usize> = c_pattern.ptr.iter().map(|&t| t * TILE_DIM).collect();
             let masks_rows = split_mut_by_offsets(&mut c_masks, &elem_bounds);
             let rowptr_rows = split_mut_by_offsets(&mut c_row_ptr, &elem_bounds);
@@ -280,14 +420,12 @@ pub fn multiply_with<T: Scalar>(
                 .zip(slots_rows)
                 .enumerate()
                 .for_each_init(
-                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs),
-                     (ti, ((((masks_r, rowptr_r), counts_r), paircnt_r), slots_r))| {
+                    || arena.checkout(),
+                    |s, (ti, ((((masks_r, rowptr_r), counts_r), paircnt_r), slots_r))| {
                         let base = c_pattern.ptr[ti];
                         for (k, count) in counts_r.iter_mut().enumerate() {
                             step2_tile(
-                                scratch,
-                                pairs,
+                                s,
                                 base + k,
                                 &mut masks_r[k * TILE_DIM..(k + 1) * TILE_DIM],
                                 &mut rowptr_r[k * TILE_DIM..(k + 1) * TILE_DIM],
@@ -299,17 +437,11 @@ pub fn multiply_with<T: Scalar>(
                     },
                 );
         }
-        crate::Scheduling::Binned => {
+        Scheduling::Binned => {
             if num_tiles == 0 {
                 return;
             }
-            // Pre-estimate: candidate pair count before intersection, i.e.
-            // |A's tile row| + |B's tile column| — both O(1) lookups.
-            let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, |t| {
-                let ti = c_rowidx[t] as usize;
-                let tj = c_pattern.idx[t] as usize;
-                a.tile_row_range(ti).len() + b_cols.col(tj).0.len()
-            });
+            let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, step2_estimate);
             if enabled {
                 recorder.add(Counter::BinnedTiles, num_tiles as u64);
                 recorder.add(Counter::BinsOccupied, bins.occupied_buckets() as u64);
@@ -328,14 +460,13 @@ pub fn multiply_with<T: Scalar>(
                 .zip(paircnt_w)
                 .zip(slots_w)
                 .for_each_init(
-                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs), (((((&t, mask_w), row_ptr_w), count), pair_count), slot)| {
-                        step2_tile(
-                            scratch, pairs, t as usize, mask_w, row_ptr_w, count, pair_count, slot,
-                        );
+                    || arena.checkout(),
+                    |s, (((((&t, mask_w), row_ptr_w), count), pair_count), slot)| {
+                        step2_tile(s, t as usize, mask_w, row_ptr_w, count, pair_count, slot);
                     },
                 );
         }
+        Scheduling::Auto => unreachable!("Auto resolved before dispatch"),
     });
 
     recorder.span_exit(span);
@@ -351,46 +482,57 @@ pub fn multiply_with<T: Scalar>(
 
     // Step-2 counters, all derived from state the phase already produced:
     // one visit per predicted output tile (== step-1 nnz), the matched-pair
-    // total, and the length-derived probe count (see `intersection_probes`).
+    // total, the length-derived probe count, and the chosen-kernel
+    // histogram (see `intersection_stats`).
     let probes = if enabled {
-        let probes =
-            intersection_probes(a, &b_cols, &c_rowidx, &c_pattern.idx, config.intersection);
+        let (probes, picks) = intersection_stats(
+            a,
+            &b_cols,
+            &c_rowidx,
+            &c_pattern.idx,
+            config.intersection,
+            bitmap_words,
+        );
         recorder.add(Counter::TilesVisited, num_tiles as u64);
         recorder.add(
             Counter::MatchedPairs,
             pair_counts.iter().map(|&p| p as u64).sum(),
         );
         recorder.add(Counter::IntersectionProbes, probes);
+        recorder.add(Counter::IsectBinaryPicks, picks[0]);
+        recorder.add(Counter::IsectMergePicks, picks[1]);
+        recorder.add(Counter::IsectBitmapPicks, picks[2]);
         probes
     } else {
         0
     };
 
-    // Flatten the per-tile pair lists into the compact CSR-shaped buffer
+    // Flatten the per-tile packed words into the compact CSR-shaped buffer
     // step 3 will read. The per-tile staging vectors are host-side scratch;
     // only the compact buffer is tracked as device memory.
     let pair_buffer: Option<PairBuffer> = if config.pair_reuse {
         let span = recorder.span_enter(job, "alloc");
         let res = breakdown.timed(Step::Alloc, || {
-            let mut offsets = vec![0usize; num_tiles + 1];
-            let total_pairs = tsg_runtime::par_exclusive_scan_to(&pair_counts, &mut offsets);
-            tracker
-                .on_alloc(total_pairs * std::mem::size_of::<(u32, u32)>() + (num_tiles + 1) * 8)?;
-            let mut flat = vec![(0u32, 0u32); total_pairs];
-            split_mut_by_offsets(&mut flat, &offsets)
+            let word_counts: Vec<usize> = pair_slots.iter().map(Vec::len).collect();
+            let mut word_offsets = vec![0usize; num_tiles + 1];
+            let total_words = tsg_runtime::par_exclusive_scan_to(&word_counts, &mut word_offsets);
+            tracker.on_alloc(
+                total_words * std::mem::size_of::<u16>()
+                    + (num_tiles + 1) * std::mem::size_of::<u32>(),
+            )?;
+            let mut words = vec![0u16; total_words];
+            split_mut_by_offsets(&mut words, &word_offsets)
                 .into_par_iter()
                 .zip(pair_slots.par_iter())
                 .for_each(|(w, slot)| w.copy_from_slice(slot));
-            Ok::<_, SpGemmError>(PairBuffer {
-                offsets,
-                pairs: flat,
-            })
+            let offsets: Vec<u32> = word_offsets.iter().map(|&o| o as u32).collect();
+            Ok::<_, SpGemmError>(PairBuffer { offsets, words })
         });
         recorder.span_exit(span);
         match res {
             Ok(buf) => Some(buf),
             Err(e) => {
-                tracker.on_free(input_bytes + step2_temp_bytes);
+                tracker.on_free(input_bytes + step2_temp_bytes + arena_charged);
                 return Err(fail(e));
             }
         }
@@ -414,14 +556,13 @@ pub fn multiply_with<T: Scalar>(
     let (mut c_row_idx, mut c_col_idx, mut c_vals) = match alloc_res {
         Ok(v) => v,
         Err(e) => {
-            tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes);
+            tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes + arena_charged);
             return Err(fail(e));
         }
     };
 
     // ---- Step 3: numeric (Algorithm 3). ----
-    let step3_tile = |scratch: &mut Vec<MatchedPair>,
-                      pairs: &mut Vec<(u32, u32)>,
+    let step3_tile = |s: &mut Scratch,
                       t: usize,
                       row_idx_w: &mut [u8],
                       col_idx_w: &mut [u8],
@@ -430,29 +571,40 @@ pub fn multiply_with<T: Scalar>(
         let row_ptr = &c_row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM];
         let filled = fill_indices_from_masks(masks, row_idx_w, col_idx_w);
         debug_assert_eq!(filled, vals_w.len());
-        // With pair reuse on, step 2's persisted list replaces the second
-        // intersection of A's tile row with B's tile column.
-        let pair_list: &[(u32, u32)] = match &pair_buffer {
-            Some(buf) => buf.tile(t),
-            None => {
-                let ti = c_rowidx[t] as usize;
-                let tj = c_pattern.idx[t] as usize;
-                matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
-                pairs
+        let ti = c_rowidx[t] as usize;
+        let tj = c_pattern.idx[t] as usize;
+        // With pair reuse on, step 2's persisted packed list replaces the
+        // second intersection of A's tile row with B's tile column.
+        match &pair_buffer {
+            Some(buf) => {
+                let (_, b_ids) = b_cols.col(tj);
+                buf.decode_tile(t, a.tile_ptr[ti] as u32, b_ids, &mut s.id_pairs);
             }
-        };
+            None => {
+                matched_pairs_with(
+                    a,
+                    &b_cols,
+                    ti,
+                    tj,
+                    config.intersection,
+                    bitmaps_ref,
+                    &mut s.pos_pairs,
+                    &mut s.id_pairs,
+                );
+            }
+        }
         if config
             .accumulator
             .use_dense(vals_w.len(), config.tnnz_threshold)
         {
-            numeric_tile_dense(a, b, pair_list, masks, vals_w);
+            numeric_tile_dense(a, b, &s.id_pairs, masks, vals_w);
         } else {
-            numeric_tile_sparse(a, b, pair_list, masks, row_ptr, vals_w);
+            numeric_tile_sparse(a, b, &s.id_pairs, masks, row_ptr, vals_w);
         }
     };
     let span = recorder.span_enter(job, "step3");
-    breakdown.timed(Step::Step3, || match config.scheduling {
-        crate::Scheduling::PerTile => {
+    breakdown.timed(Step::Step3, || match scheduling {
+        Scheduling::PerTile => {
             let row_idx_w = split_mut_by_offsets(&mut c_row_idx, &c_offsets);
             let col_idx_w = split_mut_by_offsets(&mut c_col_idx, &c_offsets);
             let vals_w = split_mut_by_offsets(&mut c_vals, &c_offsets);
@@ -462,13 +614,13 @@ pub fn multiply_with<T: Scalar>(
                 .zip(vals_w)
                 .enumerate()
                 .for_each_init(
-                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs), (t, ((row_idx_w, col_idx_w), vals_w))| {
-                        step3_tile(scratch, pairs, t, row_idx_w, col_idx_w, vals_w);
+                    || arena.checkout(),
+                    |s, (t, ((row_idx_w, col_idx_w), vals_w))| {
+                        step3_tile(s, t, row_idx_w, col_idx_w, vals_w);
                     },
                 );
         }
-        crate::Scheduling::PerTileRow => {
+        Scheduling::PerTileRow => {
             let row_bounds: Vec<usize> = c_pattern.ptr.iter().map(|&t| c_offsets[t]).collect();
             let row_idx_rows = split_mut_by_offsets(&mut c_row_idx, &row_bounds);
             let col_idx_rows = split_mut_by_offsets(&mut c_col_idx, &row_bounds);
@@ -479,8 +631,8 @@ pub fn multiply_with<T: Scalar>(
                 .zip(vals_rows)
                 .enumerate()
                 .for_each_init(
-                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs), (ti, ((ri_r, ci_r), vals_r))| {
+                    || arena.checkout(),
+                    |s, (ti, ((ri_r, ci_r), vals_r))| {
                         let tile_base = c_pattern.ptr[ti];
                         let elem_base = c_offsets[tile_base];
                         for t in tile_base..c_pattern.ptr[ti + 1] {
@@ -488,8 +640,7 @@ pub fn multiply_with<T: Scalar>(
                             let hi = c_offsets[t + 1] - elem_base;
                             // Split the row window into this tile's slice.
                             step3_tile(
-                                scratch,
-                                pairs,
+                                s,
                                 t,
                                 &mut ri_r[lo..hi],
                                 &mut ci_r[lo..hi],
@@ -499,13 +650,18 @@ pub fn multiply_with<T: Scalar>(
                     },
                 );
         }
-        crate::Scheduling::Binned => {
+        Scheduling::Binned => {
             if num_tiles == 0 {
                 return;
             }
-            // The spECK-style estimate the issue calls for: matched-pair
-            // count × tile nnz, both exact by now and free to read.
-            let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, |t| pair_counts[t] * c_counts[t]);
+            // Work estimate from exact, free-to-read step-2 facts: writing
+            // the tile's nnz plus, per persisted pair, the walk over one of
+            // A's tiles in the row (average nnz = row nnz / la).
+            let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, |t| {
+                let ti = c_rowidx[t] as usize;
+                let la = a.tile_row_range(ti).len();
+                c_counts[t] + pair_counts[t] * (tile_row_nnz(a, ti) / la.max(1)).max(1)
+            });
             if enabled {
                 recorder.add(Counter::BinnedTiles, num_tiles as u64);
                 recorder.add(Counter::BinsOccupied, bins.occupied_buckets() as u64);
@@ -520,12 +676,13 @@ pub fn multiply_with<T: Scalar>(
                 .zip(col_idx_w)
                 .zip(vals_w)
                 .for_each_init(
-                    || (Vec::<MatchedPair>::new(), Vec::<(u32, u32)>::new()),
-                    |(scratch, pairs), (((&t, row_idx_w), col_idx_w), vals_w)| {
-                        step3_tile(scratch, pairs, t as usize, row_idx_w, col_idx_w, vals_w);
+                    || arena.checkout(),
+                    |s, (((&t, row_idx_w), col_idx_w), vals_w)| {
+                        step3_tile(s, t as usize, row_idx_w, col_idx_w, vals_w);
                     },
                 );
         }
+        Scheduling::Auto => unreachable!("Auto resolved before dispatch"),
     });
     recorder.span_exit(span);
 
@@ -569,12 +726,29 @@ pub fn multiply_with<T: Scalar>(
         masks: c_masks,
     };
 
+    // Reconcile arena growth: the reservation charged the pool's footprint
+    // as of step-2 start; any buffer growth during steps 2/3 is charged now
+    // so the peak reflects the true scratch high-water mark.
+    let arena_total = {
+        let grown = arena.bytes().saturating_sub(arena_charged);
+        if grown > 0 {
+            if let Err(e) = tracker.on_alloc(grown) {
+                tracker.on_free(
+                    input_bytes + step2_temp_bytes + pair_bytes + output_bytes + arena_charged,
+                );
+                return Err(fail(e.into()));
+            }
+        }
+        arena_charged + grown
+    };
     let peak_bytes = tracker.peak_bytes().max(peak_start);
     // Everything this product allocated is released: inputs, step-2
-    // temporaries, the pair buffer, and the output arrays (handed back to
-    // the host). The tracker's current-bytes count returns to its pre-call
-    // level — DESIGN.md §5's balanced alloc/free rule.
-    tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes + output_bytes);
+    // temporaries, the pair buffer, the arena reservation, and the output
+    // arrays (handed back to the host). The tracker's current-bytes count
+    // returns to its pre-call level — DESIGN.md §5's balanced alloc/free
+    // rule. The arenas themselves stay warm in the pool for the next
+    // multiply; only the tracker charge is released.
+    tracker.on_free(input_bytes + step2_temp_bytes + pair_bytes + output_bytes + arena_total);
     recorder.span_exit(root);
 
     Ok(Output {
@@ -636,6 +810,7 @@ pub fn tile_matrix_bytes<T: Scalar>(m: &TileMatrix<T>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::step2::matched_pairs;
     use tsg_matrix::{Coo, Dense};
 
     fn random_csr(n: usize, per_row: usize, seed: u64) -> Csr<f64> {
@@ -694,6 +869,8 @@ mod tests {
         for intersection in [
             crate::IntersectionKind::BinarySearch,
             crate::IntersectionKind::Merge,
+            crate::IntersectionKind::Bitmap,
+            crate::IntersectionKind::Adaptive,
         ] {
             for accumulator in [
                 crate::AccumulatorKind::Adaptive,
@@ -754,6 +931,7 @@ mod tests {
                 crate::Scheduling::PerTile,
                 crate::Scheduling::PerTileRow,
                 crate::Scheduling::Binned,
+                crate::Scheduling::Auto,
             ] {
                 for pair_reuse in [true, false] {
                     let cfg = Config {
@@ -781,6 +959,7 @@ mod tests {
         let b_cols = ta.col_index();
         let mut scratch = Vec::new();
         let mut pairs = Vec::new();
+        let mut decoded = Vec::new();
         for ti in 0..out.c.tile_m {
             for t in out.c.tile_ptr[ti]..out.c.tile_ptr[ti + 1] {
                 let tj = out.c.tile_colidx[t] as usize;
@@ -793,7 +972,9 @@ mod tests {
                     &mut scratch,
                     &mut pairs,
                 );
-                assert_eq!(buf.tile(t), pairs.as_slice(), "tile {t}");
+                let (_, b_ids) = b_cols.col(tj);
+                buf.decode_tile(t, ta.tile_ptr[ti] as u32, b_ids, &mut decoded);
+                assert_eq!(decoded, pairs, "tile {t}");
             }
         }
     }
@@ -818,6 +999,7 @@ mod tests {
             crate::Scheduling::PerTile,
             crate::Scheduling::PerTileRow,
             crate::Scheduling::Binned,
+            crate::Scheduling::Auto,
         ] {
             for pair_reuse in [true, false] {
                 let cfg = Config {
@@ -835,6 +1017,84 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn intersection_kinds_agree_bitwise_on_skewed_input() {
+        use tsg_gen::suite::GenSpec;
+        // All four kinds — including the sidecar-backed bitmap kernel and
+        // the adaptive selector — must produce bit-identical tile matrices:
+        // every kernel emits pairs in ascending A-position order, so even
+        // float accumulation order is the same.
+        let a: Csr<f64> = GenSpec::Rmat {
+            scale: 11,
+            edges: 20_000,
+            mild: false,
+            seed: 41,
+        }
+        .build();
+        let ta = TileMatrix::from_csr(&a);
+        let reference = multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
+        for intersection in [
+            crate::IntersectionKind::BinarySearch,
+            crate::IntersectionKind::Merge,
+            crate::IntersectionKind::Bitmap,
+            crate::IntersectionKind::Adaptive,
+        ] {
+            for pair_reuse in [true, false] {
+                let cfg = Config {
+                    intersection,
+                    pair_reuse,
+                    ..Config::default()
+                };
+                let out = multiply(&ta, &ta, &cfg, &MemTracker::new()).unwrap();
+                assert_eq!(
+                    reference.c, out.c,
+                    "{intersection:?}/pair_reuse={pair_reuse} must agree bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_arena_pool_is_reused_and_invisible_in_output() {
+        let a = random_csr(100, 5, 57);
+        let ta = TileMatrix::from_csr(&a);
+        let reference = multiply(&ta, &ta, &Config::default(), &MemTracker::new()).unwrap();
+        let pool = tsg_runtime::ScratchPool::new();
+        let tracker = MemTracker::new();
+        let first = multiply_with_pool(
+            &ta,
+            &ta,
+            &Config::default(),
+            &tracker,
+            &NullRecorder,
+            0,
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(reference.c, first.c);
+        assert_eq!(tracker.current_bytes(), 0, "arena charge must balance");
+        let created_after_first = pool.created();
+        assert!(created_after_first > 0, "the multiply warmed the pool");
+        let warmed_bytes = pool.bytes();
+        assert!(warmed_bytes >= created_after_first * tsg_runtime::Scratch::BASE_BYTES);
+        // Steady state: a second multiply reuses the warmed arenas and
+        // produces the identical result.
+        let second = multiply_with_pool(
+            &ta,
+            &ta,
+            &Config::default(),
+            &tracker,
+            &NullRecorder,
+            1,
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(reference.c, second.c);
+        assert_eq!(pool.created(), created_after_first, "no new arenas");
+        assert_eq!(pool.bytes(), warmed_bytes, "no scratch growth in reuse");
+        assert_eq!(tracker.current_bytes(), 0);
     }
 
     #[test]

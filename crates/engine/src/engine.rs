@@ -31,10 +31,10 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tilespgemm_core::{multiply_with, Config};
+use tilespgemm_core::{multiply_with_pool, Config};
 use tsg_matrix::TileMatrix;
 use tsg_runtime::observe::{null_recorder, CollectingRecorder, MetricsSnapshot, Recorder};
-use tsg_runtime::{device::pool_for, Breakdown, Device, MemTracker};
+use tsg_runtime::{device::pool_for, Breakdown, Device, MemTracker, ScratchPool};
 
 use crate::estimate::{estimate_job, JobEstimate};
 use crate::registry::{MatrixId, Registry, RegistryStats};
@@ -243,6 +243,9 @@ pub struct EngineStats {
     pub cached_bytes: usize,
     /// Bytes currently tracked in-flight against the device budget.
     pub device_bytes_in_use: usize,
+    /// High-water footprint of the shared scratch-arena pool (bytes); the
+    /// arenas stay warm across jobs, so this is the engine-lifetime peak.
+    pub arena_high_water: usize,
 }
 
 struct Shared {
@@ -256,6 +259,9 @@ struct Shared {
     next_job: AtomicU64,
     recorder: Arc<dyn Recorder>,
     collector: Option<Arc<CollectingRecorder>>,
+    /// Reusable scratch arenas shared by every job the workers run; after
+    /// the first few jobs the step-2/3 hot path allocates nothing.
+    arena: ScratchPool,
 }
 
 /// The resident SpGEMM service engine. See the module docs for the job
@@ -289,6 +295,7 @@ impl Engine {
             next_job: AtomicU64::new(1),
             recorder,
             collector,
+            arena: ScratchPool::new(),
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -466,6 +473,7 @@ impl Engine {
             registry,
             cached_bytes,
             device_bytes_in_use: self.shared.device_tracker.current_bytes(),
+            arena_high_water: self.shared.arena.high_water_bytes(),
         }
     }
 
@@ -600,7 +608,17 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         let (tb, hit_b) = resolve(job.spec.b)?;
         let config = job.spec.config.unwrap_or(shared.cfg.base_config);
         let out = pool_for(&shared.cfg.device)
-            .install(|| multiply_with(&ta, &tb, &config, &shared.device_tracker, recorder, job.id))
+            .install(|| {
+                multiply_with_pool(
+                    &ta,
+                    &tb,
+                    &config,
+                    &shared.device_tracker,
+                    recorder,
+                    job.id,
+                    &shared.arena,
+                )
+            })
             .map_err(EngineError::SpGemm)?;
         let exec = exec_start.elapsed();
         Ok(JobReport {

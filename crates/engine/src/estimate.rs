@@ -7,13 +7,17 @@
 //! enough to steer scheduling, and explicitly *not* an upper bound. Jobs
 //! whose prediction already exceeds the device budget are rejected up front;
 //! jobs the prediction lets through can still trip the [`MemTracker`] budget
-//! mid-flight (the estimate ignores step-2 temporaries and assumes a modest
-//! output compression factor), which surfaces as an `out_of_memory` job
-//! failure — the engine analogue of the paper's Figure-7 "0.00" bars.
+//! mid-flight (the estimate ignores most step-2 temporaries and assumes a
+//! modest output compression factor), which surfaces as an `out_of_memory`
+//! job failure — the engine analogue of the paper's Figure-7 "0.00" bars.
+//! Two step-2/3 terms large enough to matter are modelled explicitly: the
+//! delta-packed matched-pair buffer (~2 bytes per surviving pair) and the
+//! per-worker scratch arenas the pipeline reserves.
 //!
 //! [`MemTracker`]: tsg_runtime::MemTracker
 
-use tsg_matrix::{Csr, Footprint, TileMatrix, TILE_DIM};
+use tsg_matrix::{Csr, Footprint, TileMatrix, TILE_AREA, TILE_DIM};
+use tsg_runtime::Scratch;
 
 /// Assumed ratio of intermediate products to output nonzeros. Sparse-sparse
 /// products on the paper's dataset typically compact by 1–4×; predicting 4×
@@ -70,7 +74,17 @@ pub fn estimate_job(
     // Output: locals + values per nonzero, plus tile bookkeeping folded into
     // the same per-nonzero constant (outputs are at least as clustered as
     // the estimate assumes).
-    let est_bytes = a_bytes + b_bytes + est_nnz_c * (1 + 1 + 8);
+    //
+    // Pair buffer (pair reuse is the default): each matched tile pair packs
+    // to ~one u16 delta word, and a matched pair covers on the order of
+    // TILE_AREA intermediate products on clustered inputs; the offsets array
+    // adds 4 bytes per output tile (bounded by output nonzeros / TILE_DIM).
+    let est_pairs = (products as usize / TILE_AREA).max(1);
+    let est_tiles_c = est_nnz_c.div_ceil(TILE_DIM).max(1);
+    let pair_bytes = est_pairs * 2 + (est_tiles_c + 1) * 4;
+    // Scratch arenas: the pipeline reserves 4 per worker up front.
+    let arena_bytes = rayon::current_num_threads().max(1) * 4 * Scratch::BASE_BYTES;
+    let est_bytes = a_bytes + b_bytes + est_nnz_c * (1 + 1 + 8) + pair_bytes + arena_bytes;
     JobEstimate {
         flops,
         est_nnz_c,
@@ -127,6 +141,8 @@ mod tests {
         let i = tsg_matrix::Csr::<f64>::identity(64);
         let e = estimate_job(&i, None, &i, None);
         assert_eq!(e.flops, 128); // 64 products × 2
-        assert!(e.est_bytes < 10_000);
+                                  // Beyond the fixed scratch-arena floor, the variable part is small.
+        let arena_floor = rayon::current_num_threads().max(1) * 4 * Scratch::BASE_BYTES;
+        assert!(e.est_bytes < arena_floor + 10_000);
     }
 }

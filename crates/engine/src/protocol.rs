@@ -391,6 +391,7 @@ impl Session {
             ("evictions", s.registry.evictions.into()),
             ("cached_bytes", s.cached_bytes.into()),
             ("device_bytes_in_use", s.device_bytes_in_use.into()),
+            ("arena_high_water", s.arena_high_water.into()),
             ("profile", self.engine.collector().is_some().into()),
             ("counters", counters_json(self.engine())),
         ])
@@ -402,6 +403,10 @@ impl Session {
         let mut members = vec![
             ("ok", Value::Bool(true)),
             ("profile", self.engine.collector().is_some().into()),
+            (
+                "arena_high_water",
+                self.engine.stats().arena_high_water.into(),
+            ),
             ("counters", counters_json(self.engine())),
         ];
         if let Some(collector) = self.collector() {

@@ -43,7 +43,7 @@ pub use csr::Csr;
 pub use dense::Dense;
 pub use footprint::Footprint;
 pub use hash::Fnv1a;
-pub use tile::{TileColIndex, TileMatrix, TileView, TILE_AREA, TILE_DIM};
+pub use tile::{ListBitmaps, TileColIndex, TileMatrix, TileView, TILE_AREA, TILE_DIM};
 
 use std::fmt;
 

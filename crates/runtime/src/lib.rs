@@ -33,7 +33,12 @@
 //!   nested under a job id, monotonic counters), a disabled-fast-path
 //!   [`NullRecorder`], and a [`CollectingRecorder`] with lock-free sharded
 //!   counters aggregated into a [`MetricsSnapshot`].
+//! * [`arena`] — per-worker reusable [`Scratch`] arenas (the CPU analogue of
+//!   the paper's shared-memory tile state) so the step-2/3 hot path runs
+//!   allocation-free in steady state, with footprint accounting that feeds
+//!   the tracker.
 
+pub mod arena;
 pub mod atomicf64;
 pub mod binning;
 pub mod device;
@@ -45,6 +50,7 @@ pub mod split;
 pub mod timer;
 pub mod tracker;
 
+pub use arena::{Scratch, ScratchGuard, ScratchPool};
 pub use atomicf64::{AtomicF32, AtomicF64};
 pub use binning::{bin_rows_by, Bins};
 pub use device::{pool_for, run_on, Device};

@@ -63,11 +63,20 @@ pub enum Counter {
     BinnedTiles,
     /// Non-empty work-estimate buckets observed by binned dispatches.
     BinsOccupied,
+    /// Output tiles whose intersection resolved to the binary-search kernel
+    /// (the chosen-kernel histogram of `IntersectionKind::Adaptive`; fixed
+    /// kinds also report here so the three picks always sum to the visited
+    /// tiles).
+    IsectBinaryPicks,
+    /// Output tiles whose intersection resolved to the merge kernel.
+    IsectMergePicks,
+    /// Output tiles whose intersection resolved to the bitmap kernel.
+    IsectBitmapPicks,
 }
 
 /// Number of counter slots. Kept in sync with [`Counter`]; new counters are
 /// appended (the enum is `#[non_exhaustive]`).
-pub const COUNTER_COUNT: usize = 9;
+pub const COUNTER_COUNT: usize = 12;
 
 /// Every counter, in slot order, with its snake_case wire name.
 pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
@@ -80,6 +89,9 @@ pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
     (Counter::BytesFreed, "bytes_freed"),
     (Counter::BinnedTiles, "binned_tiles"),
     (Counter::BinsOccupied, "bins_occupied"),
+    (Counter::IsectBinaryPicks, "isect_binary_picks"),
+    (Counter::IsectMergePicks, "isect_merge_picks"),
+    (Counter::IsectBitmapPicks, "isect_bitmap_picks"),
 ];
 
 impl Counter {

@@ -132,11 +132,12 @@ fn rectangular_chain_products_agree() {
 #[test]
 fn tilespgemm_matches_reference_under_every_config() {
     // The shared oracle's config sweep covers intersection × accumulator ×
-    // scheduling × pair-reuse × threshold; 26 pipeline variants in all.
+    // scheduling × pair-reuse × threshold; 46 pipeline variants in all
+    // (1 pivot + 32 bitwise + 1 recorder + 12 value-tier).
     let a = tilespgemm::gen::fem::fem_blocks(40, 6, 4, 6, 9);
     let checked = check_configs(&a, &a, &ValuePolicy::default())
         .unwrap_or_else(|f| panic!("config sweep: {f}"));
-    assert_eq!(checked, 26);
+    assert_eq!(checked, 46);
 }
 
 #[test]

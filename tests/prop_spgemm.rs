@@ -112,6 +112,7 @@ proptest! {
         let b_cols = ta.col_index();
         let mut scratch = Vec::new();
         let mut pairs = Vec::new();
+        let mut decoded = Vec::new();
         for ti in 0..out.c.tile_m {
             for t in out.c.tile_ptr[ti]..out.c.tile_ptr[ti + 1] {
                 let tj = out.c.tile_colidx[t] as usize;
@@ -124,7 +125,9 @@ proptest! {
                     &mut scratch,
                     &mut pairs,
                 );
-                prop_assert_eq!(buf.tile(t), pairs.as_slice(), "tile {}", t);
+                let (_, b_ids) = b_cols.col(tj);
+                buf.decode_tile(t, ta.tile_ptr[ti] as u32, b_ids, &mut decoded);
+                prop_assert_eq!(&decoded, &pairs, "tile {}", t);
             }
         }
     }
