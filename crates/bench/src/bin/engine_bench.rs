@@ -1,26 +1,35 @@
-//! Service-level benchmark of the resident engine (`tsg-engine`): a mixed
-//! 20-job workload fired at an engine with a deliberately constrained device
-//! budget and queue depth, so the run exercises every admission outcome —
-//! completed jobs (with registry cache hits after the first conversion),
-//! estimate-based rejections, and queue-full shedding — without deadlocking.
+//! Service-level benchmark of the serving stack (`tsg-serve` over
+//! `tsg-engine`): a mixed 20-job burst fired through a scheduler session at
+//! an engine with a deliberately constrained device budget and queue depth.
+//!
+//! The burst is the same shape the engine-only bench used to shed most of:
+//! under the scheduler nothing is dropped. A full session queue answers
+//! with a backpressure hint (the bench resubmits, as a client would), and
+//! the over-budget product is *deferred* — parked until the device is
+//! otherwise idle, then admitted solo — instead of rejected up front. The
+//! headline is therefore throughput (`jobs_per_s`) at a zero shed rate.
 //!
 //! Writes `BENCH_engine.json` at the workspace root: per-job queue wait,
 //! execution wall time, per-step breakdown, cache hits/conversions, the
-//! engine's final statistics snapshot (cache hit rate, evictions,
-//! shed/rejected counts), the observability counter totals of the burst,
-//! and a representative per-job span tree (the engine runs with
-//! `profile: true`, so every job records job → step1/step2/step3/alloc).
+//! engine's final statistics (cache hit rate, evictions, shed/rejected
+//! counts — both zero by construction), the scheduler's statistics
+//! (hints, deferrals, queue high-water), the observability counter totals
+//! (including the `est_err_*` estimator-accuracy buckets, one tick per
+//! completed job), and a representative per-job span tree (the engine runs
+//! with `profile: true`).
 //!
 //! ```text
 //! cargo run --release -p tsg-bench --bin engine_bench
 //! ```
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use tsg_engine::json::{obj, Value};
-use tsg_engine::{Engine, EngineConfig, JobSpec, JobTicket, MatrixId};
+use tsg_engine::{Engine, EngineConfig, MatrixId};
 use tsg_gen::suite::GenSpec;
 use tsg_runtime::{Breakdown, Device, SpanNode};
+use tsg_serve::{SchedConfig, Scheduler, ServeTicket, Submission, SubmitSpec};
 
 /// Outcome row for one submitted job.
 struct JobRow {
@@ -83,9 +92,9 @@ fn spans_to_json(nodes: &[SpanNode]) -> Value {
 
 fn main() {
     // A 3060-class device with its budget squeezed so the largest product's
-    // estimate overflows it (rejected up front) while the medium products
-    // fit; a shallow queue so the burst sheds; two workers so shedding and
-    // progress coexist.
+    // *estimate* overflows it while its true peak fits — the deferred-
+    // admission case — plus a shallow engine queue so the burst overflows
+    // into the session queue and the backpressure path fires.
     let mut device = Device::rtx3060_sim();
     device.mem_budget = 80 << 20;
     let cfg = EngineConfig {
@@ -97,11 +106,15 @@ fn main() {
         base_config: Default::default(),
         profile: true,
     };
-    let engine = Engine::new(cfg);
+    let sched = Scheduler::new(Arc::new(Engine::new(cfg)), SchedConfig::default());
+    let engine = Arc::clone(sched.engine());
+    let sid = sched
+        .open_session("bench", 1.0, Some(8))
+        .expect("fresh scheduler accepts sessions");
 
-    // Three same-shaped operands so products mix freely: the FEM suite
-    // entry, a sparser scatter matrix, and a denser scatter matrix whose
-    // square blows the squeezed budget.
+    // Operands: the FEM suite entry and a same-shaped scatter matrix mix
+    // freely; the big grid stencil's square is the over-estimated product
+    // (its estimate is ~2.1x the budget, its real peak fits).
     let fem = tsg_gen::suite::by_name("fem-00")
         .expect("fem-00 exists")
         .build();
@@ -116,14 +129,14 @@ fn main() {
         .build(),
     );
     let (d, _) = engine.register(
-        GenSpec::Scatter {
-            n,
-            per_row: 60,
-            seed: 13,
+        GenSpec::Grid27 {
+            nx: 32,
+            ny: 32,
+            nz: 32,
         }
         .build(),
     );
-    for (name, id) in [("A(fem-00)", a), ("B(scatter-4)", b), ("D(scatter-60)", d)] {
+    for (name, id) in [("A(fem-00)", a), ("B(scatter-4)", b), ("D(grid27-32)", d)] {
         let e = engine.estimate(id, id).expect("registered");
         println!(
             "{name}: {id} — est {:.1} MiB for its square (budget {:.1} MiB)",
@@ -132,8 +145,10 @@ fn main() {
         );
     }
 
-    // The burst: 20 jobs submitted back-to-back. D·D is over budget by
-    // construction; the rest race two workers through a depth-5 queue.
+    // The burst: 20 jobs pushed through the session back-to-back. A full
+    // queue answers with a hint and the bench resubmits after the named
+    // delay — exactly the client contract — so every job is eventually
+    // admitted and nothing sheds.
     let workload: [(&'static str, MatrixId, MatrixId); 5] = [
         ("AxA", a, a),
         ("AxB", a, b),
@@ -141,49 +156,53 @@ fn main() {
         ("BxB", b, b),
         ("DxD", d, d),
     ];
-    let mut rows: Vec<JobRow> = Vec::new();
-    let mut tickets: Vec<(&'static str, JobTicket)> = Vec::new();
+    let mut tickets: Vec<(&'static str, ServeTicket)> = Vec::new();
+    let mut hints = 0u64;
+    let start = Instant::now();
     for round in 0..4 {
         for (label, x, y) in workload {
-            let mut spec = JobSpec::new(x, y);
-            spec.timeout = Some(Duration::from_secs(60)); // deadlock backstop
-            match engine.submit(spec) {
-                Ok(t) => tickets.push((label, t)),
-                Err(e) => rows.push(JobRow {
-                    label,
-                    outcome: e.code().to_string(),
-                    queue_wait_ms: 0.0,
-                    exec_ms: 0.0,
-                    wall_ms: 0.0,
-                    cache_hits: 0,
-                    conversions: 0,
-                    peak_bytes: 0,
-                    est_bytes: 0,
-                    breakdown: Breakdown::default(),
-                }),
+            let mut spec = SubmitSpec::new(x, y);
+            spec.timeout = Some(Duration::from_secs(300)); // deadlock backstop
+            loop {
+                match sched
+                    .submit(sid, vec![spec.clone()])
+                    .expect("session stays open")
+                {
+                    Submission::Queued(mut t) => {
+                        tickets.push((label, t.remove(0)));
+                        break;
+                    }
+                    Submission::Backpressure(h) => {
+                        hints += 1;
+                        std::thread::sleep(h.retry_after.min(Duration::from_millis(25)));
+                    }
+                }
             }
         }
         println!(
-            "round {round}: {} admitted, {} refused so far",
-            tickets.len(),
-            rows.len()
+            "round {round}: {} admitted, {hints} backpressure hints ridden",
+            tickets.len()
         );
     }
 
+    let mut rows: Vec<JobRow> = Vec::new();
     for (label, t) in &tickets {
         match t.wait() {
-            Ok(r) => rows.push(JobRow {
-                label,
-                outcome: "completed".to_string(),
-                queue_wait_ms: r.queue_wait.as_secs_f64() * 1e3,
-                exec_ms: r.exec.as_secs_f64() * 1e3,
-                wall_ms: (r.queue_wait + r.exec).as_secs_f64() * 1e3,
-                cache_hits: u64::from(r.cache_hits),
-                conversions: u64::from(r.conversions),
-                peak_bytes: r.peak_bytes,
-                est_bytes: r.estimate.est_bytes,
-                breakdown: r.breakdown,
-            }),
+            Ok(done) => {
+                let r = &done.report;
+                rows.push(JobRow {
+                    label,
+                    outcome: "completed".to_string(),
+                    queue_wait_ms: r.queue_wait.as_secs_f64() * 1e3,
+                    exec_ms: r.exec.as_secs_f64() * 1e3,
+                    wall_ms: (r.queue_wait + r.exec).as_secs_f64() * 1e3,
+                    cache_hits: u64::from(r.cache_hits),
+                    conversions: u64::from(r.conversions),
+                    peak_bytes: r.peak_bytes,
+                    est_bytes: r.estimate.est_bytes,
+                    breakdown: r.breakdown,
+                });
+            }
             Err(e) => rows.push(JobRow {
                 label,
                 outcome: e.code().to_string(),
@@ -198,8 +217,10 @@ fn main() {
             }),
         }
     }
+    let wall = start.elapsed();
 
     let s = engine.stats();
+    let serve = sched.stats();
     let metrics = engine.metrics();
     // Every completed job recorded a span tree whose "job" root nests the
     // three pipeline steps and the allocation phase.
@@ -217,7 +238,8 @@ fn main() {
             })
         })
         .expect("at least one job has a full job -> step1/step2/step3/alloc tree");
-    engine.shutdown();
+    sched.shutdown(Duration::from_secs(30));
+
     let lookups = s.registry.cache_hits + s.registry.cache_misses;
     let hit_rate = if lookups > 0 {
         s.registry.cache_hits as f64 / lookups as f64
@@ -225,28 +247,27 @@ fn main() {
         0.0
     };
     let completed = rows.iter().filter(|r| r.outcome == "completed").count();
+    let jobs_per_s = completed as f64 / wall.as_secs_f64();
+    let shed_rate = if s.submitted > 0 {
+        s.shed as f64 / s.submitted as f64
+    } else {
+        0.0
+    };
+    let est_err_total: u64 = metrics
+        .iter()
+        .filter(|(_, name, _)| name.starts_with("est_err_"))
+        .map(|(_, _, total)| total)
+        .sum();
     println!(
-        "{} jobs: {completed} completed, {} rejected, {} shed; cache hit rate {:.2}",
+        "{} jobs in {:.2}s: {completed} completed ({jobs_per_s:.2} jobs/s), \
+         {} rejected, {} shed (shed rate {shed_rate:.2}), {hints} hints, \
+         {} deferred; cache hit rate {:.2}",
         rows.len(),
+        wall.as_secs_f64(),
         s.rejected,
         s.shed,
+        serve.deferred,
         hit_rate
-    );
-    assert_eq!(rows.len(), 20, "every submission is accounted for");
-    assert!(completed > 0, "some jobs completed");
-    assert!(s.rejected > 0, "the over-budget product was rejected");
-    assert_eq!(
-        s.device_bytes_in_use, 0,
-        "device tracker drained back to zero"
-    );
-    assert!(
-        metrics.get(tsg_runtime::Counter::TilesVisited) > 0,
-        "the burst visited tiles"
-    );
-    assert!(
-        metrics.get(tsg_runtime::Counter::BytesAlloc)
-            >= metrics.get(tsg_runtime::Counter::BytesFreed),
-        "alloc bytes dominate freed bytes"
     );
 
     let report = obj([
@@ -258,14 +279,19 @@ fn main() {
                 ("cache_bytes", (8usize << 20).into()),
                 ("workers", 2u64.into()),
                 ("queue_depth", 5u64.into()),
+                ("session_depth", 8u64.into()),
                 ("jobs_submitted", 20u64.into()),
             ]),
         ),
+        ("jobs_per_s", Value::Num(jobs_per_s)),
+        ("wall_s", Value::Num(wall.as_secs_f64())),
+        ("shed_rate", Value::Num(shed_rate)),
         ("jobs", Value::Arr(rows.iter().map(row_to_json).collect())),
         (
             "stats",
             obj([
                 ("submitted", s.submitted.into()),
+                ("admitted", s.admitted.into()),
                 ("completed", s.completed.into()),
                 ("failed", s.failed.into()),
                 ("rejected", s.rejected.into()),
@@ -286,6 +312,7 @@ fn main() {
                 ("evictions", s.registry.evictions.into()),
             ]),
         ),
+        ("serve", tsg_serve::wire::serve_stats_json(&serve)),
         (
             "counters",
             Value::Obj(
@@ -300,4 +327,36 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, format!("{report}\n")).expect("write BENCH_engine.json");
     println!("wrote {path}");
+
+    assert_eq!(rows.len(), 20, "every submission is accounted for");
+    assert!(
+        completed >= 19,
+        "the scheduler completes the burst the engine used to shed ({completed}/20)"
+    );
+    assert_eq!(s.shed, 0, "backpressure replaced queue-full shedding");
+    assert_eq!(
+        s.rejected, 0,
+        "deferred admission replaced up-front rejection"
+    );
+    assert!(
+        serve.deferred >= 1,
+        "the over-estimated DxD product was parked for memory at least once"
+    );
+    assert_eq!(
+        est_err_total, s.completed,
+        "every completed job ticks exactly one estimator-error bucket"
+    );
+    assert_eq!(
+        s.device_bytes_in_use, 0,
+        "device tracker drained back to zero"
+    );
+    assert!(
+        metrics.get(tsg_runtime::Counter::TilesVisited) > 0,
+        "the burst visited tiles"
+    );
+    assert!(
+        metrics.get(tsg_runtime::Counter::BytesAlloc)
+            >= metrics.get(tsg_runtime::Counter::BytesFreed),
+        "alloc bytes dominate freed bytes"
+    );
 }

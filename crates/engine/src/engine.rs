@@ -33,11 +33,13 @@ use std::time::{Duration, Instant};
 
 use tilespgemm_core::{multiply_with_pool, Config};
 use tsg_matrix::TileMatrix;
-use tsg_runtime::observe::{null_recorder, CollectingRecorder, MetricsSnapshot, Recorder};
+use tsg_runtime::observe::{
+    est_error_bucket, null_recorder, CollectingRecorder, MetricsSnapshot, Recorder,
+};
 use tsg_runtime::{device::pool_for, Breakdown, Device, MemTracker, ScratchPool};
 
 use crate::estimate::{estimate_job, JobEstimate};
-use crate::registry::{MatrixId, Registry, RegistryStats};
+use crate::registry::{MatrixId, Registry, RegistryStats, TiledLookup};
 use crate::EngineError;
 
 /// Engine construction parameters.
@@ -89,6 +91,11 @@ pub struct JobSpec {
     pub config: Option<Config>,
     /// Queue-wait deadline override; `None` uses the engine default.
     pub timeout: Option<Duration>,
+    /// Skip the synchronous estimate-vs-budget rejection. Set by schedulers
+    /// that run their own admission (deferred admission dispatches a parked
+    /// job solo once resident memory frees, accepting that the mid-flight
+    /// tracker is the backstop if the estimate was still too optimistic).
+    pub admit_over_budget: bool,
 }
 
 impl JobSpec {
@@ -99,6 +106,7 @@ impl JobSpec {
             b,
             config: None,
             timeout: None,
+            admit_over_budget: false,
         }
     }
 }
@@ -204,6 +212,7 @@ struct QueuedJob {
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
+    admitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
@@ -217,8 +226,12 @@ struct Counters {
 /// Snapshot of engine-level statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Jobs accepted into the queue.
+    /// Every submission that arrived, whether or not it was admitted —
+    /// rejected, shed, and shut-down arrivals all count, so the shed rate
+    /// is `(submitted - admitted) / submitted` from stats alone.
     pub submitted: u64,
+    /// Submissions accepted into the queue.
+    pub admitted: u64,
     /// Jobs that finished with a product.
     pub completed: u64,
     /// Jobs that ran and failed (OOM, shape mismatch).
@@ -331,8 +344,29 @@ impl Engine {
     /// count, cached byte size, and whether it was a cache hit.
     pub fn convert(&self, id: MatrixId) -> Result<(usize, usize, bool), EngineError> {
         use tsg_matrix::Footprint;
-        let (t, hit) = self.lock_registry().tiled(id)?;
+        let (t, hit) = self.resolve_tiled(id)?;
         Ok((t.tile_count(), t.bytes(), hit))
+    }
+
+    /// The tiled form of `id`, converting on a cache miss *outside* the
+    /// registry lock. The boolean is `true` on a cache hit. This is what
+    /// workers use to resolve operands, and what a conversion-prefetch
+    /// thread calls to warm job N+1's operands while job N computes: the
+    /// registry mutex is only held for the lookup and the install, so a
+    /// running conversion never blocks concurrent resolves.
+    pub fn resolve_tiled(&self, id: MatrixId) -> Result<(Arc<TileMatrix<f64>>, bool), EngineError> {
+        resolve_tiled(&self.shared, id)
+    }
+
+    /// Registers a pipeline product as an operand: derives its CSR form,
+    /// inserts it under its content id, and pre-seeds the tiled cache with
+    /// the product itself so a dependent multiply skips the conversion.
+    /// Returns `(id, deduped)` like [`Engine::register`].
+    pub fn register_product(&self, tiled: Arc<TileMatrix<f64>>) -> (MatrixId, bool) {
+        // Derive the CSR outside the registry lock — same discipline as
+        // resolve_tiled, the derivation can cost a product runtime.
+        let csr = tiled.to_csr();
+        self.lock_registry().insert_with_tiled(csr, tiled)
     }
 
     /// The registered CSR form of `id`.
@@ -362,6 +396,14 @@ impl Engine {
         let reg = self.lock_registry();
         let ca = reg.csr(a)?;
         let cb = reg.csr(b)?;
+        if ca.ncols != cb.nrows {
+            return Err(EngineError::SpGemm(
+                tilespgemm_core::SpGemmError::ShapeMismatch {
+                    a: (ca.nrows, ca.ncols),
+                    b: (cb.nrows, cb.ncols),
+                },
+            ));
+        }
         // Cached tiled forms tighten the prediction, but reading them here
         // would need &mut (LRU touch); the structural estimate is fine for
         // admission.
@@ -372,6 +414,12 @@ impl Engine {
     /// operands, over-budget estimates, a full queue, and a shut-down
     /// engine all fail here with a typed error.
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, EngineError> {
+        // Every arrival counts, including the ones admission turns away;
+        // `admitted` below is the accepted subset.
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(EngineError::ShuttingDown);
         }
@@ -390,7 +438,7 @@ impl Engine {
             estimate_job(&ca, None, &cb, None)
         };
         let budget = self.shared.cfg.device.mem_budget;
-        if estimate.est_bytes > budget {
+        if !spec.admit_over_budget && estimate.est_bytes > budget {
             self.shared
                 .counters
                 .rejected
@@ -438,7 +486,7 @@ impl Engine {
         }
         self.shared
             .counters
-            .submitted
+            .admitted
             .fetch_add(1, Ordering::Relaxed);
         self.shared.queue_cv.notify_one();
         Ok(JobTicket {
@@ -461,6 +509,7 @@ impl Engine {
         };
         EngineStats {
             submitted: c.submitted.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
@@ -480,6 +529,11 @@ impl Engine {
     /// The engine's device.
     pub fn device(&self) -> &Device {
         &self.shared.cfg.device
+    }
+
+    /// The engine's construction parameters.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
     }
 
     /// The shared device-budget tracker (in-flight bytes across all jobs).
@@ -543,6 +597,31 @@ fn complete(ticket: &TicketInner, result: JobResult) {
     ticket.cv.notify_all();
 }
 
+/// Two-phase operand resolution: lock for the lookup, convert unlocked,
+/// lock again to install. See [`Engine::resolve_tiled`].
+fn resolve_tiled(
+    shared: &Shared,
+    id: MatrixId,
+) -> Result<(Arc<TileMatrix<f64>>, bool), EngineError> {
+    let lookup = shared
+        .registry
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .begin_tiled(id)?;
+    match lookup {
+        TiledLookup::Cached(t) => Ok((t, true)),
+        TiledLookup::Convert(csr) => {
+            let tiled = Arc::new(TileMatrix::from_csr(&csr));
+            shared
+                .registry
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .install_tiled(id, Arc::clone(&tiled), true);
+            Ok((tiled, false))
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -596,11 +675,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             return Err(EngineError::UnknownMatrix(id));
         }
         let span = recorder.span_enter(job.id, "resolve");
-        let out = shared
-            .registry
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .tiled(id);
+        let out = resolve_tiled(shared, id);
         recorder.span_exit(span);
         out
     };
@@ -640,8 +715,19 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         .exec_micros
         .fetch_add(exec_start.elapsed().as_micros() as u64, Ordering::Relaxed);
     match &result {
-        Ok(_) => shared.counters.completed.fetch_add(1, Ordering::Relaxed),
-        Err(_) => shared.counters.failed.fetch_add(1, Ordering::Relaxed),
+        Ok(report) => {
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            // Pin the estimator's accuracy per completed job: which log2
+            // band did actual peak bytes land in relative to the admission
+            // estimate? The OCEAN-style estimator work reads this baseline.
+            recorder.add(
+                est_error_bucket(report.estimate.est_bytes, report.peak_bytes),
+                1,
+            );
+        }
+        Err(_) => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
     };
     complete(&job.ticket, result);
 }

@@ -37,8 +37,8 @@ pub mod registry;
 
 pub use engine::{Engine, EngineConfig, EngineStats, JobReport, JobResult, JobSpec, JobTicket};
 pub use estimate::{estimate_job, JobEstimate};
-pub use protocol::PROTOCOL_VERSION;
-pub use registry::{MatrixId, Registry, RegistryStats};
+pub use protocol::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+pub use registry::{MatrixId, Registry, RegistryStats, TiledLookup};
 
 use tilespgemm_core::SpGemmError;
 
@@ -71,6 +71,12 @@ pub enum EngineError {
     Canceled,
     /// The engine is shutting down and no longer accepts jobs.
     ShuttingDown,
+    /// A batch job's dependency (an earlier entry it referenced) failed, so
+    /// this job can never have its operands.
+    DependencyFailed {
+        /// Serve-level id of the failed dependency job.
+        dep: u64,
+    },
 }
 
 impl EngineError {
@@ -84,6 +90,7 @@ impl EngineError {
             EngineError::TimedOut => "timed_out",
             EngineError::Canceled => "canceled",
             EngineError::ShuttingDown => "shutting_down",
+            EngineError::DependencyFailed { .. } => "dependency_failed",
         }
     }
 }
@@ -103,6 +110,9 @@ impl std::fmt::Display for EngineError {
             EngineError::TimedOut => write!(f, "queue-wait deadline exceeded before execution"),
             EngineError::Canceled => write!(f, "job canceled while queued"),
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::DependencyFailed { dep } => {
+                write!(f, "dependency job {dep} failed; operands unavailable")
+            }
         }
     }
 }

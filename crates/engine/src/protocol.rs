@@ -2,9 +2,10 @@
 //!
 //! One request per line, one response per line, always an object with an
 //! `"ok"` boolean and a `"v"` protocol-version number
-//! ([`PROTOCOL_VERSION`]). Requests may carry `"v"` too; a value the server
-//! does not speak is rejected with the stable `protocol_mismatch` error
-//! code, so clients can fail fast by sending `{"op":"hello","v":N}` first.
+//! ([`PROTOCOL_VERSION`]). Requests may carry `"v"` too; the server accepts
+//! any generation in [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and
+//! rejects others with the stable `protocol_mismatch` error code, so
+//! clients can fail fast by sending `{"op":"hello","v":N}` first.
 //! Errors carry a stable `code` (from
 //! [`EngineError::code`]/`SpGemmError::code`), a human `message`, and the
 //! `std::error::Error::source` chain serialized as a `cause` array — no
@@ -34,7 +35,13 @@
 //! serving subsequent lines.
 //!
 //! `multiply` accepts optional `"scheduling"` (`"per-tile"`, `"per-tile-row"`,
-//! `"binned"`), `"pair_reuse"` (bool), and `"timeout_ms"` overrides.
+//! `"binned"`), `"pair_reuse"` (bool), and `"timeout_ms"` overrides, plus
+//! `"keep":true` (v2) to register the product as an operand: the reply then
+//! carries its handle as `"c":"m…"`. Handles are content hashes, so equal
+//! `"c"` values prove bitwise-identical products. The v2 *session* verbs —
+//! `open_session`, `multiply_many`, weighted-fair scheduling, backpressure
+//! hints — live one layer up, in the `tsg-serve` crate wrapping this
+//! session (DESIGN.md §12).
 //!
 //! When the engine profiles ([`crate::EngineConfig::profile`], the serve
 //! binary's `--profile`), `multiply`/`wait` replies additionally carry the
@@ -57,10 +64,15 @@ use crate::json::{obj, parse, Value};
 use crate::registry::MatrixId;
 use crate::EngineError;
 
-/// The protocol generation this build speaks. Bumped on incompatible wire
-/// changes; every response echoes it as `"v"`, and requests naming a
-/// different `"v"` are rejected with the `protocol_mismatch` error code.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The protocol generation this build speaks. Bumped on wire changes; every
+/// response echoes it as `"v"`. Requests may name any version down to
+/// [`MIN_PROTOCOL_VERSION`] (v2 is a strict superset of v1 — new verbs and
+/// new response members only); anything else is rejected with the
+/// `protocol_mismatch` error code.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Oldest protocol generation still accepted in a request's `"v"`.
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
 
 /// Largest request line the session will parse. A 16 MiB line comfortably
 /// holds the triplet loads the protocol is meant for; anything longer is
@@ -73,7 +85,9 @@ pub const MAX_FRAME_BYTES: usize = 16 << 20;
 /// session for later `wait`/`cancel`.
 pub struct Session {
     engine: Arc<Engine>,
-    tickets: Mutex<HashMap<u64, JobTicket>>,
+    /// Pending `"async"` multiplies: ticket plus the request's `"keep"`
+    /// flag, honoured when `wait` collects the result.
+    tickets: Mutex<HashMap<u64, (JobTicket, bool)>>,
 }
 
 /// What the transport should do after a response.
@@ -147,8 +161,14 @@ impl Session {
         // Version gate first: a client that names a generation we don't
         // speak gets the stable mismatch code for *any* verb.
         if let Some(v) = req.get("v") {
-            if v.as_u64() != Some(PROTOCOL_VERSION) {
-                let msg = format!("server speaks protocol version {PROTOCOL_VERSION} only");
+            if !v
+                .as_u64()
+                .is_some_and(|v| (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v))
+            {
+                let msg = format!(
+                    "server speaks protocol versions \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION} only"
+                );
                 return (
                     error_response("protocol_mismatch", &msg, &[]),
                     Control::Continue,
@@ -314,10 +334,11 @@ impl Session {
 
     fn multiply(&self, req: &Value) -> Result<Value, ProtocolError> {
         let spec = self.job_spec(req)?;
+        let keep = req.get("keep").and_then(Value::as_bool) == Some(true);
         let ticket = self.engine.submit(spec)?;
         if req.get("async").and_then(Value::as_bool) == Some(true) {
             let job = ticket.job;
-            self.lock_tickets().insert(job, ticket);
+            self.lock_tickets().insert(job, (ticket, keep));
             return Ok(obj([
                 ("ok", true.into()),
                 ("job", job.into()),
@@ -325,7 +346,7 @@ impl Session {
             ]));
         }
         let report = ticket.wait()?;
-        Ok(report_response(&report, self.collector()))
+        Ok(self.finish(&report, keep))
     }
 
     fn wait(&self, req: &Value) -> Result<Value, ProtocolError> {
@@ -333,12 +354,19 @@ impl Session {
             .get("job")
             .and_then(Value::as_u64)
             .ok_or_else(|| ProtocolError::bad("wait needs a numeric \"job\""))?;
-        let ticket = self
+        let (ticket, keep) = self
             .lock_tickets()
             .remove(&job)
             .ok_or_else(|| ProtocolError::bad("unknown job id for this session"))?;
         let report = ticket.wait()?;
-        Ok(report_response(&report, self.collector()))
+        Ok(self.finish(&report, keep))
+    }
+
+    /// Renders a completed job, registering the product first when the
+    /// request asked to `keep` it.
+    fn finish(&self, report: &JobReport, keep: bool) -> Value {
+        let kept = keep.then(|| self.engine.register_product(Arc::clone(&report.c)).0);
+        report_response(report, self.collector(), kept)
     }
 
     fn cancel(&self, req: &Value) -> Result<Value, ProtocolError> {
@@ -347,7 +375,7 @@ impl Session {
             .and_then(Value::as_u64)
             .ok_or_else(|| ProtocolError::bad("cancel needs a numeric \"job\""))?;
         let tickets = self.lock_tickets();
-        let ticket = tickets
+        let (ticket, _) = tickets
             .get(&job)
             .ok_or_else(|| ProtocolError::bad("unknown job id for this session"))?;
         ticket.cancel();
@@ -359,42 +387,7 @@ impl Session {
     }
 
     fn stats(&self) -> Value {
-        let s = self.engine.stats();
-        let tiled_lookups = s.registry.cache_hits + s.registry.cache_misses;
-        let hit_rate = if tiled_lookups > 0 {
-            s.registry.cache_hits as f64 / tiled_lookups as f64
-        } else {
-            0.0
-        };
-        obj([
-            ("ok", true.into()),
-            ("submitted", s.submitted.into()),
-            ("completed", s.completed.into()),
-            ("failed", s.failed.into()),
-            ("rejected", s.rejected.into()),
-            ("shed", s.shed.into()),
-            ("canceled", s.canceled.into()),
-            ("timed_out", s.timed_out.into()),
-            ("queue_depth", s.queue_depth.into()),
-            (
-                "queue_wait_ms_total",
-                Value::Num(s.queue_wait_total.as_secs_f64() * 1e3),
-            ),
-            (
-                "exec_ms_total",
-                Value::Num(s.exec_total.as_secs_f64() * 1e3),
-            ),
-            ("conversions", s.registry.conversions.into()),
-            ("cache_hits", s.registry.cache_hits.into()),
-            ("cache_misses", s.registry.cache_misses.into()),
-            ("cache_hit_rate", Value::Num(hit_rate)),
-            ("evictions", s.registry.evictions.into()),
-            ("cached_bytes", s.cached_bytes.into()),
-            ("device_bytes_in_use", s.device_bytes_in_use.into()),
-            ("arena_high_water", s.arena_high_water.into()),
-            ("profile", self.engine.collector().is_some().into()),
-            ("counters", counters_json(self.engine())),
-        ])
+        stats_response(&self.engine)
     }
 
     /// Live observability dump: aggregated counters plus (when profiling)
@@ -448,14 +441,14 @@ impl Session {
         ]))
     }
 
-    fn lock_tickets(&self) -> std::sync::MutexGuard<'_, HashMap<u64, JobTicket>> {
+    fn lock_tickets(&self) -> std::sync::MutexGuard<'_, HashMap<u64, (JobTicket, bool)>> {
         self.tickets.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 /// Stamps the `"v"` protocol version into a response object (error
 /// responses included); non-objects pass through untouched.
-fn versioned(value: Value) -> Value {
+pub fn versioned(value: Value) -> Value {
     match value {
         Value::Obj(mut members) => {
             members.insert(
@@ -472,9 +465,60 @@ fn ms(d: Duration) -> Value {
     Value::Num(d.as_secs_f64() * 1e3)
 }
 
+/// Renders the engine's statistics snapshot as the `stats` verb's response
+/// object. Public so front ends layered over the engine (the `tsg-serve`
+/// scheduler) can extend the same object with their own members.
+pub fn stats_response(engine: &Engine) -> Value {
+    let s = engine.stats();
+    let tiled_lookups = s.registry.cache_hits + s.registry.cache_misses;
+    let hit_rate = if tiled_lookups > 0 {
+        s.registry.cache_hits as f64 / tiled_lookups as f64
+    } else {
+        0.0
+    };
+    obj([
+        ("ok", true.into()),
+        ("submitted", s.submitted.into()),
+        ("admitted", s.admitted.into()),
+        ("completed", s.completed.into()),
+        ("failed", s.failed.into()),
+        ("rejected", s.rejected.into()),
+        ("shed", s.shed.into()),
+        ("canceled", s.canceled.into()),
+        ("timed_out", s.timed_out.into()),
+        ("queue_depth", s.queue_depth.into()),
+        (
+            "queue_wait_ms_total",
+            Value::Num(s.queue_wait_total.as_secs_f64() * 1e3),
+        ),
+        (
+            "exec_ms_total",
+            Value::Num(s.exec_total.as_secs_f64() * 1e3),
+        ),
+        ("conversions", s.registry.conversions.into()),
+        ("cache_hits", s.registry.cache_hits.into()),
+        ("cache_misses", s.registry.cache_misses.into()),
+        ("cache_hit_rate", Value::Num(hit_rate)),
+        ("evictions", s.registry.evictions.into()),
+        ("cached_bytes", s.cached_bytes.into()),
+        ("device_bytes_in_use", s.device_bytes_in_use.into()),
+        ("arena_high_water", s.arena_high_water.into()),
+        ("profile", engine.collector().is_some().into()),
+        ("counters", counters_json(engine)),
+    ])
+}
+
+/// Renders an [`EngineError`] as the standard error response — stable code,
+/// human message, `source` chain as `cause`. Public for front ends layered
+/// over the engine.
+pub fn engine_error_response(e: &EngineError) -> Value {
+    ProtocolError::from(e.clone()).into_response()
+}
+
 /// The engine's aggregated counter totals as a JSON object, keyed by the
-/// counters' stable snake_case names. All zeros without profiling.
-fn counters_json(engine: &Engine) -> Value {
+/// counters' stable snake_case names. All zeros without profiling. Public
+/// for front ends layered over the engine.
+pub fn counters_json(engine: &Engine) -> Value {
     Value::Obj(
         engine
             .metrics()
@@ -500,7 +544,15 @@ fn spans_json(nodes: &[SpanNode]) -> Value {
     )
 }
 
-fn report_response(r: &JobReport, collector: Option<&CollectingRecorder>) -> Value {
+/// Renders a completed [`JobReport`] as the wire response, with the job's
+/// span tree when a collector is profiling and the registered product
+/// handle when the request kept it. Public so front ends layered over the
+/// engine (the `tsg-serve` scheduler) render identical replies.
+pub fn report_response(
+    r: &JobReport,
+    collector: Option<&CollectingRecorder>,
+    kept: Option<MatrixId>,
+) -> Value {
     let mut members = vec![
         ("ok", Value::Bool(true)),
         ("job", r.job.into()),
@@ -518,6 +570,9 @@ fn report_response(r: &JobReport, collector: Option<&CollectingRecorder>) -> Val
         ("est_bytes", r.estimate.est_bytes.into()),
         ("flops", r.estimate.flops.into()),
     ];
+    if let Some(id) = kept {
+        members.push(("c", id.to_string().into()));
+    }
     if let Some(collector) = collector {
         members.push(("spans", spans_json(&collector.span_tree(r.job))));
     }
@@ -570,7 +625,10 @@ impl From<EngineError> for ProtocolError {
     }
 }
 
-fn error_response(code: &str, message: &str, cause: &[String]) -> Value {
+/// Renders the protocol's standard error shape: `{"ok":false,"error":
+/// {"code","message"[,"cause"]}}`. Public for front ends layered over the
+/// engine.
+pub fn error_response(code: &str, message: &str, cause: &[String]) -> Value {
     let mut members = vec![
         ("code".to_string(), Value::Str(code.to_string())),
         ("message".to_string(), Value::Str(message.to_string())),

@@ -61,6 +61,16 @@ struct Entry {
     last_used: u64,
 }
 
+/// Outcome of the first half of a two-phase tiled lookup
+/// ([`Registry::begin_tiled`]).
+pub enum TiledLookup {
+    /// The tiled form was cached; nothing left to do.
+    Cached(Arc<TileMatrix<f64>>),
+    /// Cache miss: convert this CSR *outside* the registry lock, then hand
+    /// the result back through [`Registry::install_tiled`].
+    Convert(Arc<Csr<f64>>),
+}
+
 /// The registry: content-hashed CSR store + tiled-conversion cache.
 pub struct Registry {
     entries: HashMap<u64, Entry>,
@@ -129,7 +139,32 @@ impl Registry {
 
     /// The tiled form of `id`, converting (and caching, budget permitting)
     /// on first use. The boolean is `true` when served from the cache.
+    ///
+    /// This runs the conversion while the caller holds the registry —
+    /// convenient for single-threaded use. Concurrent resolvers (the engine
+    /// workers, the serve crate's conversion prefetcher) use the two-phase
+    /// [`Registry::begin_tiled`] / [`Registry::install_tiled`] pair instead
+    /// so a multi-second conversion never runs under the registry mutex.
     pub fn tiled(&mut self, id: MatrixId) -> Result<(Arc<TileMatrix<f64>>, bool), EngineError> {
+        match self.begin_tiled(id)? {
+            TiledLookup::Cached(t) => Ok((t, true)),
+            TiledLookup::Convert(csr) => {
+                let tiled = Arc::new(TileMatrix::from_csr(&csr));
+                self.install_tiled(id, Arc::clone(&tiled), true);
+                Ok((tiled, false))
+            }
+        }
+    }
+
+    /// First half of a two-phase tiled lookup: touches the LRU clock and
+    /// either returns the cached tiled form or hands back the CSR for the
+    /// caller to convert outside the registry lock. A miss is counted here;
+    /// the matching conversion is counted by [`Registry::install_tiled`].
+    ///
+    /// Two callers racing on the same uncached `id` both get `Convert` and
+    /// duplicate the work; the conversion is deterministic, so whichever
+    /// install lands first wins and the other is a no-op.
+    pub fn begin_tiled(&mut self, id: MatrixId) -> Result<TiledLookup, EngineError> {
         // Failpoint `registry.evict_all`: every cached conversion vanishes
         // right before this lookup, simulating an eviction racing the
         // resolve. The lookup must fall through to a fresh conversion.
@@ -138,42 +173,78 @@ impl Registry {
             self.evict_all();
         }
         let now = self.tick();
-        {
-            let e = self
-                .entries
-                .get_mut(&id.0)
-                .ok_or(EngineError::UnknownMatrix(id))?;
-            e.last_used = now;
-            if let Some(t) = &e.tiled {
-                self.stats.cache_hits += 1;
-                return Ok((Arc::clone(t), true));
-            }
+        let e = self
+            .entries
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownMatrix(id))?;
+        e.last_used = now;
+        if let Some(t) = &e.tiled {
+            self.stats.cache_hits += 1;
+            return Ok(TiledLookup::Cached(Arc::clone(t)));
         }
         self.stats.cache_misses += 1;
-        let csr = Arc::clone(&self.entries[&id.0].csr);
-        let tiled = Arc::new(TileMatrix::from_csr(&csr));
-        self.stats.conversions += 1;
+        Ok(TiledLookup::Convert(Arc::clone(&e.csr)))
+    }
+
+    /// Second half of a two-phase lookup: caches `tiled` under `id`, budget
+    /// permitting (evicting LRU entries to make room). `from_conversion`
+    /// marks the caller as having just converted (counted in the stats);
+    /// pre-seeding a pipeline product passes `false`. Returns whether the
+    /// form ended up cached — a lost install race, an unregistered `id`, or
+    /// an over-budget matrix all leave the caller's `Arc` as the only copy.
+    pub fn install_tiled(
+        &mut self,
+        id: MatrixId,
+        tiled: Arc<TileMatrix<f64>>,
+        from_conversion: bool,
+    ) -> bool {
+        if from_conversion {
+            self.stats.conversions += 1;
+        }
+        let Some(e) = self.entries.get_mut(&id.0) else {
+            return false; // unregistered while converting
+        };
+        if e.tiled.is_some() {
+            return false; // lost the install race; existing copy stays
+        }
         let bytes = tiled.bytes();
         // Failpoint `registry.cache_alloc`: the cache refuses to account the
         // conversion, exercising the serve-uncached fallback on any budget.
         #[cfg(feature = "failpoints")]
         if tsg_runtime::failpoint::should_fail("registry.cache_alloc") {
             self.stats.uncached_conversions += 1;
-            return Ok((tiled, false));
+            return false;
         }
         while self.cache_tracker.on_alloc(bytes).is_err() {
             if !self.evict_lru() {
                 // Nothing left to evict: serve the conversion uncached.
                 // In-flight users keep their Arc; the cache simply never
                 // holds this matrix.
-                self.stats.uncached_conversions += 1;
-                return Ok((tiled, false));
+                if from_conversion {
+                    self.stats.uncached_conversions += 1;
+                }
+                return false;
             }
         }
         let e = self.entries.get_mut(&id.0).expect("entry exists");
-        e.tiled = Some(Arc::clone(&tiled));
+        e.tiled = Some(tiled);
         e.tiled_bytes = bytes;
-        Ok((tiled, false))
+        true
+    }
+
+    /// Registers a matrix together with its already-built tiled form (a
+    /// pipeline product being kept as an operand), pre-seeding the cache so
+    /// the next multiply touching it skips the conversion entirely.
+    pub fn insert_with_tiled(
+        &mut self,
+        csr: Csr<f64>,
+        tiled: Arc<TileMatrix<f64>>,
+    ) -> (MatrixId, bool) {
+        let (id, dedup) = self.insert(csr);
+        if !self.is_cached(id) {
+            self.install_tiled(id, tiled, false);
+        }
+        (id, dedup)
     }
 
     /// Evicts the least-recently-used cached tiled form. Returns `false`

@@ -45,9 +45,23 @@ fn over_budget_estimate_is_rejected_up_front() {
     }
     let s = engine.stats();
     assert_eq!(s.rejected, 1);
-    assert_eq!(s.submitted, 0);
+    // The arrival still counts — shed rate is (submitted - admitted) /
+    // submitted from stats alone — but nothing was admitted.
+    assert_eq!(s.submitted, 1);
+    assert_eq!(s.admitted, 0);
     // Nothing ran, so nothing was ever charged to the device.
     assert_eq!(s.device_bytes_in_use, 0);
+
+    // An over-budget spec can still be force-admitted by a scheduler doing
+    // its own deferred admission; the mid-flight tracker stays the backstop.
+    let mut solo = JobSpec::new(id, id);
+    solo.admit_over_budget = true;
+    let err = engine.multiply_now(solo).unwrap_err();
+    assert_eq!(err.code(), "out_of_memory");
+    assert_eq!(engine.device_tracker().current_bytes(), 0);
+    let s = engine.stats();
+    assert_eq!(s.submitted, 2);
+    assert_eq!(s.admitted, 1);
 }
 
 #[test]
@@ -132,6 +146,50 @@ fn repeated_multiplies_convert_once_and_match_direct_multiply() {
     assert_eq!(direct.c, *first.c);
     assert_eq!(*first.c, *second.c);
     assert_eq!(*second.c, *third.c);
+}
+
+#[test]
+fn kept_products_register_with_preseeded_conversion() {
+    let engine = Engine::new(EngineConfig::default());
+    let (ia, _) = engine.register(scatter(256, 4, 2));
+    let r = engine.multiply_now(JobSpec::new(ia, ia)).unwrap();
+
+    let (ic, dedup) = engine.register_product(std::sync::Arc::clone(&r.c));
+    assert!(!dedup);
+    // The cache was pre-seeded with the product itself, so using it as an
+    // operand costs no conversion (ia is already cached from the first job).
+    let r2 = engine.multiply_now(JobSpec::new(ic, ia)).unwrap();
+    assert_eq!(r2.conversions, 0);
+    assert_eq!(r2.cache_hits, 2);
+    // Content-addressed: re-registering the product — through either path —
+    // dedupes onto the same id.
+    let (ic2, dedup2) = engine.register_product(std::sync::Arc::clone(&r.c));
+    assert_eq!(ic2, ic);
+    assert!(dedup2);
+    let (ic3, dedup3) = engine.register(r.c.to_csr());
+    assert_eq!(ic3, ic);
+    assert!(dedup3);
+}
+
+#[test]
+fn completed_jobs_populate_the_estimator_error_counters() {
+    let engine = Engine::new(EngineConfig {
+        profile: true,
+        ..EngineConfig::default()
+    });
+    let (id, _) = engine.register(scatter(512, 8, 21));
+    let report = engine.multiply_now(JobSpec::new(id, id)).unwrap();
+
+    // Exactly one completed job → exactly one est-error observation, in the
+    // bucket the report's own numbers map to.
+    let m = engine.metrics();
+    let populated: Vec<_> = tsg_runtime::observe::EST_ERR_BUCKETS
+        .iter()
+        .filter(|&&c| m.get(c) > 0)
+        .collect();
+    assert_eq!(populated.len(), 1);
+    let expected = tsg_runtime::est_error_bucket(report.estimate.est_bytes, report.peak_bytes);
+    assert_eq!(m.get(expected), 1);
 }
 
 #[test]

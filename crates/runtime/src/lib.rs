@@ -55,8 +55,8 @@ pub use atomicf64::{AtomicF32, AtomicF64};
 pub use binning::{bin_rows_by, Bins};
 pub use device::{pool_for, run_on, Device};
 pub use observe::{
-    null_recorder, CollectingRecorder, Counter, MetricsSnapshot, NullRecorder, Recorder, SpanId,
-    SpanNode,
+    est_error_bucket, null_recorder, CollectingRecorder, Counter, MetricsSnapshot, NullRecorder,
+    QueueGauge, Recorder, SpanId, SpanNode, WaitGauge,
 };
 pub use scan::{
     exclusive_scan_in_place, exclusive_scan_to, par_exclusive_scan_in_place, par_exclusive_scan_to,

@@ -72,11 +72,37 @@ pub enum Counter {
     IsectMergePicks,
     /// Output tiles whose intersection resolved to the bitmap kernel.
     IsectBitmapPicks,
+    /// Completed jobs whose measured peak was ≤ ¼ of the admission estimate
+    /// (log₂(peak/est) ≤ −2: the estimator over-predicted by 4× or more).
+    EstErrLeQuarter,
+    /// Completed jobs with log₂(peak/est) = −1 (estimate 2–4× the peak).
+    EstErrHalf,
+    /// Completed jobs whose estimate landed within 2× of the measured peak
+    /// (log₂(peak/est) = 0) — the estimator's "got it right" bucket.
+    EstErrWithin2x,
+    /// Completed jobs with log₂(peak/est) = +1 (peak 2–4× the estimate).
+    EstErrDouble,
+    /// Completed jobs whose measured peak was ≥ 4× the admission estimate
+    /// (log₂(peak/est) ≥ +2: the under-prediction band admission control
+    /// must band-limit, per the OCEAN estimation plan).
+    EstErrGeQuad,
+    /// Serving sessions opened (`open_session`).
+    SessionsOpened,
+    /// Jobs accepted into a serving-session queue (single or batched).
+    ServeEnqueued,
+    /// Backpressure hints issued to clients because a session queue stayed
+    /// full past its hold window (the replacement for queue-full shedding).
+    ServeBackpressureHints,
+    /// Jobs parked by deferred admission (estimate exceeded the *free*
+    /// device budget at dispatch time) before being re-evaluated.
+    ServeDeferred,
+    /// Jobs that arrived as members of a `multiply_many` batch.
+    ServeBatchJobs,
 }
 
 /// Number of counter slots. Kept in sync with [`Counter`]; new counters are
 /// appended (the enum is `#[non_exhaustive]`).
-pub const COUNTER_COUNT: usize = 12;
+pub const COUNTER_COUNT: usize = 22;
 
 /// Every counter, in slot order, with its snake_case wire name.
 pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
@@ -92,7 +118,49 @@ pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
     (Counter::IsectBinaryPicks, "isect_binary_picks"),
     (Counter::IsectMergePicks, "isect_merge_picks"),
     (Counter::IsectBitmapPicks, "isect_bitmap_picks"),
+    (Counter::EstErrLeQuarter, "est_err_le_quarter"),
+    (Counter::EstErrHalf, "est_err_half"),
+    (Counter::EstErrWithin2x, "est_err_within_2x"),
+    (Counter::EstErrDouble, "est_err_double"),
+    (Counter::EstErrGeQuad, "est_err_ge_quad"),
+    (Counter::SessionsOpened, "sessions_opened"),
+    (Counter::ServeEnqueued, "serve_enqueued"),
+    (Counter::ServeBackpressureHints, "serve_backpressure_hints"),
+    (Counter::ServeDeferred, "serve_deferred"),
+    (Counter::ServeBatchJobs, "serve_batch_jobs"),
 ];
+
+/// The five estimator-error buckets in ascending log₂(peak/est) order, so a
+/// report can print the histogram without naming each variant.
+pub const EST_ERR_BUCKETS: [Counter; 5] = [
+    Counter::EstErrLeQuarter,
+    Counter::EstErrHalf,
+    Counter::EstErrWithin2x,
+    Counter::EstErrDouble,
+    Counter::EstErrGeQuad,
+];
+
+/// Buckets a completed job's estimator error: `log₂(peak/est)` rounded to
+/// the nearest integer and clamped to `[-2, +2]`, mapped onto the five
+/// `est_err_*` counters. A zero estimate or peak lands in the saturating end
+/// buckets (`peak == 0` → most over-predicted, `est == 0` → most
+/// under-predicted), so every completed job falls in exactly one bucket.
+pub fn est_error_bucket(est_bytes: usize, peak_bytes: usize) -> Counter {
+    if peak_bytes == 0 {
+        return Counter::EstErrLeQuarter;
+    }
+    if est_bytes == 0 {
+        return Counter::EstErrGeQuad;
+    }
+    let log2 = (peak_bytes as f64 / est_bytes as f64).log2().round();
+    match log2 as i64 {
+        i64::MIN..=-2 => Counter::EstErrLeQuarter,
+        -1 => Counter::EstErrHalf,
+        0 => Counter::EstErrWithin2x,
+        1 => Counter::EstErrDouble,
+        _ => Counter::EstErrGeQuad,
+    }
+}
 
 impl Counter {
     /// The counter's slot index.
@@ -134,6 +202,95 @@ impl MetricsSnapshot {
             *t = self.totals[slot].saturating_sub(earlier.totals[slot]);
         }
         MetricsSnapshot { totals }
+    }
+}
+
+/// A queue-depth gauge: current depth plus its high-water mark. Unlike the
+/// monotonic [`Counter`]s this goes up *and* down, so it lives outside the
+/// [`Recorder`] snapshot; the serving layer keeps one per session and one
+/// global, and reports both through the `stats` verb.
+#[derive(Debug, Default)]
+pub struct QueueGauge {
+    depth: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl QueueGauge {
+    /// A gauge at depth zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` entries arriving; returns the new depth.
+    pub fn add(&self, n: u64) -> u64 {
+        let depth = self.depth.fetch_add(n, Ordering::Relaxed) + n;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        depth
+    }
+
+    /// Records `n` entries leaving (saturating at zero).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.depth.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .depth
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current depth.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// A wait-time gauge: accumulated wait and sample count, so a stats report
+/// can show the mean queue wait of a session without keeping per-job state.
+#[derive(Debug, Default)]
+pub struct WaitGauge {
+    total_micros: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl WaitGauge {
+    /// A gauge with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one wait.
+    pub fn record(&self, wait: Duration) {
+        self.total_micros
+            .fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded wait.
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(self.total_micros.load(Ordering::Relaxed))
+    }
+
+    /// Number of recorded waits.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Mean wait over the recorded samples (zero when empty).
+    pub fn mean(&self) -> Duration {
+        self.total_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.samples())
+            .map_or(Duration::ZERO, Duration::from_micros)
     }
 }
 
@@ -507,6 +664,54 @@ mod tests {
         }
         let snap = MetricsSnapshot::default();
         assert_eq!(snap.iter().count(), COUNTER_COUNT);
+    }
+
+    #[test]
+    fn est_error_buckets_cover_the_ratio_line() {
+        // Exact powers of two land in their own buckets…
+        assert_eq!(est_error_bucket(400, 100), Counter::EstErrLeQuarter);
+        assert_eq!(est_error_bucket(200, 100), Counter::EstErrHalf);
+        assert_eq!(est_error_bucket(100, 100), Counter::EstErrWithin2x);
+        assert_eq!(est_error_bucket(100, 200), Counter::EstErrDouble);
+        assert_eq!(est_error_bucket(100, 400), Counter::EstErrGeQuad);
+        // …the tails saturate…
+        assert_eq!(est_error_bucket(1 << 30, 1), Counter::EstErrLeQuarter);
+        assert_eq!(est_error_bucket(1, 1 << 30), Counter::EstErrGeQuad);
+        // …and degenerate inputs still land in exactly one bucket.
+        assert_eq!(est_error_bucket(100, 0), Counter::EstErrLeQuarter);
+        assert_eq!(est_error_bucket(0, 100), Counter::EstErrGeQuad);
+        // The committed burst's worst row: est 4.5 MB vs peak 69 MB is the
+        // ≥4× under-prediction band.
+        assert_eq!(
+            est_error_bucket(4_506_576, 69_326_916),
+            Counter::EstErrGeQuad
+        );
+    }
+
+    #[test]
+    fn queue_gauge_tracks_depth_and_high_water() {
+        let g = QueueGauge::new();
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.add(3), 3);
+        assert_eq!(g.add(2), 5);
+        g.sub(4);
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.high_water(), 5);
+        // Saturates instead of underflowing.
+        g.sub(10);
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.high_water(), 5);
+    }
+
+    #[test]
+    fn wait_gauge_reports_the_mean() {
+        let g = WaitGauge::new();
+        assert_eq!(g.mean(), Duration::ZERO);
+        g.record(Duration::from_millis(10));
+        g.record(Duration::from_millis(30));
+        assert_eq!(g.samples(), 2);
+        assert_eq!(g.mean(), Duration::from_millis(20));
+        assert_eq!(g.total(), Duration::from_millis(40));
     }
 
     #[test]

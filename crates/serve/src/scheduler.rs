@@ -1,0 +1,1131 @@
+//! Weighted-fair, backpressure-first job scheduler over the resident engine.
+//!
+//! The engine's own queue sheds: a full queue or an over-budget estimate
+//! rejects the submission, and under a burst that is dropped work. This
+//! scheduler replaces shedding with *backpressure* and *deferral*:
+//!
+//! * Every client holds a [session](Scheduler::open_session) with its own
+//!   bounded FIFO queue and a fairness weight. A submission that finds the
+//!   queue full is briefly held (the connection blocks — natural flow
+//!   control) and, if space does not free in time, answered with a
+//!   structured [`BackpressureHint`] (`retry_after`, `queue_position`)
+//!   instead of an error drop. The client resubmits; nothing is lost.
+//! * Dispatch across sessions is weighted-fair queueing over virtual time:
+//!   each dispatch advances its session's virtual finish tag by
+//!   `1/weight`, and the runnable session with the smallest tag goes next.
+//!   A bulk batch in one session therefore cannot starve another session's
+//!   interactive jobs — dispatches interleave in weight proportion.
+//! * `estimate_exceeds_budget` becomes *deferred admission*: a job whose
+//!   predicted footprint does not fit the memory currently free
+//!   (`budget − in-flight bytes`) parks at the head of the dispatch order;
+//!   completions drain memory and re-evaluate it, and once the device is
+//!   idle it dispatches solo (bypassing the engine's static check with
+//!   [`JobSpec::admit_over_budget`]) with the mid-flight tracker as the
+//!   backstop. Dispatch is memory-ordered: while the fair-queue head is
+//!   parked nothing overtakes it, so deferral cannot become starvation.
+//! * Batches ([`Scheduler::submit`] with several [`SubmitSpec`]s) may
+//!   reference earlier entries' products as operands ([`Operand::Ref`],
+//!   `$k` on the wire). Referenced products are registered on completion
+//!   ([`Engine::register_product`]) and the dependent job becomes runnable
+//!   the moment its operand exists.
+//! * Pipeline-stage overlap: after each dispatch the scheduler peeks the
+//!   next runnable job and warms its operand conversions on a dedicated
+//!   conversion thread ([`Engine::resolve_tiled`] converts outside the
+//!   registry lock), so job N+1's CSR→tiled conversion runs while job N
+//!   computes.
+//!
+//! Serve-level job ids live at [`SERVE_JOB_BASE`] and above so they can
+//! never collide with the engine's own ticket ids on the shared `wait`
+//! verb.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tilespgemm_core::Config;
+use tsg_engine::engine::JobTicket;
+use tsg_engine::{Engine, EngineError, JobReport, JobSpec, MatrixId};
+use tsg_runtime::observe::{Counter, QueueGauge, WaitGauge};
+
+/// Serve-level job ids count up from here (engine ticket ids count up from
+/// 1), so the two id spaces never collide on the protocol's `wait` verb.
+pub const SERVE_JOB_BASE: u64 = 1 << 32;
+
+/// Scheduler construction parameters.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Default bounded depth of each session's queue (a session may
+    /// override it at open time).
+    pub session_queue_depth: usize,
+    /// How long a submission that finds its queue full is held waiting for
+    /// space before it is answered with a [`BackpressureHint`].
+    pub backpressure_wait: Duration,
+    /// Warm the next runnable job's operand conversions on the conversion
+    /// thread while the current job computes.
+    pub prefetch: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            session_queue_depth: 8,
+            backpressure_wait: Duration::from_millis(25),
+            prefetch: true,
+        }
+    }
+}
+
+/// One operand of a scheduled multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A registered matrix.
+    Id(MatrixId),
+    /// The product of an earlier entry in the same batch (`"$k"` on the
+    /// wire). Must point strictly backwards.
+    Ref(usize),
+}
+
+/// One multiply in a submission (single job or batch entry).
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// Left operand.
+    pub a: Operand,
+    /// Right operand.
+    pub b: Operand,
+    /// Pipeline configuration override; `None` uses the engine's base.
+    pub config: Option<Config>,
+    /// Total queue-wait deadline (scheduler and engine queues combined).
+    pub timeout: Option<Duration>,
+    /// Register the product as an operand and report its handle.
+    pub keep: bool,
+}
+
+impl SubmitSpec {
+    /// A job multiplying `a · b` with defaults.
+    pub fn new(a: MatrixId, b: MatrixId) -> Self {
+        SubmitSpec {
+            a: Operand::Id(a),
+            b: Operand::Id(b),
+            config: None,
+            timeout: None,
+            keep: false,
+        }
+    }
+}
+
+/// Structured flow-control answer to a submission that could not be queued:
+/// nothing was dropped, the client holds its work and resubmits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackpressureHint {
+    /// Suggested wait before resubmitting, derived from the execution-time
+    /// EWMA and the backlog depth.
+    pub retry_after: Duration,
+    /// Jobs currently ahead in the session's queue. Monotone non-increasing
+    /// across retries of a blocked client (its own adds are the ones being
+    /// refused), so clients can observe drain progress.
+    pub queue_position: usize,
+}
+
+/// Why a submission was refused outright (not flow control — the request
+/// itself is unserviceable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The session id was never opened (or the scheduler restarted).
+    UnknownSession(u64),
+    /// The scheduler is draining and accepts no new work.
+    Draining,
+    /// A batch `$k` reference points at itself or forwards.
+    BadRef {
+        /// Batch entry holding the bad reference.
+        index: usize,
+        /// The referenced entry.
+        reference: usize,
+    },
+    /// The batch is larger than the session queue can ever hold.
+    BatchTooLarge {
+        /// Entries in the rejected batch.
+        len: usize,
+        /// The session's queue depth.
+        depth: usize,
+    },
+}
+
+/// Outcome of [`Scheduler::submit`].
+#[derive(Debug)]
+pub enum Submission {
+    /// All entries queued, in order; one ticket per entry.
+    Queued(Vec<ServeTicket>),
+    /// The queue stayed full through the bounded hold: retry later.
+    Backpressure(BackpressureHint),
+}
+
+/// Completed job payload: the engine's report plus the registered product
+/// handle when the job kept it (or a later batch entry referenced it).
+#[derive(Debug, Clone)]
+pub struct JobDone {
+    /// The engine's completion record.
+    pub report: JobReport,
+    /// Content id the product registered under, when kept.
+    pub kept: Option<MatrixId>,
+}
+
+/// Terminal state of a scheduled job.
+pub type ServeResult = Result<JobDone, EngineError>;
+
+struct STicket {
+    result: Mutex<Option<ServeResult>>,
+    cv: Condvar,
+}
+
+fn complete(ticket: &STicket, result: ServeResult) {
+    *ticket.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+    ticket.cv.notify_all();
+}
+
+/// Handle to a scheduled job; `wait` blocks for the result.
+#[derive(Clone)]
+pub struct ServeTicket {
+    /// Serve-level job id (≥ [`SERVE_JOB_BASE`]).
+    pub job: u64,
+    inner: Arc<STicket>,
+}
+
+impl std::fmt::Debug for ServeTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeTicket")
+            .field("job", &self.job)
+            .field("done", &self.try_result().is_some())
+            .finish()
+    }
+}
+
+impl ServeTicket {
+    /// Blocks until the job completes, returning its result.
+    pub fn wait(&self) -> ServeResult {
+        let mut guard = self
+            .inner
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return r.clone();
+            }
+            guard = self
+                .inner
+                .cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_result(&self) -> Option<ServeResult> {
+        self.inner
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+struct QueuedSJob {
+    id: u64,
+    spec: SubmitSpec,
+    /// Batch id (first job id of the batch) for `$k` resolution.
+    batch: Option<u64>,
+    batch_index: usize,
+    /// Register the product on completion (`keep`, or a later entry
+    /// references it).
+    register: bool,
+    enqueued: Instant,
+    /// Set once the job has been counted as deferred, so re-evaluations do
+    /// not double-count.
+    deferred_marked: bool,
+    ticket: Arc<STicket>,
+}
+
+struct SessionState {
+    name: String,
+    weight: f64,
+    depth: usize,
+    queue: VecDeque<QueuedSJob>,
+    /// Weighted-fair virtual finish tag; next dispatch from this session
+    /// starts at `max(vtime, vclock)` and finishes `1/weight` later.
+    vtime: f64,
+    enqueued: u64,
+    completed: u64,
+    failed: u64,
+    canceled: u64,
+    hints: u64,
+}
+
+/// Per-session statistics row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Session id.
+    pub id: u64,
+    /// Client-supplied label.
+    pub name: String,
+    /// Fairness weight.
+    pub weight: f64,
+    /// Jobs currently queued (not yet dispatched).
+    pub queued: usize,
+    /// Jobs accepted into the session queue.
+    pub enqueued: u64,
+    /// Jobs completed with a product.
+    pub completed: u64,
+    /// Jobs that failed (including expired deadlines and failed deps).
+    pub failed: u64,
+    /// Jobs canceled while queued.
+    pub canceled: u64,
+    /// Backpressure hints issued to this session.
+    pub hints: u64,
+}
+
+/// Scheduler-level statistics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerStats {
+    /// Per-session rows, in open order.
+    pub sessions: Vec<SessionStats>,
+    /// Jobs currently queued across all sessions.
+    pub queue_depth: u64,
+    /// High-water queued jobs across all sessions.
+    pub queue_high_water: u64,
+    /// Mean scheduler queue wait over dispatched jobs.
+    pub wait_mean: Duration,
+    /// Dispatched jobs the wait mean covers.
+    pub wait_samples: u64,
+    /// Backpressure hints issued (submissions held then retried — never
+    /// dropped).
+    pub backpressure_hints: u64,
+    /// Jobs that waited at the dispatch head for memory to free.
+    pub deferred: u64,
+    /// Jobs submitted as part of a multi-entry batch.
+    pub batch_jobs: u64,
+    /// Jobs handed to the engine so far.
+    pub dispatched: u64,
+    /// Jobs currently executing (or queued) inside the engine.
+    pub in_flight: usize,
+    /// Execution-time EWMA feeding `retry_after` hints.
+    pub exec_ewma: Duration,
+    /// Whether the scheduler is draining.
+    pub draining: bool,
+}
+
+struct Inner {
+    sessions: HashMap<u64, SessionState>,
+    session_order: Vec<u64>,
+    vclock: f64,
+    in_flight: usize,
+    /// Serve job id → engine ticket, for cancellation of dispatched jobs.
+    running: HashMap<u64, JobTicket>,
+    /// `(batch id, entry index)` → registered product, or the failed job's
+    /// id when the entry can never produce one.
+    batch_products: HashMap<(u64, usize), Result<MatrixId, u64>>,
+    /// `(session, job)` in dispatch order — the fairness audit trail.
+    dispatch_log: Vec<(u64, u64)>,
+    exec_ewma: Duration,
+    deferred: u64,
+    hints: u64,
+    batch_jobs: u64,
+    /// Job admitted solo past the free-memory check: while it runs nothing
+    /// else may dispatch (or prefetch), or the combined peaks could blow
+    /// the budget mid-flight.
+    exclusive_job: Option<u64>,
+    draining: bool,
+    stopped: bool,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    cfg: SchedConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    queue_gauge: QueueGauge,
+    wait_gauge: WaitGauge,
+    next_job: AtomicU64,
+    next_session: AtomicU64,
+    convert_tx: Mutex<Option<Sender<MatrixId>>>,
+}
+
+/// The multi-client scheduler. Construction spawns the dispatcher and
+/// conversion threads; [`Scheduler::shutdown`] (or drop) drains and joins
+/// them.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    converter: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `engine` and starts its dispatcher.
+    pub fn new(engine: Arc<Engine>, cfg: SchedConfig) -> Self {
+        let (tx, rx) = mpsc::channel::<MatrixId>();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                sessions: HashMap::new(),
+                session_order: Vec::new(),
+                vclock: 0.0,
+                in_flight: 0,
+                running: HashMap::new(),
+                batch_products: HashMap::new(),
+                dispatch_log: Vec::new(),
+                exec_ewma: Duration::ZERO,
+                deferred: 0,
+                hints: 0,
+                batch_jobs: 0,
+                exclusive_job: None,
+                draining: false,
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+            queue_gauge: QueueGauge::new(),
+            wait_gauge: WaitGauge::new(),
+            next_job: AtomicU64::new(SERVE_JOB_BASE),
+            next_session: AtomicU64::new(1),
+            convert_tx: Mutex::new(Some(tx)),
+            cfg,
+            engine: Arc::clone(&engine),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tsg-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawning dispatcher")
+        };
+        let converter = {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("tsg-serve-convert".into())
+                .spawn(move || {
+                    // Warm conversions until the sender side is dropped at
+                    // shutdown. Errors (unloaded matrix) are fine — the
+                    // dispatch path re-resolves authoritatively.
+                    while let Ok(id) = rx.recv() {
+                        let _ = engine.resolve_tiled(id);
+                    }
+                })
+                .expect("spawning converter")
+        };
+        Scheduler {
+            shared,
+            dispatcher: Mutex::new(Some(dispatcher)),
+            converter: Mutex::new(Some(converter)),
+        }
+    }
+
+    /// The engine jobs dispatch into.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Opens a session with fairness `weight` (must be finite and positive)
+    /// and an optional queue-depth override, returning its id.
+    pub fn open_session(
+        &self,
+        name: &str,
+        weight: f64,
+        depth: Option<usize>,
+    ) -> Result<u64, SubmitError> {
+        // Failpoint `serve.session_open`: the scheduler refuses the session
+        // as if it were draining, exercising the client-visible refusal
+        // path without an actual shutdown.
+        #[cfg(feature = "failpoints")]
+        if tsg_runtime::failpoint::should_fail("serve.session_open") {
+            return Err(SubmitError::Draining);
+        }
+        let weight = if weight.is_finite() && weight > 0.0 {
+            weight
+        } else {
+            1.0
+        };
+        let mut inner = self.lock();
+        if inner.draining {
+            return Err(SubmitError::Draining);
+        }
+        let id = self
+            .shared
+            .next_session
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // New sessions start at the current virtual clock, not zero — a
+        // late joiner must not replay the virtual time others already
+        // consumed.
+        let vtime = inner.vclock;
+        inner.sessions.insert(
+            id,
+            SessionState {
+                name: name.to_string(),
+                weight,
+                depth: depth.unwrap_or(self.shared.cfg.session_queue_depth).max(1),
+                queue: VecDeque::new(),
+                vtime,
+                enqueued: 0,
+                completed: 0,
+                failed: 0,
+                canceled: 0,
+                hints: 0,
+            },
+        );
+        inner.session_order.push(id);
+        self.shared
+            .engine
+            .recorder()
+            .add(Counter::SessionsOpened, 1);
+        Ok(id)
+    }
+
+    /// Submits one job (`specs.len() == 1`) or an ordered batch. Entries
+    /// may reference earlier entries' products ([`Operand::Ref`]). The
+    /// whole submission is admitted atomically: either every entry queues
+    /// (in order) or none does and the caller gets a [`BackpressureHint`].
+    pub fn submit(&self, session: u64, specs: Vec<SubmitSpec>) -> Result<Submission, SubmitError> {
+        assert!(!specs.is_empty(), "a submission needs at least one job");
+        // Validate references before touching any queue: `$k` must point
+        // strictly backwards.
+        let mut referenced = vec![false; specs.len()];
+        for (i, spec) in specs.iter().enumerate() {
+            for op in [spec.a, spec.b] {
+                if let Operand::Ref(k) = op {
+                    if k >= i {
+                        return Err(SubmitError::BadRef {
+                            index: i,
+                            reference: k,
+                        });
+                    }
+                    referenced[k] = true;
+                }
+            }
+        }
+        let mut inner = self.lock();
+        if inner.draining {
+            return Err(SubmitError::Draining);
+        }
+        let depth = match inner.sessions.get(&session) {
+            Some(s) => s.depth,
+            None => return Err(SubmitError::UnknownSession(session)),
+        };
+        if specs.len() > depth {
+            return Err(SubmitError::BatchTooLarge {
+                len: specs.len(),
+                depth,
+            });
+        }
+        // Bounded hold: wait for space, then hint. Holding the submission
+        // here (the transport blocks with it) is the backpressure — the
+        // hint is only the fallback when the backlog outlives the hold.
+        // Failpoint `serve.backpressure_wait`: the hold "expires"
+        // immediately, forcing the hint path deterministically.
+        #[cfg(feature = "failpoints")]
+        let skip_hold = tsg_runtime::failpoint::should_fail("serve.backpressure_wait");
+        #[cfg(not(feature = "failpoints"))]
+        let skip_hold = false;
+        let deadline = Instant::now() + self.shared.cfg.backpressure_wait;
+        loop {
+            let sess = inner.sessions.get(&session).expect("session exists");
+            if sess.queue.len() + specs.len() <= depth && !skip_hold {
+                break;
+            }
+            let now = Instant::now();
+            if skip_hold || now >= deadline || inner.draining {
+                let backlog = sess.queue.len();
+                let hint = BackpressureHint {
+                    retry_after: retry_after(&inner, self.shared.engine.config(), backlog),
+                    queue_position: backlog,
+                };
+                let sess = inner.sessions.get_mut(&session).expect("session exists");
+                sess.hints += 1;
+                inner.hints += 1;
+                self.shared
+                    .engine
+                    .recorder()
+                    .add(Counter::ServeBackpressureHints, 1);
+                return Ok(Submission::Backpressure(hint));
+            }
+            inner = self
+                .shared
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+            if inner.draining {
+                return Err(SubmitError::Draining);
+            }
+        }
+        // Space confirmed for the whole submission: enqueue in order.
+        let batch = specs.len() > 1;
+        let mut batch_id = None;
+        let mut tickets = Vec::with_capacity(specs.len());
+        let now = Instant::now();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let id = self
+                .shared
+                .next_job
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if batch && batch_id.is_none() {
+                batch_id = Some(id);
+            }
+            let ticket = Arc::new(STicket {
+                result: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            tickets.push(ServeTicket {
+                job: id,
+                inner: Arc::clone(&ticket),
+            });
+            let register = spec.keep || referenced[i];
+            let sess = inner.sessions.get_mut(&session).expect("session exists");
+            sess.queue.push_back(QueuedSJob {
+                id,
+                spec,
+                batch: batch_id,
+                batch_index: i,
+                register,
+                enqueued: now,
+                deferred_marked: false,
+                ticket,
+            });
+            sess.enqueued += 1;
+            self.shared.queue_gauge.add(1);
+            self.shared.engine.recorder().add(Counter::ServeEnqueued, 1);
+            if batch {
+                inner.batch_jobs += 1;
+                self.shared
+                    .engine
+                    .recorder()
+                    .add(Counter::ServeBatchJobs, 1);
+            }
+        }
+        drop(inner);
+        self.shared.cv.notify_all();
+        Ok(Submission::Queued(tickets))
+    }
+
+    /// Convenience: submit one job and wait for it, resubmitting through
+    /// backpressure hints. Used by tests and the bench harness.
+    pub fn multiply_now(&self, session: u64, spec: SubmitSpec) -> Result<ServeResult, SubmitError> {
+        loop {
+            match self.submit(session, vec![spec.clone()])? {
+                Submission::Queued(tickets) => return Ok(tickets[0].wait()),
+                Submission::Backpressure(hint) => std::thread::sleep(hint.retry_after),
+            }
+        }
+    }
+
+    /// Cancels a job. Queued jobs complete as `canceled`; a job already
+    /// handed to the engine is canceled there (honoured only while it is
+    /// still in the engine queue). Returns whether the id was known.
+    pub fn cancel(&self, job: u64) -> bool {
+        let mut inner = self.lock();
+        let sids: Vec<u64> = inner.sessions.keys().copied().collect();
+        for sid in sids {
+            let sess = inner.sessions.get_mut(&sid).expect("session exists");
+            let Some(idx) = sess.queue.iter().position(|j| j.id == job) else {
+                continue;
+            };
+            let j = sess.queue.remove(idx).expect("index in range");
+            sess.canceled += 1;
+            self.shared.queue_gauge.sub(1);
+            if j.register {
+                if let Some(b) = j.batch {
+                    inner.batch_products.insert((b, j.batch_index), Err(j.id));
+                }
+            }
+            complete(&j.ticket, Err(EngineError::Canceled));
+            drop(inner);
+            self.shared.cv.notify_all();
+            return true;
+        }
+        if let Some(t) = inner.running.get(&job) {
+            t.cancel();
+            return true;
+        }
+        false
+    }
+
+    /// Current scheduler statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        let inner = self.lock();
+        let sessions = inner
+            .session_order
+            .iter()
+            .filter_map(|id| inner.sessions.get(id).map(|s| (id, s)))
+            .map(|(&id, s)| SessionStats {
+                id,
+                name: s.name.clone(),
+                weight: s.weight,
+                queued: s.queue.len(),
+                enqueued: s.enqueued,
+                completed: s.completed,
+                failed: s.failed,
+                canceled: s.canceled,
+                hints: s.hints,
+            })
+            .collect();
+        SchedulerStats {
+            sessions,
+            queue_depth: self.shared.queue_gauge.depth(),
+            queue_high_water: self.shared.queue_gauge.high_water(),
+            wait_mean: self.shared.wait_gauge.mean(),
+            wait_samples: self.shared.wait_gauge.samples(),
+            backpressure_hints: inner.hints,
+            deferred: inner.deferred,
+            batch_jobs: inner.batch_jobs,
+            dispatched: inner.dispatch_log.len() as u64,
+            in_flight: inner.in_flight,
+            exec_ewma: inner.exec_ewma,
+            draining: inner.draining,
+        }
+    }
+
+    /// `(session, job)` pairs in dispatch order — the fairness audit trail
+    /// tests assert interleaving on.
+    pub fn dispatch_log(&self) -> Vec<(u64, u64)> {
+        self.lock().dispatch_log.clone()
+    }
+
+    /// Stops accepting work and waits up to `deadline` for every queued and
+    /// in-flight job to finish. Jobs still queued past the deadline
+    /// complete as `shutting_down`. Returns `true` when the drain finished
+    /// inside the deadline.
+    pub fn drain(&self, deadline: Duration) -> bool {
+        let end = Instant::now() + deadline;
+        let mut inner = self.lock();
+        inner.draining = true;
+        self.shared.cv.notify_all();
+        let drained = loop {
+            let idle = inner.in_flight == 0 && inner.sessions.values().all(|s| s.queue.is_empty());
+            if idle {
+                break true;
+            }
+            let now = Instant::now();
+            if now >= end {
+                break false;
+            }
+            inner = self
+                .shared
+                .cv
+                .wait_timeout(inner, end - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        };
+        // Past the deadline: fail whatever is still queued (in-flight jobs
+        // are not interruptible; their waiters finish on their own).
+        let sids: Vec<u64> = inner.session_order.clone();
+        for sid in sids {
+            let Some(sess) = inner.sessions.get_mut(&sid) else {
+                continue;
+            };
+            let leftovers: Vec<QueuedSJob> = sess.queue.drain(..).collect();
+            sess.failed += leftovers.len() as u64;
+            for j in leftovers {
+                self.shared.queue_gauge.sub(1);
+                if j.register {
+                    if let Some(b) = j.batch {
+                        inner.batch_products.insert((b, j.batch_index), Err(j.id));
+                    }
+                }
+                complete(&j.ticket, Err(EngineError::ShuttingDown));
+            }
+        }
+        inner.stopped = true;
+        drop(inner);
+        self.shared.cv.notify_all();
+        drained
+    }
+
+    /// Drains (with `deadline`), joins the scheduler threads, and shuts the
+    /// engine down. Idempotent.
+    pub fn shutdown(&self, deadline: Duration) -> bool {
+        let drained = self.drain(deadline);
+        // Closing the channel ends the conversion thread.
+        *self
+            .shared
+            .convert_tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        if let Some(h) = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            let _ = h.join();
+        }
+        if let Some(h) = self
+            .converter
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            let _ = h.join();
+        }
+        self.shared.engine.shutdown();
+        drained
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown(Duration::from_secs(30));
+    }
+}
+
+/// `retry_after` for a backpressure hint: the backlog's expected service
+/// time under the execution EWMA, spread over the engine's workers.
+fn retry_after(inner: &Inner, cfg: &tsg_engine::EngineConfig, backlog: usize) -> Duration {
+    let ewma = if inner.exec_ewma.is_zero() {
+        Duration::from_millis(10)
+    } else {
+        inner.exec_ewma
+    };
+    let workers = cfg.workers.max(1) as u32;
+    (ewma * backlog.max(1) as u32 / workers).max(Duration::from_millis(1))
+}
+
+/// Resolution of one operand at dispatch time.
+enum Resolved {
+    Ready(MatrixId),
+    /// Referenced batch entry has not produced yet.
+    Pending,
+    /// Referenced batch entry failed; carries the dep's job id.
+    Broken(u64),
+}
+
+fn resolve_operand(inner: &Inner, job: &QueuedSJob, op: Operand) -> Resolved {
+    match op {
+        Operand::Id(id) => Resolved::Ready(id),
+        Operand::Ref(k) => {
+            let Some(batch) = job.batch else {
+                return Resolved::Broken(job.id);
+            };
+            match inner.batch_products.get(&(batch, k)) {
+                Some(Ok(id)) => Resolved::Ready(*id),
+                Some(Err(dep)) => Resolved::Broken(*dep),
+                None => Resolved::Pending,
+            }
+        }
+    }
+}
+
+/// What the dispatcher decided while scanning the queues.
+enum Scan {
+    /// Dispatch this session's head; `exclusive` marks a job admitted past
+    /// the free-memory check, which must then run alone.
+    Dispatch { sid: u64, exclusive: bool },
+    /// Nothing runnable (or the fair head is parked on memory): wait.
+    Wait,
+}
+
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    loop {
+        let mut inner = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let (sid, exclusive) = loop {
+            if inner.stopped {
+                return;
+            }
+            match scan(shared, &mut inner) {
+                Scan::Dispatch { sid, exclusive } => break (sid, exclusive),
+                Scan::Wait => {
+                    inner = shared
+                        .cv
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        };
+        dispatch(shared, &mut inner, sid, exclusive);
+        drop(inner);
+        shared.cv.notify_all();
+    }
+}
+
+/// One pass over the session queues: fail heads that can never run, then
+/// pick the weighted-fair runnable head and check it against free memory.
+fn scan(shared: &Arc<Shared>, inner: &mut Inner) -> Scan {
+    // The engine never sheds as long as in-flight stays within its queue
+    // depth (workers drain the queue faster than it fills from here).
+    let max_inflight = shared.engine.config().queue_depth.max(1);
+    if inner.in_flight >= max_inflight || inner.exclusive_job.is_some() {
+        return Scan::Wait;
+    }
+    // Terminal heads first: expired deadlines and broken dependencies are
+    // completed inline so they never block the fair pick.
+    loop {
+        let mut doomed: Option<(u64, EngineError)> = None;
+        'sessions: for (&sid, sess) in inner.sessions.iter() {
+            let Some(head) = sess.queue.front() else {
+                continue;
+            };
+            if head
+                .spec
+                .timeout
+                .is_some_and(|t| head.enqueued.elapsed() > t)
+            {
+                doomed = Some((sid, EngineError::TimedOut));
+                break 'sessions;
+            }
+            for op in [head.spec.a, head.spec.b] {
+                if let Resolved::Broken(dep) = resolve_operand(inner, head, op) {
+                    doomed = Some((sid, EngineError::DependencyFailed { dep }));
+                    break 'sessions;
+                }
+            }
+        }
+        let Some((sid, err)) = doomed else { break };
+        let sess = inner.sessions.get_mut(&sid).expect("session exists");
+        let j = sess.queue.pop_front().expect("head exists");
+        sess.failed += 1;
+        shared.queue_gauge.sub(1);
+        if j.register {
+            if let Some(b) = j.batch {
+                inner.batch_products.insert((b, j.batch_index), Err(j.id));
+            }
+        }
+        complete(&j.ticket, Err(err));
+    }
+    // The weighted-fair pick: smallest virtual finish tag among sessions
+    // whose head is runnable (dependencies resolved). Ties break by
+    // session id for determinism.
+    let mut pick: Option<(f64, u64)> = None;
+    for (&sid, sess) in inner.sessions.iter() {
+        let Some(head) = sess.queue.front() else {
+            continue;
+        };
+        let runnable = [head.spec.a, head.spec.b]
+            .into_iter()
+            .all(|op| matches!(resolve_operand(inner, head, op), Resolved::Ready(_)));
+        if !runnable {
+            continue;
+        }
+        let tag = sess.vtime.max(inner.vclock);
+        let better = match pick {
+            None => true,
+            Some((best, best_sid)) => tag < best || (tag == best && sid < best_sid),
+        };
+        if better {
+            pick = Some((tag, sid));
+        }
+    }
+    let Some((_, sid)) = pick else {
+        return Scan::Wait;
+    };
+    // Memory-ordered admission: the fair head dispatches only into memory
+    // known to be free. While it waits, nothing overtakes it — completions
+    // free memory, the queue drains, and once the device is idle the job
+    // goes solo (`admit_over_budget`), so deferral cannot starve.
+    let head = inner.sessions[&sid].queue.front().expect("head exists");
+    let (Resolved::Ready(a), Resolved::Ready(b)) = (
+        resolve_operand(inner, head, head.spec.a),
+        resolve_operand(inner, head, head.spec.b),
+    ) else {
+        return Scan::Wait;
+    };
+    let est_bytes = match shared.engine.estimate(a, b) {
+        Ok(e) => e.est_bytes,
+        // Bad operands (unloaded mid-queue) fail at engine submit with the
+        // right code; let the dispatch path handle it.
+        Err(_) => 0,
+    };
+    let budget = shared.engine.device().mem_budget;
+    let free = budget.saturating_sub(shared.engine.device_tracker().current_bytes());
+    if est_bytes > free && inner.in_flight > 0 {
+        let head = inner
+            .sessions
+            .get_mut(&sid)
+            .expect("session exists")
+            .queue
+            .front_mut()
+            .expect("head exists");
+        if !head.deferred_marked {
+            head.deferred_marked = true;
+            inner.deferred += 1;
+            shared.engine.recorder().add(Counter::ServeDeferred, 1);
+        }
+        return Scan::Wait;
+    }
+    // A head past the free-memory check only gets here with the device
+    // idle (`in_flight == 0`): it runs solo until it completes.
+    Scan::Dispatch {
+        sid,
+        exclusive: est_bytes > free,
+    }
+}
+
+/// Pops `sid`'s head, advances the fair clock, and hands the job to the
+/// engine; a waiter thread collects the result.
+fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, exclusive: bool) {
+    let sess = inner.sessions.get_mut(&sid).expect("session exists");
+    let job = sess.queue.pop_front().expect("head exists");
+    let start = sess.vtime.max(inner.vclock);
+    sess.vtime = start + 1.0 / sess.weight;
+    inner.vclock = start;
+    shared.queue_gauge.sub(1);
+    shared.wait_gauge.record(job.enqueued.elapsed());
+    let (Resolved::Ready(a), Resolved::Ready(b)) = (
+        resolve_operand(inner, &job, job.spec.a),
+        resolve_operand(inner, &job, job.spec.b),
+    ) else {
+        unreachable!("scan only dispatches runnable heads")
+    };
+    let mut spec = JobSpec::new(a, b);
+    spec.config = job.spec.config;
+    spec.timeout = job
+        .spec
+        .timeout
+        .map(|t| t.saturating_sub(job.enqueued.elapsed()));
+    // The scheduler already admitted the job against *free* memory (or
+    // decided it must run solo); the engine's whole-budget check would
+    // re-reject est > budget jobs the deferral path exists to serve.
+    spec.admit_over_budget = true;
+    match shared.engine.submit(spec) {
+        Ok(ticket) => {
+            inner.in_flight += 1;
+            if exclusive {
+                inner.exclusive_job = Some(job.id);
+            }
+            inner.running.insert(job.id, ticket.clone());
+            inner.dispatch_log.push((sid, job.id));
+            let shared_w = Arc::clone(shared);
+            let register = job.register;
+            let batch = job.batch;
+            let batch_index = job.batch_index;
+            let sticket = Arc::clone(&job.ticket);
+            let job_id = job.id;
+            std::thread::Builder::new()
+                .name(format!("tsg-serve-wait-{job_id}"))
+                .spawn(move || {
+                    waiter(
+                        &shared_w,
+                        sid,
+                        job_id,
+                        batch,
+                        batch_index,
+                        register,
+                        &ticket,
+                        &sticket,
+                    );
+                })
+                .expect("spawning waiter");
+            // Prefetching converts operands on the device — not while an
+            // over-budget job needs every byte of it.
+            if shared.cfg.prefetch && !exclusive {
+                prefetch_next(shared, inner);
+            }
+        }
+        Err(e) => {
+            let sess = inner.sessions.get_mut(&sid).expect("session exists");
+            sess.failed += 1;
+            if job.register {
+                if let Some(b) = job.batch {
+                    inner
+                        .batch_products
+                        .insert((b, job.batch_index), Err(job.id));
+                }
+            }
+            complete(&job.ticket, Err(e));
+        }
+    }
+}
+
+/// Warms the next runnable head's operand conversions on the conversion
+/// thread, overlapping job N+1's CSR→tiled conversion with job N's compute.
+fn prefetch_next(shared: &Arc<Shared>, inner: &Inner) {
+    let mut pick: Option<(f64, u64)> = None;
+    for (&sid, sess) in inner.sessions.iter() {
+        let Some(head) = sess.queue.front() else {
+            continue;
+        };
+        let runnable = [head.spec.a, head.spec.b]
+            .into_iter()
+            .all(|op| matches!(resolve_operand(inner, head, op), Resolved::Ready(_)));
+        if !runnable {
+            continue;
+        }
+        let tag = sess.vtime.max(inner.vclock);
+        if pick.is_none_or(|(best, _)| tag < best) {
+            pick = Some((tag, sid));
+        }
+    }
+    let Some((_, sid)) = pick else { return };
+    let head = inner.sessions[&sid].queue.front().expect("head exists");
+    let tx = shared
+        .convert_tx
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let Some(tx) = tx.as_ref() else { return };
+    for op in [head.spec.a, head.spec.b] {
+        if let Resolved::Ready(id) = resolve_operand(inner, head, op) {
+            let _ = tx.send(id);
+        }
+    }
+}
+
+/// Blocks on the engine ticket, registers kept products, and updates the
+/// scheduler's accounting.
+#[allow(clippy::too_many_arguments)]
+fn waiter(
+    shared: &Arc<Shared>,
+    sid: u64,
+    job_id: u64,
+    batch: Option<u64>,
+    batch_index: usize,
+    register: bool,
+    ticket: &JobTicket,
+    sticket: &STicket,
+) {
+    let result = ticket.wait();
+    // Product registration happens before the scheduler lock: it takes the
+    // registry lock internally and must not nest inside `inner`.
+    let serve_result: ServeResult = match result {
+        Ok(report) => {
+            let kept = register.then(|| shared.engine.register_product(Arc::clone(&report.c)).0);
+            Ok(JobDone { report, kept })
+        }
+        Err(e) => Err(e),
+    };
+    let mut inner = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
+    inner.in_flight -= 1;
+    if inner.exclusive_job == Some(job_id) {
+        inner.exclusive_job = None;
+    }
+    inner.running.remove(&job_id);
+    if register {
+        if let Some(b) = batch {
+            let entry = match &serve_result {
+                Ok(done) => Ok(done.kept.expect("registered products carry their id")),
+                Err(_) => Err(job_id),
+            };
+            inner.batch_products.insert((b, batch_index), entry);
+        }
+    }
+    if let Some(sess) = inner.sessions.get_mut(&sid) {
+        match &serve_result {
+            Ok(done) => {
+                sess.completed += 1;
+                // EWMA of execution time feeds retry_after hints.
+                let exec = done.report.exec;
+                inner.exec_ewma = if inner.exec_ewma.is_zero() {
+                    exec
+                } else {
+                    (inner.exec_ewma * 7 + exec * 3) / 10
+                };
+            }
+            Err(_) => sess.failed += 1,
+        }
+    }
+    drop(inner);
+    shared.cv.notify_all();
+    complete(sticket, serve_result);
+}

@@ -1,5 +1,6 @@
 //! End-to-end test of the `tsg-serve` binary over its stdin/stdout
-//! JSON-lines transport: load, convert, multiply, stats, evict, shutdown.
+//! JSON-lines transport: load, convert, multiply, sessions, batches,
+//! stats, evict, shutdown.
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
@@ -88,6 +89,24 @@ fn load_convert_multiply_stats_over_stdin() {
     assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(1));
     assert_eq!(stats.get("conversions").and_then(Value::as_u64), Some(1));
     assert!(stats.get("cached_bytes").and_then(Value::as_u64).unwrap() > 0);
+    // Arrivals are fully accounted: everything submitted was admitted.
+    assert_eq!(stats.get("submitted").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("admitted").and_then(Value::as_u64), Some(1));
+    // v2 responses extend the same object with the serving layer's view.
+    let serve_stats = stats.get("serve").expect("serve member");
+    let sessions = serve_stats
+        .get("sessions")
+        .and_then(Value::as_arr)
+        .expect("sessions array");
+    assert_eq!(
+        sessions.len(),
+        1,
+        "the multiply opened a session implicitly"
+    );
+    assert_eq!(
+        sessions[0].get("completed").and_then(Value::as_u64),
+        Some(1)
+    );
 
     let evicted = serve.request_ok(r#"{"op":"evict"}"#);
     assert_eq!(evicted.get("evicted").and_then(Value::as_u64), Some(1));
@@ -112,20 +131,31 @@ fn load_convert_multiply_stats_over_stdin() {
 fn protocol_version_is_stamped_and_gated_over_stdin() {
     let mut serve = Serve::spawn(&[]);
 
-    // A versioned hello succeeds and every response echoes "v".
-    let hello = serve.request_ok(r#"{"op":"hello","v":1}"#);
-    assert_eq!(hello.get("v").and_then(Value::as_u64), Some(1));
-    assert_eq!(
-        hello.get("server").and_then(Value::as_str),
-        Some("tsg-serve")
-    );
-    assert_eq!(hello.get("profile").and_then(Value::as_bool), Some(false));
+    // Both live generations are accepted, and every response stamps the
+    // server's own version (2).
+    for v in [1, 2] {
+        let hello = serve.request_ok(&format!(r#"{{"op":"hello","v":{v}}}"#));
+        assert_eq!(hello.get("v").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            hello.get("server").and_then(Value::as_str),
+            Some("tsg-serve")
+        );
+        assert_eq!(hello.get("profile").and_then(Value::as_bool), Some(false));
+    }
 
     // A client speaking a future generation is refused with the stable
     // code — and even the refusal carries the server's version.
-    let err = serve.request(r#"{"op":"hello","v":2}"#);
+    let err = serve.request(r#"{"op":"hello","v":3}"#);
     assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
-    assert_eq!(err.get("v").and_then(Value::as_u64), Some(1));
+    assert_eq!(err.get("v").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("protocol_mismatch")
+    );
+    // The serve-layer verbs run the same gate.
+    let err = serve.request(r#"{"op":"open_session","v":999}"#);
     assert_eq!(
         err.get("error")
             .and_then(|e| e.get("code"))
@@ -135,7 +165,89 @@ fn protocol_version_is_stamped_and_gated_over_stdin() {
 
     // Version-less requests (protocol 1 clients) keep working.
     let stats = serve.request_ok(r#"{"op":"stats"}"#);
-    assert_eq!(stats.get("v").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("v").and_then(Value::as_u64), Some(2));
+}
+
+#[test]
+fn sessions_batches_and_kept_products_over_stdin() {
+    let mut serve = Serve::spawn(&["--workers", "2"]);
+    let loaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
+    let id = loaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    let opened = serve.request_ok(r#"{"op":"open_session","name":"etl","weight":2}"#);
+    assert!(opened.get("session").and_then(Value::as_u64).unwrap() >= 1);
+
+    // keep:true registers the product and hands back its content handle.
+    let kept = serve.request_ok(&format!(
+        r#"{{"op":"multiply","a":"{id}","b":"{id}","keep":true}}"#
+    ));
+    let c = kept.get("c").and_then(Value::as_str).unwrap().to_string();
+    assert!(c.starts_with('m'));
+
+    // A dependent batch: entry 1 squares entry 0's product ($0). Equal "c"
+    // handles across routes prove bitwise-identical results.
+    let batch = serve.request_ok(&format!(
+        r#"{{"op":"multiply_many","jobs":[{{"a":"{id}","b":"{id}","keep":true}},{{"a":"$0","b":"$0","keep":true}}]}}"#
+    ));
+    let results = batch.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[0].get("c").and_then(Value::as_str),
+        Some(c.as_str())
+    );
+    let c2 = results[1].get("c").and_then(Value::as_str).unwrap();
+    // The chained product is (A²)², reusable as an operand directly.
+    let reuse = serve.request_ok(&format!(r#"{{"op":"multiply","a":"{c2}","b":"{id}"}}"#));
+    assert!(reuse.get("nnz_c").and_then(Value::as_u64).unwrap() > 0);
+
+    // Async batch: ids come back immediately, wait collects each.
+    let queued = serve.request_ok(&format!(
+        r#"{{"op":"multiply_many","async":true,"jobs":[{{"a":"{id}","b":"{id}"}},{{"a":"{id}","b":"{id}"}}]}}"#
+    ));
+    assert_eq!(queued.get("queued").and_then(Value::as_bool), Some(true));
+    let jobs: Vec<u64> = queued
+        .get("jobs")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|j| j.as_u64().unwrap())
+        .collect();
+    assert_eq!(jobs.len(), 2);
+    for job in jobs {
+        assert!(job >= 1 << 32, "serve ids live above the engine's");
+        let done = serve.request_ok(&format!(r#"{{"op":"wait","job":{job}}}"#));
+        assert_eq!(done.get("job").and_then(Value::as_u64), Some(job));
+        assert!(done.get("nnz_c").and_then(Value::as_u64).unwrap() > 0);
+    }
+
+    // Malformed batches are refused whole with bad_request.
+    let err = serve.request(&format!(
+        r#"{{"op":"multiply_many","jobs":[{{"a":"$0","b":"{id}"}}]}}"#
+    ));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("bad_request")
+    );
+
+    let stats = serve.request_ok(r#"{"op":"stats"}"#);
+    let serve_stats = stats.get("serve").unwrap();
+    assert_eq!(
+        serve_stats.get("batch_jobs").and_then(Value::as_u64),
+        Some(4)
+    );
+    assert!(
+        serve_stats
+            .get("dispatched")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 6
+    );
 }
 
 #[test]
@@ -187,12 +299,37 @@ fn profiled_burst_reports_spans_and_counters_over_stdin() {
         counters.get("bytes_alloc").and_then(Value::as_u64).unwrap()
             >= counters.get("bytes_freed").and_then(Value::as_u64).unwrap()
     );
+    // Every completed job lands in exactly one estimator-error bucket, so
+    // the bucket totals sum to the completions.
+    let est_err: u64 = [
+        "est_err_le_quarter",
+        "est_err_half",
+        "est_err_within_2x",
+        "est_err_double",
+        "est_err_ge_quad",
+    ]
+    .iter()
+    .map(|k| counters.get(k).and_then(Value::as_u64).unwrap())
+    .sum();
+    assert_eq!(est_err, 20, "estimator error histogram covers every job");
+    // Scheduler-side counters flow through the same recorder.
+    assert!(
+        counters
+            .get("sessions_opened")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert_eq!(
+        counters.get("serve_enqueued").and_then(Value::as_u64),
+        Some(20)
+    );
 
     // …and the profile verb dumps every recorded job's span tree.
     let profile = serve.request_ok(r#"{"op":"profile"}"#);
     let jobs = profile.get("jobs").and_then(Value::as_arr).expect("jobs");
     assert_eq!(jobs.len(), 20, "one span tree per burst job");
-    let hello = serve.request_ok(r#"{"op":"hello","v":1}"#);
+    let hello = serve.request_ok(r#"{"op":"hello","v":2}"#);
     assert_eq!(hello.get("profile").and_then(Value::as_bool), Some(true));
 }
 
@@ -222,6 +359,32 @@ fn hostile_input_stays_on_protocol_and_never_kills_the_loop() {
     // A frame past the 16 MiB limit is refused before parsing.
     let oversized = format!(r#"{{"op":"hello","pad":"{}"}}"#, "x".repeat(16 << 20));
     assert_eq!(error_code(&serve.request(&oversized)), "frame_too_large");
+
+    // Hostile multiply_many shapes: not an array, empty array, junk
+    // operands, self/forward refs, refs without a batch. All bad_request,
+    // none enqueue anything.
+    for line in [
+        r#"{"op":"multiply_many","jobs":"zap"}"#,
+        r#"{"op":"multiply_many","jobs":[]}"#,
+        r#"{"op":"multiply_many","jobs":[{"a":17,"b":true}]}"#,
+        r#"{"op":"multiply_many","jobs":[{"a":"not-an-id","b":"$zap"}]}"#,
+        r#"{"op":"multiply_many","jobs":[{"a":"$0","b":"$0"}]}"#,
+        r#"{"op":"multiply_many","jobs":[{"a":"$5","b":"m0000000000000000"}]}"#,
+        r#"{"op":"multiply_many"}"#,
+    ] {
+        assert_eq!(error_code(&serve.request(line)), "bad_request", "{line}");
+    }
+    // Waiting on a made-up serve job id is an error, not a hang.
+    assert_eq!(
+        error_code(&serve.request(r#"{"op":"wait","job":4294967299}"#)),
+        "bad_request"
+    );
+    let stats = serve.request_ok(r#"{"op":"stats"}"#);
+    let serve_stats = stats.get("serve").unwrap();
+    assert_eq!(
+        serve_stats.get("dispatched").and_then(Value::as_u64),
+        Some(0)
+    );
 
     // After all of that the very same session still serves normal traffic.
     let loaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
@@ -259,8 +422,11 @@ fn hostile_input_stays_on_protocol_and_never_kills_the_loop() {
 }
 
 #[test]
-fn budget_flag_feeds_admission_control() {
-    // 1 MiB budget: fem-00's square cannot be admitted.
+fn budget_flag_still_bounds_memory_under_deferred_admission() {
+    // 1 MiB budget: fem-00's square can never fit. The scheduler no longer
+    // rejects it up front (deferred admission runs it solo once the device
+    // is idle), so the mid-flight tracker is what stops it — with the
+    // typed out_of_memory error, not a drop.
     let mut serve = Serve::spawn(&["--budget-mb", "1"]);
     let loaded = serve.request_ok(r#"{"op":"load","gen":"fem-00"}"#);
     let id = loaded
@@ -274,8 +440,16 @@ fn budget_flag_feeds_admission_control() {
         err.get("error")
             .and_then(|e| e.get("code"))
             .and_then(Value::as_str),
-        Some("estimate_exceeds_budget")
+        Some("out_of_memory")
     );
     let stats = serve.request_ok(r#"{"op":"stats"}"#);
-    assert_eq!(stats.get("rejected").and_then(Value::as_u64), Some(1));
+    // Nothing rejected, nothing shed: the job was admitted, ran, and the
+    // budget stopped it mid-flight.
+    assert_eq!(stats.get("rejected").and_then(Value::as_u64), Some(0));
+    assert_eq!(stats.get("shed").and_then(Value::as_u64), Some(0));
+    assert_eq!(stats.get("failed").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        stats.get("device_bytes_in_use").and_then(Value::as_u64),
+        Some(0)
+    );
 }

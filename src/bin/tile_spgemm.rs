@@ -81,11 +81,38 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// When `resp` is a backpressure refusal, returns how long the server asked
+/// us to hold the request before resubmitting.
+fn backpressure_delay(resp: &str) -> Option<std::time::Duration> {
+    use tilespgemm::engine::json::{parse, Value};
+    let v = parse(resp).ok()?;
+    if v.get("ok").and_then(Value::as_bool) != Some(false) {
+        return None;
+    }
+    let code = v
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str);
+    if code != Some("backpressure") {
+        return None;
+    }
+    let ms = v
+        .get("retry_after_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(10.0);
+    Some(std::time::Duration::from_millis(
+        ms.clamp(1.0, 1000.0) as u64
+    ))
+}
+
 /// `tile_spgemm client [--connect ADDR] <script.jsonl | ->`
 ///
 /// Feeds engine-protocol request lines (from a file, or stdin with `-`) to
-/// an in-process engine, or to a running `tsg-serve` when `--connect` names
-/// its TCP address, and prints one response line per request.
+/// an in-process scheduler, or to a running `tsg-serve` when `--connect`
+/// names its TCP address, and prints one response line per request.
+/// Backpressure refusals are handled transparently: the client holds the
+/// request for the hinted `retry_after_ms` and resubmits, so scripts never
+/// see flow control.
 fn run_client(argv: &[String]) -> ! {
     let mut connect: Option<String> = None;
     let mut script: Option<String> = None;
@@ -134,31 +161,60 @@ fn run_client(argv: &[String]) -> ! {
                 if line.trim().is_empty() {
                     continue;
                 }
-                writeln!(stream, "{line}").unwrap_or_else(|e| die(&format!("send failed: {e}")));
-                let mut resp = String::new();
-                match replies.read_line(&mut resp) {
-                    Ok(0) => die("server closed the connection"),
-                    Ok(_) => {
-                        let _ = write!(out, "{resp}");
+                loop {
+                    writeln!(stream, "{line}")
+                        .unwrap_or_else(|e| die(&format!("send failed: {e}")));
+                    let mut resp = String::new();
+                    match replies.read_line(&mut resp) {
+                        Ok(0) => die("server closed the connection"),
+                        Ok(_) => {
+                            if let Some(delay) = backpressure_delay(&resp) {
+                                eprintln!(
+                                    "tile_spgemm: backpressure — retrying in {} ms",
+                                    delay.as_millis()
+                                );
+                                std::thread::sleep(delay);
+                                continue;
+                            }
+                            let _ = write!(out, "{resp}");
+                        }
+                        Err(e) => die(&format!("receive failed: {e}")),
                     }
-                    Err(e) => die(&format!("receive failed: {e}")),
+                    break;
                 }
             }
         }
         None => {
-            // Local mode: an in-process engine behind the same protocol.
-            use tilespgemm::engine::protocol::{Control, Session};
+            // Local mode: an in-process scheduler behind the same protocol,
+            // so scripts using the v2 session/batch verbs run unchanged.
+            use tilespgemm::engine::protocol::Control;
             use tilespgemm::engine::{Engine, EngineConfig};
-            let session = Session::new(std::sync::Arc::new(Engine::new(EngineConfig::default())));
+            use tilespgemm::serve::{SchedConfig, Scheduler, ServeSession};
+            let scheduler = std::sync::Arc::new(Scheduler::new(
+                std::sync::Arc::new(Engine::new(EngineConfig::default())),
+                SchedConfig::default(),
+            ));
+            let session = ServeSession::new(scheduler);
             let mut out = stdout.lock();
-            for line in requests.lines() {
+            'script: for line in requests.lines() {
                 let line = line.unwrap_or_else(|e| die(&format!("read error: {e}")));
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (resp, control) = session.handle_line(&line);
-                writeln!(out, "{resp}").unwrap_or_else(|e| die(&format!("write failed: {e}")));
-                if control == Control::Shutdown {
+                loop {
+                    let (resp, control) = session.handle_line(&line);
+                    if let Some(delay) = backpressure_delay(&resp) {
+                        eprintln!(
+                            "tile_spgemm: backpressure — retrying in {} ms",
+                            delay.as_millis()
+                        );
+                        std::thread::sleep(delay);
+                        continue;
+                    }
+                    writeln!(out, "{resp}").unwrap_or_else(|e| die(&format!("write failed: {e}")));
+                    if control == Control::Shutdown {
+                        break 'script;
+                    }
                     break;
                 }
             }

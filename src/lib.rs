@@ -43,6 +43,7 @@ pub use tsg_engine as engine;
 pub use tsg_gen as gen;
 pub use tsg_matrix as matrix;
 pub use tsg_runtime as runtime;
+pub use tsg_serve as serve;
 
 /// The types most programs need.
 pub mod prelude {
