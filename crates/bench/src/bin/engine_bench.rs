@@ -15,8 +15,16 @@
 //! counts — both zero by construction), the scheduler's statistics
 //! (hints, deferrals, queue high-water), the observability counter totals
 //! (including the `est_err_*` estimator-accuracy buckets, one tick per
-//! completed job), and a representative per-job span tree (the engine runs
-//! with `profile: true`).
+//! completed *multiply* job), and a representative per-job span tree (the
+//! engine runs with `profile: true`).
+//!
+//! A second section exercises the op-expression API on a fresh engine: a
+//! chained `A·B·C` job and an `A^6` power job whose intermediates stay
+//! resident tiled handles (zero conversions, zero CSR derivations)
+//! against the v2-client round-trip baseline (materialize each
+//! intermediate to CSR, re-register, reconvert), and a masked triangle
+//! count `A·A⟨A⟩` against the full product followed by a client-side
+//! Hadamard.
 //!
 //! ```text
 //! cargo run --release -p tsg-bench --bin engine_bench
@@ -240,6 +248,145 @@ fn main() {
         .expect("at least one job has a full job -> step1/step2/step3/alloc tree");
     sched.shutdown(Duration::from_secs(30));
 
+    // ---- Op-expression workloads ------------------------------------
+    // A fresh engine (default budget, no profiler) so the registry
+    // counters below measure only these jobs. Banded operands are the
+    // regime chaining targets: multiplies are cheap relative to the fat
+    // intermediates a round-tripping client keeps materializing.
+    let expr = Engine::new(EngineConfig::default());
+    let n2 = 120_000;
+    let band = |seed| GenSpec::Banded {
+        n: n2,
+        bandwidth: 8,
+        per_row: 6,
+        seed,
+    };
+    let fem2 = tsg_gen::suite::by_name("fem-00")
+        .expect("fem-00 exists")
+        .build();
+    let adj = tsg_matrix::ops::symmetrize_pattern(&tsg_matrix::ops::remove_diagonal(&fem2))
+        .map_values(|_| 1.0);
+    let (xa, _) = expr.register(band(5).build());
+    let (xb, _) = expr.register(band(9).build());
+    let (xc, _) = expr.register(band(13).build());
+    let (xm, _) = expr.register(adj.clone());
+    for id in [xa, xb, xc, xm] {
+        expr.convert(id).expect("pre-warm tiled operands");
+    }
+
+    // Chained A·B·C (one job, the intermediate held as a resident tiled
+    // handle — no conversions, no CSR derivations) against the round-trip
+    // baseline a v2 client had to run: materialize the intermediate to
+    // CSR, re-register it, reconvert for the next hop, drop the throwaway
+    // registration. The two paths interleave in one loop so machine drift
+    // hits both equally; best of 5 each.
+    let mut chain_ms = f64::MAX;
+    let mut chain = None;
+    let mut chain_derivations = 0;
+    let mut roundtrip_ms = f64::MAX;
+    let mut roundtrip = None;
+    for _ in 0..5 {
+        let before = expr.stats().registry.csr_derivations;
+        let t0 = Instant::now();
+        let r = expr
+            .multiply_now(tsg_engine::JobSpec::chain([xa, xb, xc]))
+            .expect("chained job runs");
+        chain_ms = chain_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        chain_derivations += expr.stats().registry.csr_derivations - before;
+        chain = Some(r);
+
+        let t0 = Instant::now();
+        let ab = expr
+            .multiply_now(tsg_engine::JobSpec::multiply(xa, xb))
+            .expect("first hop");
+        let (ab_id, _) = expr.register(ab.c.to_csr());
+        let r = expr
+            .multiply_now(tsg_engine::JobSpec::multiply(ab_id, xc))
+            .expect("second hop");
+        roundtrip_ms = roundtrip_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        roundtrip = Some(r);
+        expr.unregister(ab_id).expect("intermediate was registered");
+    }
+    let chain = chain.expect("five chain runs");
+    let roundtrip = roundtrip.expect("five round-trip runs");
+    assert!(
+        chain
+            .c
+            .to_csr()
+            .drop_numeric_zeros()
+            .approx_eq_ignoring_zeros(&roundtrip.c.to_csr().drop_numeric_zeros(), 1e-9),
+        "chained and round-tripped products agree"
+    );
+
+    // A^6 as one Power job (five links, four resident intermediates)
+    // against the v2 client's repeated square-and-re-register loop. The
+    // longer the chain, the more materializations the expression saves.
+    const POWER_K: u32 = 6;
+    let mut power_ms = f64::MAX;
+    let mut power = None;
+    let mut power_rt_ms = f64::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = expr
+            .multiply_now(tsg_engine::JobSpec::power(xa, POWER_K))
+            .expect("power job runs");
+        power_ms = power_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        power = Some(r);
+
+        let t0 = Instant::now();
+        let mut cur = xa;
+        let mut throwaway = Vec::new();
+        for _ in 0..POWER_K - 1 {
+            let hop = expr
+                .multiply_now(tsg_engine::JobSpec::multiply(cur, xa))
+                .expect("power hop runs");
+            let (id, _) = expr.register(hop.c.to_csr());
+            throwaway.push(id);
+            cur = id;
+        }
+        power_rt_ms = power_rt_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        for id in throwaway {
+            let _ = expr.unregister(id);
+        }
+    }
+    let power = power.expect("three power runs");
+
+    // Masked triangle count A·A⟨A⟩ vs the full product plus a client-side
+    // Hadamard with the adjacency pattern. Best of 3 each.
+    let mut masked_ms = f64::MAX;
+    let mut masked = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = expr
+            .multiply_now(tsg_engine::JobSpec::multiply(xm, xm).mask(xm))
+            .expect("masked multiply runs");
+        masked_ms = masked_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        masked = Some(r);
+    }
+    let masked = masked.expect("three masked runs");
+    let mut full_ms = f64::MAX;
+    let mut full_nnz = 0usize;
+    let mut triangles_baseline = 0.0f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = expr
+            .multiply_now(tsg_engine::JobSpec::multiply(xm, xm))
+            .expect("full multiply runs");
+        let had = tsg_matrix::ops::hadamard(&r.c.to_csr(), &adj);
+        full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        full_nnz = r.nnz_c;
+        triangles_baseline = tsg_matrix::ops::sum_all(&had) / 6.0;
+    }
+    let triangles = tsg_matrix::ops::sum_all(&masked.c.to_csr()) / 6.0;
+    expr.shutdown();
+    println!(
+        "chained A*B*C: {chain_ms:.2}ms handle-to-handle vs {roundtrip_ms:.2}ms round-trip \
+         ({:.2}x); A^{POWER_K}: {power_ms:.2}ms vs {power_rt_ms:.2}ms ({:.2}x); \
+         triangles {triangles:.0}: masked {masked_ms:.2}ms vs full+hadamard {full_ms:.2}ms",
+        roundtrip_ms / chain_ms,
+        power_rt_ms / power_ms
+    );
+
     let lookups = s.registry.cache_hits + s.registry.cache_misses;
     let hit_rate = if lookups > 0 {
         s.registry.cache_hits as f64 / lookups as f64
@@ -314,6 +461,45 @@ fn main() {
         ),
         ("serve", tsg_serve::wire::serve_stats_json(&serve)),
         (
+            "chained",
+            obj([
+                ("workload", "banded-8x6(120k): A * B * C".into()),
+                ("chain_ms", Value::Num(chain_ms)),
+                ("roundtrip_ms", Value::Num(roundtrip_ms)),
+                ("speedup", Value::Num(roundtrip_ms / chain_ms)),
+                ("links", u64::from(chain.links).into()),
+                ("intermediates", (chain.intermediates.len() as u64).into()),
+                ("link_conversions", u64::from(chain.conversions).into()),
+                ("csr_derivations", chain_derivations.into()),
+                ("nnz_c", chain.nnz_c.into()),
+            ]),
+        ),
+        (
+            "power",
+            obj([
+                ("workload", "banded-8x6(120k): A^6".into()),
+                ("chain_ms", Value::Num(power_ms)),
+                ("roundtrip_ms", Value::Num(power_rt_ms)),
+                ("speedup", Value::Num(power_rt_ms / power_ms)),
+                ("links", u64::from(power.links).into()),
+                ("intermediates", (power.intermediates.len() as u64).into()),
+                ("link_conversions", u64::from(power.conversions).into()),
+                ("nnz_c", power.nnz_c.into()),
+            ]),
+        ),
+        (
+            "triangle",
+            obj([
+                ("workload", "adj(fem-00): count = sum(A*A<A>)/6".into()),
+                ("masked_ms", Value::Num(masked_ms)),
+                ("full_hadamard_ms", Value::Num(full_ms)),
+                ("speedup", Value::Num(full_ms / masked_ms)),
+                ("triangles", Value::Num(triangles)),
+                ("masked_nnz", masked.nnz_c.into()),
+                ("full_nnz", full_nnz.into()),
+            ]),
+        ),
+        (
             "counters",
             Value::Obj(
                 metrics
@@ -358,5 +544,44 @@ fn main() {
         metrics.get(tsg_runtime::Counter::BytesAlloc)
             >= metrics.get(tsg_runtime::Counter::BytesFreed),
         "alloc bytes dominate freed bytes"
+    );
+    assert_eq!(chain.links, 2, "A*B*C folds as two links");
+    assert_eq!(
+        chain.intermediates.len(),
+        1,
+        "the single intermediate comes back as a registry handle"
+    );
+    assert_eq!(
+        chain.conversions, 0,
+        "pre-warmed chain converts nothing — intermediates stay tiled"
+    );
+    assert_eq!(
+        chain_derivations, 0,
+        "the chained path never materializes an intermediate CSR"
+    );
+    assert!(
+        chain_ms < roundtrip_ms,
+        "handle-to-handle chaining beats the CSR round-trip \
+         ({chain_ms:.2}ms vs {roundtrip_ms:.2}ms)"
+    );
+    assert_eq!(power.links, POWER_K - 1, "A^6 folds as five links");
+    assert_eq!(
+        power.intermediates.len(),
+        POWER_K as usize - 2,
+        "every non-final power intermediate comes back as a handle"
+    );
+    assert!(
+        power_ms < power_rt_ms,
+        "the power chain beats square-and-re-register \
+         ({power_ms:.2}ms vs {power_rt_ms:.2}ms)"
+    );
+    assert!(
+        (triangles - triangles_baseline).abs() <= 1e-6 * triangles.abs().max(1.0),
+        "masked and full-then-Hadamard triangle counts agree \
+         ({triangles} vs {triangles_baseline})"
+    );
+    assert!(
+        masked.nnz_c <= full_nnz,
+        "the structural mask prunes the product pattern"
     );
 }

@@ -12,7 +12,11 @@
 //!   the full `Config` knob sweep of the tiled pipeline plus all five
 //!   baseline methods, compared bitwise (scheduling-tier knobs) or under
 //!   the value policy (summation-order-tier knobs) against the serial
-//!   Gustavson gold, with a balanced-tracker check on every run.
+//!   Gustavson gold, with a balanced-tracker check on every run. The op-
+//!   expression axes ride the same sweep: the structural-mask kernel vs
+//!   `hadamard(gold, mask)`, the tiled linear combination vs the
+//!   elementwise CSR gold, and a handle-to-handle chain vs the composed
+//!   gold product.
 //! * [`corpus`] — the deterministic adversarial corpus, addressable by
 //!   stable name + seed so failures reproduce from one CLI line.
 //! * [`shrink`] — a greedy delta-debugging shrinker that minimizes any
@@ -30,5 +34,8 @@ pub mod oracle;
 pub mod shrink;
 
 pub use compare::{canonicalize, compare_csr, ulp_distance, Mismatch, ValuePolicy};
-pub use oracle::{check_configs, check_methods, check_pair, OracleFailure, OracleReport};
+pub use oracle::{
+    check_add, check_chain, check_configs, check_masked, check_methods, check_pair, OracleFailure,
+    OracleReport,
+};
 pub use shrink::{shrink_pair, Shrunk};

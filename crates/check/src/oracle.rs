@@ -19,11 +19,12 @@
 //! product is right.
 
 use tilespgemm_core::{
-    multiply_csr, multiply_csr_with, AccumulatorKind, Config, IntersectionKind, Scheduling,
+    multiply, multiply_csr, multiply_csr_with, multiply_masked, AccumulatorKind, Config,
+    IntersectionKind, Scheduling,
 };
 use tsg_baselines::reference::reference_spgemm;
 use tsg_baselines::{run_method, MethodKind};
-use tsg_matrix::Csr;
+use tsg_matrix::{ops, Coo, Csr, TileMatrix};
 use tsg_runtime::{CollectingRecorder, MemTracker};
 
 use crate::compare::{compare_csr, Mismatch, ValuePolicy};
@@ -229,13 +230,176 @@ pub fn check_configs(
     Ok(checked)
 }
 
-/// The full oracle: config sweep plus all baseline methods.
+/// Masked/add runs free their inputs but keep the long-lived output
+/// allocation attributed until reset (same contract as the baseline
+/// methods), so the leftover must be bounded by the peak, not zero.
+fn bounded(variant: &str, tracker: &MemTracker) -> Result<(), OracleFailure> {
+    if tracker.current_bytes() > tracker.peak_bytes() {
+        return Err(fail(
+            variant,
+            Mismatch::Run {
+                detail: format!(
+                    "tracker leftover {} bytes exceeds peak {}",
+                    tracker.current_bytes(),
+                    tracker.peak_bytes()
+                ),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// A unit-valued structural mask keeping the entries of `pattern` whose
+/// coordinates satisfy `keep`. Values are 1.0 so the same matrix doubles
+/// as the Hadamard multiplicand when building the masked gold.
+fn pattern_mask(pattern: &Csr<f64>, keep: impl Fn(u32, u32) -> bool) -> Csr<f64> {
+    let mut coo = Coo::new(pattern.nrows, pattern.ncols);
+    for r in 0..pattern.nrows {
+        let (cols, _) = pattern.row(r);
+        for &c in cols {
+            if keep(r as u32, c) {
+                coo.push(r as u32, c, 1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Checks the structural-mask kernel (`C⟨M⟩ = A·B`) against the composed
+/// gold `hadamard(reference(a, b), mask)` for a full mask (every product
+/// entry survives) and a checkerboard-thinned one (roughly half pruned —
+/// exercises both tile-level and in-tile rejection). Returns how many
+/// variants were checked.
+pub fn check_masked(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    policy: &ValuePolicy,
+) -> Result<usize, OracleFailure> {
+    let gold = reference_spgemm(a, b);
+    let ta = TileMatrix::from_csr(a);
+    let tb = TileMatrix::from_csr(b);
+    let masks = [
+        ("masked[full]", pattern_mask(&gold, |_, _| true)),
+        (
+            "masked[checkerboard]",
+            pattern_mask(&gold, |r, c| (r + c).is_multiple_of(2)),
+        ),
+    ];
+    let mut checked = 0;
+    for (variant, mask) in &masks {
+        let tracker = MemTracker::new();
+        let tm = TileMatrix::from_csr(mask);
+        let out = multiply_masked(&ta, &tb, &tm, &Config::default(), &tracker)
+            .map_err(|e| run_detail(variant, e))?;
+        bounded(variant, &tracker)?;
+        let expected = ops::hadamard(&gold, mask);
+        compare_csr(&out.to_csr(), &expected, policy).map_err(|m| fail(*variant, m))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Checks the tiled linear combination `αX + βY` against the elementwise
+/// CSR gold [`ops::add`]. Both operands are derived from `a` (the corpus
+/// pair may be rectangular, and addition needs matching shapes): `X = a`
+/// and `Y` a checkerboard-thinned, value-shifted variant so the union has
+/// overlap-only, X-only and Y-absent positions. Sweeps identity, scaled
+/// and subtracting coefficient pairs — the last exercises the explicit-zero
+/// cancellation path, which canonicalization folds away on both sides.
+/// Returns how many variants were checked.
+pub fn check_add(a: &Csr<f64>, policy: &ValuePolicy) -> Result<usize, OracleFailure> {
+    let x = a.clone();
+    let mut coo = Coo::new(a.nrows, a.ncols);
+    for r in 0..a.nrows {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if (r as u32 + c).is_multiple_of(2) {
+                coo.push(r as u32, c, 2.0 * v + 1.0);
+            }
+        }
+    }
+    let y = coo.to_csr();
+    let tx = TileMatrix::from_csr(&x);
+    let ty = TileMatrix::from_csr(&y);
+    let mut checked = 0;
+    for (alpha, beta) in [(1.0, 1.0), (2.0, -0.5), (1.0, -1.0)] {
+        let variant = format!("add[alpha={alpha},beta={beta}]");
+        let got = tilespgemm_core::add(alpha, &tx, beta, &ty);
+        let expected = ops::add(alpha, &x, beta, &y);
+        compare_csr(&got.to_csr(), &expected, policy).map_err(|m| fail(&variant, m))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Checks a two-link chain the way the engine folds one — the first link's
+/// *tiled* product fed straight back as the next link's left operand, no
+/// CSR round-trip — against the composed gold
+/// `reference(reference(a, b), d)`, plus a variant with a structural mask
+/// on the final link. `d` is a deterministic square matrix (scaled
+/// diagonal plus an off-diagonal band) sized to `b`'s column count.
+/// Returns how many variants were checked.
+pub fn check_chain(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    policy: &ValuePolicy,
+) -> Result<usize, OracleFailure> {
+    let n = b.ncols;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i as u32, i as u32, 1.0 + i as f64 * 0.25);
+        if n > 1 {
+            coo.push(i as u32, ((i + 3) % n) as u32, -0.5);
+        }
+    }
+    let d = coo.to_csr();
+    let gold = reference_spgemm(&reference_spgemm(a, b), &d);
+    let ta = TileMatrix::from_csr(a);
+    let tb = TileMatrix::from_csr(b);
+    let td = TileMatrix::from_csr(&d);
+    let config = Config::default();
+    let mut checked = 0;
+
+    // Unmasked: fold the links handle-to-handle on tiled intermediates.
+    {
+        let variant = "chain[a*b*d]";
+        let tracker = MemTracker::new();
+        let cur = multiply(&ta, &tb, &config, &tracker).map_err(|e| run_detail(variant, e))?;
+        let out = multiply(&cur.c, &td, &config, &tracker).map_err(|e| run_detail(variant, e))?;
+        balanced(variant, &tracker)?;
+        compare_csr(&out.to_csr(), &gold, policy).map_err(|m| fail(variant, m))?;
+        checked += 1;
+    }
+
+    // Mask pushed into the final link only, per the engine's pushdown rule.
+    {
+        let variant = "chain[a*b*d,masked]";
+        let mask = pattern_mask(&gold, |r, c| (r + c).is_multiple_of(2));
+        let tm = TileMatrix::from_csr(&mask);
+        let tracker = MemTracker::new();
+        let cur = multiply(&ta, &tb, &config, &tracker).map_err(|e| run_detail(variant, e))?;
+        let out = multiply_masked(&cur.c, &td, &tm, &config, &tracker)
+            .map_err(|e| run_detail(variant, e))?;
+        bounded(variant, &tracker)?;
+        let expected = ops::hadamard(&gold, &mask);
+        compare_csr(&out.to_csr(), &expected, policy).map_err(|m| fail(variant, m))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// The full oracle: config sweep, all baseline methods, and the op-
+/// expression axes (masked product, linear combination, chained product).
 pub fn check_pair(
     a: &Csr<f64>,
     b: &Csr<f64>,
     policy: &ValuePolicy,
 ) -> Result<OracleReport, OracleFailure> {
-    let variants = check_configs(a, b, policy)? + check_methods(a, b, policy)?;
+    let variants = check_configs(a, b, policy)?
+        + check_methods(a, b, policy)?
+        + check_masked(a, b, policy)?
+        + check_add(a, policy)?
+        + check_chain(a, b, policy)?;
     Ok(OracleReport {
         variants,
         gold_nnz: crate::compare::canonicalize(&reference_spgemm(a, b)).nnz(),

@@ -6,7 +6,8 @@ use tsg_check::{check_pair, corpus, ValuePolicy};
 
 /// One default-policy oracle run covers the whole variant space:
 /// 1 pivot + 32 bitwise (scheduling × reuse × intersection) + 1 recorder
-/// + 12 value-tier (accumulator × threshold) + 5 baseline methods = 51.
+/// + 12 value-tier (accumulator × threshold) + 5 baseline methods
+/// + 2 masked + 3 add + 2 chain (op-expression axes) = 58.
 #[test]
 fn corpus_cases_pass_and_cover_every_variant() {
     let policy = ValuePolicy::default();
@@ -19,7 +20,7 @@ fn corpus_cases_pass_and_cover_every_variant() {
     ] {
         let (a, b) = corpus::build(name, 0).expect("case exists");
         let report = check_pair(&a, &b, &policy).unwrap_or_else(|f| panic!("{name} failed: {f}"));
-        assert_eq!(report.variants, 51, "{name} covered the full sweep");
+        assert_eq!(report.variants, 58, "{name} covered the full sweep");
     }
 }
 

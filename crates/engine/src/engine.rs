@@ -31,14 +31,16 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tilespgemm_core::{multiply_with_pool, Config};
-use tsg_matrix::TileMatrix;
+use tilespgemm_core::{multiply_masked, multiply_with_pool, Config, SpGemmError};
+use tsg_matrix::{Footprint, TileMatrix};
 use tsg_runtime::observe::{
-    est_error_bucket, null_recorder, CollectingRecorder, MetricsSnapshot, Recorder,
+    est_error_bucket, null_recorder, CollectingRecorder, Counter, MetricsSnapshot, Recorder,
 };
-use tsg_runtime::{device::pool_for, Breakdown, Device, MemTracker, ScratchPool};
+use tsg_runtime::{device::pool_for, Breakdown, Device, MemTracker, ScratchPool, Step};
 
-use crate::estimate::{estimate_job, JobEstimate};
+use crate::estimate::{
+    estimate_add, estimate_job, estimate_product, mask_pruned, JobEstimate, OperandShape,
+};
 use crate::registry::{MatrixId, Registry, RegistryStats, TiledLookup};
 use crate::EngineError;
 
@@ -80,13 +82,112 @@ impl Default for EngineConfig {
     }
 }
 
-/// One multiply request.
+/// The operation a job evaluates, over registry handles.
+///
+/// This is the expression layer of the engine: GraphBLAS-style workloads —
+/// triangle counting `C⟨A⟩ = A·A`, Galerkin triple products `R·A·P`, Markov
+/// clustering's `A^k` — are sequences of products, and an `OpSpec` lets one
+/// job carry the whole sequence so intermediates stay in the tiled format
+/// instead of round-tripping through CSR between submissions.
+///
+/// `#[non_exhaustive]`: build specs through the [`JobSpec`] constructors
+/// (`JobSpec::multiply(a, b).mask(m)` and friends) and match with a wildcard
+/// arm, so new op kinds are not semver breaks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpSpec {
+    /// `C = A·B` — the classic single product.
+    Multiply {
+        /// Left operand.
+        a: MatrixId,
+        /// Right operand.
+        b: MatrixId,
+    },
+    /// `C⟨M⟩ = A·B` — the product computed only where the mask `M` has
+    /// stored entries. The mask is pushed into step 2 (the per-tile
+    /// symbolic phase inherits `M`'s tile structure), so masked-out tiles
+    /// are never computed, not computed-then-filtered.
+    MaskedMultiply {
+        /// Left operand.
+        a: MatrixId,
+        /// Right operand.
+        b: MatrixId,
+        /// Mask; shape must be `(a.nrows, b.ncols)`.
+        mask: MatrixId,
+    },
+    /// `C = alpha·A + beta·B` — elementwise linear combination of two
+    /// same-shaped operands (structural union; exact zeros are kept).
+    Add {
+        /// Scale on `a`.
+        alpha: f64,
+        /// Left operand.
+        a: MatrixId,
+        /// Scale on `b`.
+        beta: f64,
+        /// Right operand.
+        b: MatrixId,
+    },
+    /// `C = M₁·M₂·…·Mₙ` — a left-associated chain of products. Each
+    /// intermediate stays tiled and feeds the next link directly; it is
+    /// also registered as a resident product handle (unless registration
+    /// degrades gracefully under memory pressure), reported in
+    /// [`JobReport::intermediates`]. An optional mask applies to the final
+    /// link only.
+    Chain {
+        /// The operands, in multiplication order (at least two).
+        operands: Vec<MatrixId>,
+        /// Mask for the final link; shape must match the chain's output.
+        mask: Option<MatrixId>,
+    },
+    /// `C = A^k` — matrix power, `k ≥ 2`. Sugar for a chain of `k` copies
+    /// of `a`; executes through the same chain path.
+    Power {
+        /// The (square) operand.
+        a: MatrixId,
+        /// The exponent (at least 2).
+        k: u32,
+        /// Mask for the final link.
+        mask: Option<MatrixId>,
+    },
+}
+
+impl OpSpec {
+    /// Every registry handle the op references (operands, then mask).
+    pub fn operands(&self) -> Vec<MatrixId> {
+        match self {
+            OpSpec::Multiply { a, b } => vec![*a, *b],
+            OpSpec::MaskedMultiply { a, b, mask } => vec![*a, *b, *mask],
+            OpSpec::Add { a, b, .. } => vec![*a, *b],
+            OpSpec::Chain { operands, mask } => {
+                let mut v = operands.clone();
+                v.extend(mask.iter().copied());
+                v
+            }
+            OpSpec::Power { a, k, mask } => {
+                let mut v = vec![*a; (*k).max(1) as usize];
+                v.extend(mask.iter().copied());
+                v
+            }
+        }
+    }
+
+    /// Stable kind name (used in protocol responses and bench rows).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OpSpec::Multiply { .. } => "multiply",
+            OpSpec::MaskedMultiply { .. } => "masked_multiply",
+            OpSpec::Add { .. } => "add",
+            OpSpec::Chain { .. } => "chain",
+            OpSpec::Power { .. } => "power",
+        }
+    }
+}
+
+/// One job request: an [`OpSpec`] expression plus scheduling knobs.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    /// Left operand (must be registered).
-    pub a: MatrixId,
-    /// Right operand (must be registered).
-    pub b: MatrixId,
+    /// The operation to evaluate.
+    pub op: OpSpec,
     /// Pipeline configuration override; `None` uses the engine's base.
     pub config: Option<Config>,
     /// Queue-wait deadline override; `None` uses the engine default.
@@ -100,14 +201,79 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// A job multiplying `a · b` with engine defaults.
+    ///
+    /// Kept as a thin compatibility wrapper over [`JobSpec::multiply`]; the
+    /// protocol-v2 `multiply` verb and all pre-expression callers build
+    /// their specs here and behave exactly as before the op redesign.
     pub fn new(a: MatrixId, b: MatrixId) -> Self {
+        Self::multiply(a, b)
+    }
+
+    /// A job running an arbitrary op expression with engine defaults.
+    pub fn of(op: OpSpec) -> Self {
         JobSpec {
-            a,
-            b,
+            op,
             config: None,
             timeout: None,
             admit_over_budget: false,
         }
+    }
+
+    /// `C = A·B`.
+    pub fn multiply(a: MatrixId, b: MatrixId) -> Self {
+        Self::of(OpSpec::Multiply { a, b })
+    }
+
+    /// `C = alpha·A + beta·B`.
+    pub fn add(alpha: f64, a: MatrixId, beta: f64, b: MatrixId) -> Self {
+        Self::of(OpSpec::Add { alpha, a, beta, b })
+    }
+
+    /// A left-associated chain `C = M₁·M₂·…·Mₙ`.
+    pub fn chain(operands: impl Into<Vec<MatrixId>>) -> Self {
+        Self::of(OpSpec::Chain {
+            operands: operands.into(),
+            mask: None,
+        })
+    }
+
+    /// `C = A^k`.
+    pub fn power(a: MatrixId, k: u32) -> Self {
+        Self::of(OpSpec::Power { a, k, mask: None })
+    }
+
+    /// Applies a mask: a plain multiply becomes a [`OpSpec::MaskedMultiply`];
+    /// on a chain or power the mask attaches to the final link; on an
+    /// already-masked multiply it replaces the mask. `Add` has no product
+    /// to mask — the spec is returned unchanged.
+    pub fn mask(mut self, m: MatrixId) -> Self {
+        self.op = match self.op {
+            OpSpec::Multiply { a, b } => OpSpec::MaskedMultiply { a, b, mask: m },
+            OpSpec::MaskedMultiply { a, b, .. } => OpSpec::MaskedMultiply { a, b, mask: m },
+            OpSpec::Chain { operands, .. } => OpSpec::Chain {
+                operands,
+                mask: Some(m),
+            },
+            OpSpec::Power { a, k, .. } => OpSpec::Power {
+                a,
+                k,
+                mask: Some(m),
+            },
+            other @ OpSpec::Add { .. } => other,
+        };
+        self
+    }
+
+    /// Overrides the pipeline configuration.
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Overrides the queue-wait deadline.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
     }
 }
 
@@ -134,8 +300,17 @@ pub struct JobReport {
     pub conversions: u32,
     /// The cost prediction admission control admitted the job under.
     pub estimate: JobEstimate,
-    /// Per-step wall times of the multiply (Figure 10's slices).
+    /// Per-step wall times of the multiply (Figure 10's slices); chains
+    /// accumulate every link's slices.
     pub breakdown: Breakdown,
+    /// Multiply links executed: 1 for a (masked) multiply, 0 for an add,
+    /// `n − 1` for a chain of `n` operands.
+    pub links: u32,
+    /// Resident handles of chain intermediates registered along the way
+    /// (empty for non-chain ops, or when registration degraded under
+    /// memory pressure). Each can be used as an operand of a later job
+    /// without any CSR round-trip; release with `Engine::unregister`.
+    pub intermediates: Vec<MatrixId>,
 }
 
 /// Terminal state of a job.
@@ -254,6 +429,9 @@ pub struct EngineStats {
     pub registry: RegistryStats,
     /// Bytes currently cached by the registry.
     pub cached_bytes: usize,
+    /// Bytes held by resident (tiled-primary) product entries, outside the
+    /// conversion cache's budget.
+    pub resident_bytes: usize,
     /// Bytes currently tracked in-flight against the device budget.
     pub device_bytes_in_use: usize,
     /// High-water footprint of the shared scratch-arena pool (bytes); the
@@ -362,6 +540,11 @@ impl Engine {
     /// inserts it under its content id, and pre-seeds the tiled cache with
     /// the product itself so a dependent multiply skips the conversion.
     /// Returns `(id, deduped)` like [`Engine::register`].
+    ///
+    /// This is the *materializing* path (protocol `materialize: true`): the
+    /// CSR derivation costs about a product runtime. Chained workloads that
+    /// only feed the product back into later multiplies should use
+    /// [`Engine::register_tiled`] instead, which derives nothing.
     pub fn register_product(&self, tiled: Arc<TileMatrix<f64>>) -> (MatrixId, bool) {
         // Derive the CSR outside the registry lock — same discipline as
         // resolve_tiled, the derivation can cost a product runtime.
@@ -369,7 +552,28 @@ impl Engine {
         self.lock_registry().insert_with_tiled(csr, tiled)
     }
 
-    /// The registered CSR form of `id`.
+    /// Registers a pipeline product straight from its tiled form, with no
+    /// CSR derivation — the handle-in/handle-out path chained jobs use. The
+    /// entry is resident (exempt from cache eviction, see
+    /// [`Registry::insert_tiled`]); a CSR is derived lazily only if a
+    /// client later asks for one.
+    ///
+    /// The product is compacted first ([`TileMatrix::compact`]): phantom
+    /// tiles out of step 1's structural prediction would otherwise tax
+    /// every job that takes the handle as an operand, and would make the
+    /// content hash depend on which pipeline produced the value.
+    pub fn register_tiled(&self, tiled: Arc<TileMatrix<f64>>) -> (MatrixId, bool) {
+        let compact = if (0..tiled.tile_count()).any(|t| tiled.tile_nnz_of(t) == 0) {
+            Arc::new(tiled.compact())
+        } else {
+            tiled
+        };
+        self.lock_registry().insert_tiled(compact)
+    }
+
+    /// The registered CSR form of `id`. For resident tiled products this
+    /// materializes (and caches) the CSR — the opt-in conversion the
+    /// expression API otherwise avoids.
     pub fn csr(&self, id: MatrixId) -> Result<Arc<tsg_matrix::Csr<f64>>, EngineError> {
         self.lock_registry().csr(id)
     }
@@ -393,21 +597,16 @@ impl Engine {
 
     /// Predicts the cost of `a · b` without running it.
     pub fn estimate(&self, a: MatrixId, b: MatrixId) -> Result<JobEstimate, EngineError> {
-        let reg = self.lock_registry();
-        let ca = reg.csr(a)?;
-        let cb = reg.csr(b)?;
-        if ca.ncols != cb.nrows {
-            return Err(EngineError::SpGemm(
-                tilespgemm_core::SpGemmError::ShapeMismatch {
-                    a: (ca.nrows, ca.ncols),
-                    b: (cb.nrows, cb.ncols),
-                },
-            ));
-        }
-        // Cached tiled forms tighten the prediction, but reading them here
-        // would need &mut (LRU touch); the structural estimate is fine for
-        // admission.
-        Ok(estimate_job(&ca, None, &cb, None))
+        self.estimate_op(&OpSpec::Multiply { a, b })
+    }
+
+    /// Predicts the cost of an op expression without running it. Shape
+    /// errors (incompatible operands, a mask that does not match the
+    /// output) surface here exactly as they would at submit. Estimation
+    /// never materializes a CSR: operands whose CSR form is absent are
+    /// estimated structurally from their registered shape.
+    pub fn estimate_op(&self, op: &OpSpec) -> Result<JobEstimate, EngineError> {
+        estimate_spec(&self.lock_registry(), op)
     }
 
     /// Submits a job. Admission control runs synchronously: unknown
@@ -423,20 +622,7 @@ impl Engine {
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(EngineError::ShuttingDown);
         }
-        let estimate = {
-            let reg = self.lock_registry();
-            let ca = reg.csr(spec.a)?;
-            let cb = reg.csr(spec.b)?;
-            if ca.ncols != cb.nrows {
-                return Err(EngineError::SpGemm(
-                    tilespgemm_core::SpGemmError::ShapeMismatch {
-                        a: (ca.nrows, ca.ncols),
-                        b: (cb.nrows, cb.ncols),
-                    },
-                ));
-            }
-            estimate_job(&ca, None, &cb, None)
-        };
+        let estimate = estimate_spec(&self.lock_registry(), &spec.op)?;
         let budget = self.shared.cfg.device.mem_budget;
         if !spec.admit_over_budget && estimate.est_bytes > budget {
             self.shared
@@ -503,9 +689,9 @@ impl Engine {
     /// Current statistics snapshot.
     pub fn stats(&self) -> EngineStats {
         let c = &self.shared.counters;
-        let (registry, cached_bytes) = {
+        let (registry, cached_bytes, resident_bytes) = {
             let reg = self.lock_registry();
-            (reg.stats(), reg.cached_bytes())
+            (reg.stats(), reg.cached_bytes(), reg.resident_bytes())
         };
         EngineStats {
             submitted: c.submitted.load(Ordering::Relaxed),
@@ -521,6 +707,7 @@ impl Engine {
             queue_depth: self.lock_queue().len(),
             registry,
             cached_bytes,
+            resident_bytes,
             device_bytes_in_use: self.shared.device_tracker.current_bytes(),
             arena_high_water: self.shared.arena.high_water_bytes(),
         }
@@ -643,6 +830,125 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Shape-mismatch error from two shape summaries.
+fn shape_err(a: OperandShape, b: OperandShape) -> EngineError {
+    EngineError::SpGemm(SpGemmError::ShapeMismatch {
+        a: (a.nrows, a.ncols),
+        b: (b.nrows, b.ncols),
+    })
+}
+
+/// Cost prediction for an op expression, from registry shape summaries.
+///
+/// Uses the exact row-by-row flop count when both operands' CSR forms are
+/// already materialized, and the structural heuristic otherwise — the
+/// estimate never forces the CSR materialization the expression API exists
+/// to avoid. Shape validation happens here too, so incompatible operands
+/// are rejected at submit, before a worker ever runs.
+fn estimate_spec(reg: &Registry, op: &OpSpec) -> Result<JobEstimate, EngineError> {
+    let shape_of = |id: MatrixId| -> Result<OperandShape, EngineError> {
+        let (nrows, ncols, nnz) = reg.shape(id)?;
+        Ok(OperandShape { nrows, ncols, nnz })
+    };
+    let product = |a: MatrixId, b: MatrixId| -> Result<JobEstimate, EngineError> {
+        let sa = shape_of(a)?;
+        let sb = shape_of(b)?;
+        if sa.ncols != sb.nrows {
+            return Err(shape_err(sa, sb));
+        }
+        match (reg.csr_if_present(a)?, reg.csr_if_present(b)?) {
+            (Some(ca), Some(cb)) => Ok(estimate_job(&ca, None, &cb, None)),
+            _ => Ok(estimate_product(sa, sb)),
+        }
+    };
+    let chain = |operands: &[MatrixId], mask: Option<MatrixId>| {
+        if operands.len() < 2 {
+            return Err(EngineError::InvalidOp(
+                "a chain needs at least two operands",
+            ));
+        }
+        // Fold left: each link's output shape (with the estimated nnz)
+        // becomes the next link's left operand. Flops sum over links; the
+        // byte prediction is the widest single link, since intermediates
+        // are held one at a time.
+        let mut links: Vec<JobEstimate> = Vec::with_capacity(operands.len() - 1);
+        let mut cur = shape_of(operands[0])?;
+        for (i, &bid) in operands[1..].iter().enumerate() {
+            let sb = shape_of(bid)?;
+            if cur.ncols != sb.nrows {
+                return Err(shape_err(cur, sb));
+            }
+            let e = if i == 0 {
+                product(operands[0], bid)?
+            } else {
+                estimate_product(cur, sb)
+            };
+            cur = OperandShape {
+                nrows: cur.nrows,
+                ncols: sb.ncols,
+                nnz: e.est_nnz_c,
+            };
+            links.push(e);
+        }
+        if let Some(m) = mask {
+            let sm = shape_of(m)?;
+            if (sm.nrows, sm.ncols) != (cur.nrows, cur.ncols) {
+                return Err(shape_err(
+                    sm,
+                    OperandShape {
+                        nrows: cur.nrows,
+                        ncols: cur.ncols,
+                        nnz: 0,
+                    },
+                ));
+            }
+            let last = links.pop().expect("at least one link");
+            links.push(mask_pruned(last, sm));
+        }
+        let last = links.last().expect("at least one link");
+        Ok(JobEstimate {
+            flops: links.iter().map(|e| e.flops).sum(),
+            est_nnz_c: last.est_nnz_c,
+            est_bytes: links.iter().map(|e| e.est_bytes).max().unwrap_or(0),
+        })
+    };
+    match op {
+        OpSpec::Multiply { a, b } => product(*a, *b),
+        OpSpec::MaskedMultiply { a, b, mask } => {
+            let base = product(*a, *b)?;
+            let sa = shape_of(*a)?;
+            let sb = shape_of(*b)?;
+            let sm = shape_of(*mask)?;
+            if (sm.nrows, sm.ncols) != (sa.nrows, sb.ncols) {
+                return Err(shape_err(
+                    sm,
+                    OperandShape {
+                        nrows: sa.nrows,
+                        ncols: sb.ncols,
+                        nnz: 0,
+                    },
+                ));
+            }
+            Ok(mask_pruned(base, sm))
+        }
+        OpSpec::Add { a, b, .. } => {
+            let sa = shape_of(*a)?;
+            let sb = shape_of(*b)?;
+            if (sa.nrows, sa.ncols) != (sb.nrows, sb.ncols) {
+                return Err(shape_err(sa, sb));
+            }
+            Ok(estimate_add(sa, sb))
+        }
+        OpSpec::Chain { operands, mask } => chain(operands, *mask),
+        OpSpec::Power { a, k, mask } => {
+            if *k < 2 {
+                return Err(EngineError::InvalidOp("a power needs k >= 2"));
+            }
+            chain(&vec![*a; *k as usize], *mask)
+        }
+    }
+}
+
 fn run_job(shared: &Shared, job: QueuedJob) {
     let queue_wait = job.enqueued.elapsed();
     shared
@@ -679,37 +985,127 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         recorder.span_exit(span);
         out
     };
-    let result = resolve(job.spec.a).and_then(|(ta, hit_a)| {
-        let (tb, hit_b) = resolve(job.spec.b)?;
-        let config = job.spec.config.unwrap_or(shared.cfg.base_config);
-        let out = pool_for(&shared.cfg.device)
-            .install(|| {
-                multiply_with_pool(
-                    &ta,
-                    &tb,
-                    &config,
-                    &shared.device_tracker,
-                    recorder,
-                    job.id,
-                    &shared.arena,
-                )
+    let config = job.spec.config.unwrap_or(shared.cfg.base_config);
+    let result = match &job.spec.op {
+        OpSpec::Multiply { a, b } => resolve(*a).and_then(|(ta, hit_a)| {
+            let (tb, hit_b) = resolve(*b)?;
+            let out = pool_for(&shared.cfg.device)
+                .install(|| {
+                    multiply_with_pool(
+                        &ta,
+                        &tb,
+                        &config,
+                        &shared.device_tracker,
+                        recorder,
+                        job.id,
+                        &shared.arena,
+                    )
+                })
+                .map_err(EngineError::SpGemm)?;
+            let exec = exec_start.elapsed();
+            Ok(JobReport {
+                job: job.id,
+                nnz_c: out.c.nnz(),
+                tiles_c: out.c.tile_count(),
+                c: Arc::new(out.c),
+                queue_wait,
+                exec,
+                peak_bytes: out.peak_bytes,
+                cache_hits: u32::from(hit_a) + u32::from(hit_b),
+                conversions: u32::from(!hit_a) + u32::from(!hit_b),
+                estimate: job.estimate,
+                breakdown: out.breakdown,
+                links: 1,
+                intermediates: Vec::new(),
             })
-            .map_err(EngineError::SpGemm)?;
-        let exec = exec_start.elapsed();
-        Ok(JobReport {
-            job: job.id,
-            nnz_c: out.c.nnz(),
-            tiles_c: out.c.tile_count(),
-            c: Arc::new(out.c),
-            queue_wait,
-            exec,
-            peak_bytes: out.peak_bytes,
-            cache_hits: u32::from(hit_a) + u32::from(hit_b),
-            conversions: u32::from(!hit_a) + u32::from(!hit_b),
-            estimate: job.estimate,
-            breakdown: out.breakdown,
-        })
-    });
+        }),
+        OpSpec::MaskedMultiply { a, b, mask } => resolve(*a).and_then(|(ta, hit_a)| {
+            let (tb, hit_b) = resolve(*b)?;
+            let (tm, hit_m) = resolve(*mask)?;
+            let span = recorder.span_enter(job.id, "job");
+            let out = pool_for(&shared.cfg.device)
+                .install(|| multiply_masked(&ta, &tb, &tm, &config, &shared.device_tracker));
+            recorder.span_exit(span);
+            let out = out.map_err(EngineError::SpGemm)?;
+            let exec = exec_start.elapsed();
+            Ok(JobReport {
+                job: job.id,
+                nnz_c: out.c.nnz(),
+                tiles_c: out.c.tile_count(),
+                c: Arc::new(out.c),
+                queue_wait,
+                exec,
+                peak_bytes: out.peak_bytes,
+                cache_hits: u32::from(hit_a) + u32::from(hit_b) + u32::from(hit_m),
+                conversions: u32::from(!hit_a) + u32::from(!hit_b) + u32::from(!hit_m),
+                estimate: job.estimate,
+                breakdown: out.breakdown,
+                links: 1,
+                intermediates: Vec::new(),
+            })
+        }),
+        OpSpec::Add { alpha, a, beta, b } => resolve(*a).and_then(|(ta, hit_a)| {
+            let (tb, hit_b) = resolve(*b)?;
+            if (ta.nrows, ta.ncols) != (tb.nrows, tb.ncols) {
+                // `core::add` asserts on shape; surface the typed error
+                // instead (submit already validated against the registry,
+                // but operands can be swapped under us between admission
+                // and execution).
+                return Err(EngineError::SpGemm(SpGemmError::ShapeMismatch {
+                    a: (ta.nrows, ta.ncols),
+                    b: (tb.nrows, tb.ncols),
+                }));
+            }
+            // The add kernel has no tracker of its own; account its
+            // operands and output against the device budget here so an add
+            // respects the same admission backstop as the multiplies.
+            let input_bytes = ta.bytes() + tb.bytes();
+            shared
+                .device_tracker
+                .on_alloc(input_bytes)
+                .map_err(|e| EngineError::SpGemm(e.into()))?;
+            let mut breakdown = Breakdown::default();
+            let span = recorder.span_enter(job.id, "job");
+            let c = pool_for(&shared.cfg.device).install(|| {
+                breakdown.timed(Step::Step3, || {
+                    tilespgemm_core::add(*alpha, &ta, *beta, &tb)
+                })
+            });
+            recorder.span_exit(span);
+            let c_bytes = c.bytes();
+            let out_alloc = shared.device_tracker.on_alloc(c_bytes);
+            shared.device_tracker.on_free(input_bytes);
+            match out_alloc {
+                Ok(()) => shared.device_tracker.on_free(c_bytes),
+                Err(e) => return Err(EngineError::SpGemm(e.into())),
+            }
+            let exec = exec_start.elapsed();
+            Ok(JobReport {
+                job: job.id,
+                nnz_c: c.nnz(),
+                tiles_c: c.tile_count(),
+                c: Arc::new(c),
+                queue_wait,
+                exec,
+                peak_bytes: input_bytes + c_bytes,
+                cache_hits: u32::from(hit_a) + u32::from(hit_b),
+                conversions: u32::from(!hit_a) + u32::from(!hit_b),
+                estimate: job.estimate,
+                breakdown,
+                links: 0,
+                intermediates: Vec::new(),
+            })
+        }),
+        OpSpec::Chain { operands, mask } => run_chain(
+            shared, &job, &resolve, operands, *mask, &config, exec_start, queue_wait,
+        ),
+        OpSpec::Power { a, k, mask } => {
+            let ops = vec![*a; (*k).max(1) as usize];
+            run_chain(
+                shared, &job, &resolve, &ops, *mask, &config, exec_start, queue_wait,
+            )
+        }
+    };
     shared
         .counters
         .exec_micros
@@ -720,14 +1116,168 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             // Pin the estimator's accuracy per completed job: which log2
             // band did actual peak bytes land in relative to the admission
             // estimate? The OCEAN-style estimator work reads this baseline.
-            recorder.add(
-                est_error_bucket(report.estimate.est_bytes, report.peak_bytes),
-                1,
-            );
+            //
+            // Only plain multiplies tick: their estimate comes from the
+            // exact-flops model the histogram calibrates. Masked, add, and
+            // chain jobs run on different (heuristic) baselines and would
+            // pollute a like-for-like accuracy log, so they skip the tick.
+            if matches!(job.spec.op, OpSpec::Multiply { .. }) {
+                recorder.add(
+                    est_error_bucket(report.estimate.est_bytes, report.peak_bytes),
+                    1,
+                );
+            }
+            if matches!(job.spec.op, OpSpec::Chain { .. } | OpSpec::Power { .. }) {
+                recorder.add(Counter::ChainLinks, u64::from(report.links));
+            }
+            if matches!(
+                job.spec.op,
+                OpSpec::MaskedMultiply { .. }
+                    | OpSpec::Chain { mask: Some(_), .. }
+                    | OpSpec::Power { mask: Some(_), .. }
+            ) {
+                recorder.add(Counter::MaskedJobs, 1);
+            }
         }
         Err(_) => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
         }
     };
     complete(&job.ticket, result);
+}
+
+/// A resolved operand: its tiled form plus whether the conversion cache hit.
+type TiledHit = (Arc<TileMatrix<f64>>, bool);
+
+/// Executes a left-associated chain of multiplies, keeping every
+/// intermediate in the tiled format: link `i`'s product feeds link `i+1`
+/// directly as an `Arc`, and is also registered as a resident product
+/// handle (no CSR is derived — see [`Registry::insert_tiled`]). The mask,
+/// if any, applies to the final link via the masked kernel.
+///
+/// All named operands are pinned in the registry for the duration, so
+/// concurrent cache pressure cannot evict a tiled form between links.
+#[allow(clippy::too_many_arguments)]
+fn run_chain(
+    shared: &Shared,
+    job: &QueuedJob,
+    resolve: &dyn Fn(MatrixId) -> Result<TiledHit, EngineError>,
+    ops: &[MatrixId],
+    mask: Option<MatrixId>,
+    config: &Config,
+    exec_start: Instant,
+    queue_wait: Duration,
+) -> JobResult {
+    let recorder = &*shared.recorder;
+    let pinned: Vec<MatrixId> = ops.iter().copied().chain(mask).collect();
+    {
+        let mut reg = shared
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for &id in &pinned {
+            reg.pin(id);
+        }
+    }
+    let result = (|| {
+        let (first, hit0) = resolve(ops[0])?;
+        let mut cur = first;
+        let mut cache_hits = u32::from(hit0);
+        let mut conversions = u32::from(!hit0);
+        let tm = match mask {
+            Some(m) => {
+                let (t, hit) = resolve(m)?;
+                cache_hits += u32::from(hit);
+                conversions += u32::from(!hit);
+                Some(t)
+            }
+            None => None,
+        };
+        let mut breakdown = Breakdown::default();
+        let mut peak = 0usize;
+        let mut intermediates = Vec::new();
+        let last = ops.len() - 2;
+        for (i, &bid) in ops[1..].iter().enumerate() {
+            let (tb, hit) = resolve(bid)?;
+            cache_hits += u32::from(hit);
+            conversions += u32::from(!hit);
+            let out = match (i == last, &tm) {
+                (true, Some(tm)) => {
+                    let span = recorder.span_enter(job.id, "job");
+                    let out = pool_for(&shared.cfg.device)
+                        .install(|| multiply_masked(&cur, &tb, tm, config, &shared.device_tracker));
+                    recorder.span_exit(span);
+                    out.map_err(EngineError::SpGemm)?
+                }
+                _ => pool_for(&shared.cfg.device)
+                    .install(|| {
+                        multiply_with_pool(
+                            &cur,
+                            &tb,
+                            config,
+                            &shared.device_tracker,
+                            recorder,
+                            job.id,
+                            &shared.arena,
+                        )
+                    })
+                    .map_err(EngineError::SpGemm)?,
+            };
+            breakdown.step1 += out.breakdown.step1;
+            breakdown.step2 += out.breakdown.step2;
+            breakdown.step3 += out.breakdown.step3;
+            breakdown.alloc += out.breakdown.alloc;
+            peak = peak.max(out.peak_bytes);
+            // Step 1 predicts the product's tile set structurally, so the
+            // raw output can carry phantom (zero-entry) tiles. The next
+            // link's step 1 walks every operand tile, so compact before
+            // feeding the product back — a pure metadata rewrite, far
+            // cheaper than the CSR round-trip it replaces.
+            let c = Arc::new(out.c.compact());
+            if i != last {
+                // Failpoint `engine.chain_register`: the resident
+                // registration is refused (the registry cannot take the
+                // allocation). Graceful degradation: the intermediate
+                // lives on as this job's local `Arc`, the chain continues,
+                // only the handle is missing from the report.
+                #[cfg(feature = "failpoints")]
+                let skip = tsg_runtime::failpoint::should_fail("engine.chain_register");
+                #[cfg(not(feature = "failpoints"))]
+                let skip = false;
+                if !skip {
+                    let (mid, _) = shared
+                        .registry
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert_tiled(Arc::clone(&c));
+                    intermediates.push(mid);
+                }
+            }
+            cur = c;
+        }
+        let exec = exec_start.elapsed();
+        Ok(JobReport {
+            job: job.id,
+            nnz_c: cur.nnz(),
+            tiles_c: cur.tile_count(),
+            c: cur,
+            queue_wait,
+            exec,
+            peak_bytes: peak,
+            cache_hits,
+            conversions,
+            estimate: job.estimate,
+            breakdown,
+            links: (ops.len() - 1) as u32,
+            intermediates,
+        })
+    })();
+    let mut reg = shared
+        .registry
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    for &id in &pinned {
+        reg.unpin(id);
+    }
+    result
 }

@@ -25,15 +25,49 @@ use tsg_runtime::Scratch;
 /// tracker still backstops over-admission).
 pub const ASSUMED_COMPRESSION: u64 = 4;
 
-/// Predicted cost of one multiply job.
+/// Predicted cost of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobEstimate {
-    /// Flop count of the product (2 × intermediate products), exact.
+    /// Flop count. Exact (2 × intermediate products) when both CSR forms
+    /// are on hand; a structural heuristic otherwise (chain intermediates,
+    /// resident products whose CSR was never derived).
     pub flops: u64,
     /// Predicted output nonzeros after compaction.
     pub est_nnz_c: usize,
-    /// Predicted peak device bytes: both tiled operands plus the output.
+    /// Predicted peak device bytes: tiled operands plus the output.
     pub est_bytes: usize,
+}
+
+/// The shape summary an estimate needs from an operand — available from the
+/// registry without materializing either matrix form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandShape {
+    /// Row count.
+    pub nrows: usize,
+    /// Column count.
+    pub ncols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+}
+
+impl OperandShape {
+    /// Shape of a CSR operand.
+    pub fn of_csr(c: &Csr<f64>) -> Self {
+        OperandShape {
+            nrows: c.nrows,
+            ncols: c.ncols,
+            nnz: c.nnz(),
+        }
+    }
+
+    /// Shape of a tiled operand.
+    pub fn of_tiled(t: &TileMatrix<f64>) -> Self {
+        OperandShape {
+            nrows: t.nrows,
+            ncols: t.ncols,
+            nnz: t.nnz(),
+        }
+    }
 }
 
 /// Bytes of a tiled matrix without building it: per-nonzero locals
@@ -62,15 +96,48 @@ pub fn estimate_job(
     b_tiled: Option<&TileMatrix<f64>>,
 ) -> JobEstimate {
     let flops = a.spgemm_flops(b);
-    let products = flops / 2;
-    let est_nnz_c = (products / ASSUMED_COMPRESSION)
-        .min((a.nrows as u64).saturating_mul(b.ncols as u64)) as usize;
     let a_bytes = a_tiled
         .map(Footprint::bytes)
         .unwrap_or_else(|| est_tiled_bytes(a.nrows, a.ncols, a.nnz()));
     let b_bytes = b_tiled
         .map(Footprint::bytes)
         .unwrap_or_else(|| est_tiled_bytes(b.nrows, b.ncols, b.nnz()));
+    assemble_product(flops, a.nrows, b.ncols, a_bytes, b_bytes)
+}
+
+/// Predicts the cost of a product from operand *shapes* alone — the path
+/// for operands whose CSR form does not exist (resident tiled products,
+/// chain intermediates that are still hypothetical at admission time).
+/// Flops use the uniform-row heuristic `2 · nnz(A) · nnz(B)/nrows(B)`
+/// instead of the exact row-by-row count; everything downstream of the flop
+/// count is the same model as [`estimate_job`].
+pub fn estimate_product(a: OperandShape, b: OperandShape) -> JobEstimate {
+    let avg_b_row = if b.nrows == 0 {
+        0.0
+    } else {
+        b.nnz as f64 / b.nrows as f64
+    };
+    let flops = (2.0 * a.nnz as f64 * avg_b_row).round() as u64;
+    assemble_product(
+        flops,
+        a.nrows,
+        b.ncols,
+        est_tiled_bytes(a.nrows, a.ncols, a.nnz),
+        est_tiled_bytes(b.nrows, b.ncols, b.nnz),
+    )
+}
+
+/// Shared byte model downstream of the flop count.
+fn assemble_product(
+    flops: u64,
+    out_rows: usize,
+    out_cols: usize,
+    a_bytes: usize,
+    b_bytes: usize,
+) -> JobEstimate {
+    let products = flops / 2;
+    let est_nnz_c = (products / ASSUMED_COMPRESSION)
+        .min((out_rows as u64).saturating_mul(out_cols as u64)) as usize;
     // Output: locals + values per nonzero, plus tile bookkeeping folded into
     // the same per-nonzero constant (outputs are at least as clustered as
     // the estimate assumes).
@@ -89,6 +156,48 @@ pub fn estimate_job(
         flops,
         est_nnz_c,
         est_bytes,
+    }
+}
+
+/// Output-side byte terms attributable to `est_nnz_c` output nonzeros (the
+/// per-nonzero locals plus the pair-offset array) — what mask pruning can
+/// reclaim from a product estimate.
+fn output_terms(est_nnz_c: usize) -> usize {
+    est_nnz_c * (1 + 1 + 8) + (est_nnz_c.div_ceil(TILE_DIM).max(1) + 1) * 4
+}
+
+/// Prunes a product estimate by a mask: the output cannot exceed the mask's
+/// pattern (`C⟨M⟩ = A·B` keeps only positions stored in `M`), so the output
+/// nonzeros are capped at `mask.nnz`, flops are scaled by the surviving
+/// fraction (mask pushdown skips step-2 work for unmasked tiles), and the
+/// mask's own tiled input bytes join the operand term.
+pub fn mask_pruned(est: JobEstimate, mask: OperandShape) -> JobEstimate {
+    let pruned = est.est_nnz_c.min(mask.nnz);
+    let survival = if est.est_nnz_c == 0 {
+        1.0
+    } else {
+        pruned as f64 / est.est_nnz_c as f64
+    };
+    let flops = ((est.flops as f64 * survival).round() as u64).min(est.flops);
+    let mask_bytes = est_tiled_bytes(mask.nrows, mask.ncols, mask.nnz);
+    JobEstimate {
+        flops,
+        est_nnz_c: pruned,
+        est_bytes: est.est_bytes - output_terms(est.est_nnz_c) + output_terms(pruned) + mask_bytes,
+    }
+}
+
+/// Predicts the cost of `alpha·A + beta·B`: one scale-and-merge pass, so
+/// flops are `nnz(A) + nnz(B)`, the output is at most the structural union,
+/// and the byte term is both tiled operands plus the worst-case output.
+pub fn estimate_add(a: OperandShape, b: OperandShape) -> JobEstimate {
+    let union = (a.nnz + b.nnz).min(a.nrows.saturating_mul(a.ncols).max(1));
+    JobEstimate {
+        flops: (a.nnz + b.nnz) as u64,
+        est_nnz_c: union,
+        est_bytes: est_tiled_bytes(a.nrows, a.ncols, a.nnz)
+            + est_tiled_bytes(b.nrows, b.ncols, b.nnz)
+            + union * (1 + 1 + 8),
     }
 }
 
@@ -134,6 +243,65 @@ mod tests {
         // The structural tile-count bound (nnz tiles) over-estimates the
         // input term relative to the real conversion.
         assert!(exact.est_bytes <= structural.est_bytes);
+    }
+
+    #[test]
+    fn structural_estimate_tracks_the_exact_one() {
+        let a = GenSpec::Scatter {
+            n: 256,
+            per_row: 5,
+            seed: 3,
+        }
+        .build();
+        let exact = estimate_job(&a, None, &a, None);
+        let shaped = estimate_product(OperandShape::of_csr(&a), OperandShape::of_csr(&a));
+        // Uniform rows: the heuristic flop count is within 2× of the exact
+        // row-by-row count, and the byte model is the same downstream.
+        assert!(shaped.flops >= exact.flops / 2 && shaped.flops <= exact.flops * 2);
+        assert!(shaped.est_bytes > 0);
+    }
+
+    #[test]
+    fn mask_prunes_the_estimate() {
+        let a = GenSpec::Scatter {
+            n: 512,
+            per_row: 8,
+            seed: 1,
+        }
+        .build();
+        let base = estimate_job(&a, None, &a, None);
+        let sparse_mask = OperandShape {
+            nrows: a.nrows,
+            ncols: a.ncols,
+            nnz: 10,
+        };
+        let pruned = mask_pruned(base, sparse_mask);
+        assert_eq!(pruned.est_nnz_c, 10);
+        assert!(pruned.flops < base.flops);
+        // A mask as dense as the predicted output prunes nothing but still
+        // adds its own input bytes.
+        let loose_mask = OperandShape {
+            nrows: a.nrows,
+            ncols: a.ncols,
+            nnz: base.est_nnz_c,
+        };
+        let unpruned = mask_pruned(base, loose_mask);
+        assert_eq!(unpruned.est_nnz_c, base.est_nnz_c);
+        assert_eq!(unpruned.flops, base.flops);
+        assert!(unpruned.est_bytes > base.est_bytes);
+    }
+
+    #[test]
+    fn add_estimate_is_linear_in_the_operands() {
+        let s = OperandShape {
+            nrows: 1000,
+            ncols: 1000,
+            nnz: 5000,
+        };
+        let e = estimate_add(s, s);
+        assert_eq!(e.flops, 10_000);
+        assert_eq!(e.est_nnz_c, 10_000);
+        assert!(e.est_bytes > 0);
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod json;
 pub mod protocol;
 pub mod registry;
 
-pub use engine::{Engine, EngineConfig, EngineStats, JobReport, JobResult, JobSpec, JobTicket};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, JobReport, JobResult, JobSpec, JobTicket, OpSpec,
+};
 pub use estimate::{estimate_job, JobEstimate};
 pub use protocol::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use registry::{MatrixId, Registry, RegistryStats, TiledLookup};
@@ -77,6 +79,9 @@ pub enum EngineError {
         /// Serve-level id of the failed dependency job.
         dep: u64,
     },
+    /// The op expression is malformed (a chain with fewer than two
+    /// operands, a power with `k < 2`), independent of any operand's state.
+    InvalidOp(&'static str),
 }
 
 impl EngineError {
@@ -91,6 +96,7 @@ impl EngineError {
             EngineError::Canceled => "canceled",
             EngineError::ShuttingDown => "shutting_down",
             EngineError::DependencyFailed { .. } => "dependency_failed",
+            EngineError::InvalidOp(_) => "invalid_op",
         }
     }
 }
@@ -113,6 +119,7 @@ impl std::fmt::Display for EngineError {
             EngineError::DependencyFailed { dep } => {
                 write!(f, "dependency job {dep} failed; operands unavailable")
             }
+            EngineError::InvalidOp(why) => write!(f, "invalid op expression: {why}"),
         }
     }
 }

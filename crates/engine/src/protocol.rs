@@ -22,7 +22,11 @@
 //! | `{"op":"convert","id":"m…"}` | `{"ok":true,"id":"m…","tiles":..,"tiled_bytes":..,"cache_hit":false}` |
 //! | `{"op":"estimate","a":"m…","b":"m…"}` | `{"ok":true,"flops":..,"est_nnz_c":..,"est_bytes":..}` |
 //! | `{"op":"multiply","a":"m…","b":"m…"}` | `{"ok":true,"job":1,"nnz_c":..,"queue_wait_ms":..,"exec_ms":..,"step1_ms":..,…}` |
+//! | `{"op":"multiply",…,"mask":"m…"}` | as above, computed as `(A·B) ∘ mask` with the mask pushed into step 2 (v3) |
 //! | `{"op":"multiply",…,"async":true}` | `{"ok":true,"job":1,"queued":true}` then `{"op":"wait","job":1}` |
+//! | `{"op":"add","a":"m…","b":"m…","alpha":1,"beta":-1}` | multiply-shaped reply for `alpha·A + beta·B` (v3) |
+//! | `{"op":"chain","ids":["m…","m…","m…"]}` | multiply-shaped reply plus `"links"` and `"intermediates":["m…"]` (v3) |
+//! | `{"op":"power","a":"m…","k":3}` | as `chain` with `k` copies of `a` (v3) |
 //! | `{"op":"cancel","job":1}` | `{"ok":true,"job":1,"canceled":true}` |
 //! | `{"op":"stats"}` | `{"ok":true,"submitted":..,"cache_hit_rate":..,"counters":{…},…}` |
 //! | `{"op":"profile"}` | `{"ok":true,"profile":true,"counters":{…},"jobs":[{"job":1,"spans":[…]}]}` |
@@ -38,7 +42,17 @@
 //! `"binned"`), `"pair_reuse"` (bool), and `"timeout_ms"` overrides, plus
 //! `"keep":true` (v2) to register the product as an operand: the reply then
 //! carries its handle as `"c":"m…"`. Handles are content hashes, so equal
-//! `"c"` values prove bitwise-identical products. The v2 *session* verbs —
+//! `"c"` values prove bitwise-identical products.
+//!
+//! v3 adds the op-expression verbs (`mask` on `multiply`, `add`, `chain`,
+//! `power` — DESIGN.md §13) and the `"materialize"` flag on any of them:
+//! with `"keep":true,"materialize":false` the kept product registers from
+//! its *tiled* form (a resident handle; the CSR is derived only if a later
+//! `load`-style consumer actually needs it). `multiply` defaults to
+//! `materialize:true` so a v2 client's kept handles are unchanged;
+//! `add`/`chain`/`power` default to `false` — handle-in/handle-out with no
+//! CSR round-trips. A chain's intermediates always register tiled; their
+//! handles come back as `"intermediates"`. The v2 *session* verbs —
 //! `open_session`, `multiply_many`, weighted-fair scheduling, backpressure
 //! hints — live one layer up, in the `tsg-serve` crate wrapping this
 //! session (DESIGN.md §12).
@@ -59,17 +73,18 @@ use tilespgemm_core::{Config, Scheduling};
 use tsg_matrix::Coo;
 use tsg_runtime::{CollectingRecorder, SpanNode};
 
-use crate::engine::{Engine, JobReport, JobSpec, JobTicket};
+use crate::engine::{Engine, JobReport, JobSpec, JobTicket, OpSpec};
 use crate::json::{obj, parse, Value};
 use crate::registry::MatrixId;
 use crate::EngineError;
 
 /// The protocol generation this build speaks. Bumped on wire changes; every
 /// response echoes it as `"v"`. Requests may name any version down to
-/// [`MIN_PROTOCOL_VERSION`] (v2 is a strict superset of v1 — new verbs and
-/// new response members only); anything else is rejected with the
+/// [`MIN_PROTOCOL_VERSION`] (each generation is a strict superset of the
+/// previous — new verbs and new response members only, so v1/v2 requests
+/// are answered bit-for-bit as before); anything else is rejected with the
 /// `protocol_mismatch` error code.
-pub const PROTOCOL_VERSION: u64 = 2;
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Oldest protocol generation still accepted in a request's `"v"`.
 pub const MIN_PROTOCOL_VERSION: u64 = 1;
@@ -85,9 +100,16 @@ pub const MAX_FRAME_BYTES: usize = 16 << 20;
 /// session for later `wait`/`cancel`.
 pub struct Session {
     engine: Arc<Engine>,
-    /// Pending `"async"` multiplies: ticket plus the request's `"keep"`
-    /// flag, honoured when `wait` collects the result.
-    tickets: Mutex<HashMap<u64, (JobTicket, bool)>>,
+    /// Pending `"async"` jobs: ticket plus the request's `"keep"` and
+    /// `"materialize"` flags, honoured when `wait` collects the result.
+    tickets: Mutex<HashMap<u64, (JobTicket, KeepMode)>>,
+}
+
+/// How a request asked to retain its product.
+#[derive(Debug, Clone, Copy)]
+struct KeepMode {
+    keep: bool,
+    materialize: bool,
 }
 
 /// What the transport should do after a response.
@@ -190,6 +212,9 @@ impl Session {
             "convert" => self.convert(req),
             "estimate" => self.estimate(req),
             "multiply" => self.multiply(req),
+            "add" => self.add(req),
+            "chain" => self.chain(req),
+            "power" => self.power(req),
             "wait" => self.wait(req),
             "cancel" => self.cancel(req),
             "stats" => Ok(self.stats()),
@@ -299,9 +324,20 @@ impl Session {
     }
 
     fn estimate(&self, req: &Value) -> Result<Value, ProtocolError> {
-        let a = Self::matrix_id(req, "a")?;
-        let b = Self::matrix_id(req, "b")?;
-        let e = self.engine.estimate(a, b)?;
+        // v3: estimate speaks the full op grammar — optional `"mask"`, or a
+        // chain via `"ids"` — but a plain `{a, b}` request is answered by
+        // the exact v2 model, bit for bit.
+        let op = if req.get("ids").is_some() {
+            Self::chain_op(req)?
+        } else {
+            let a = Self::matrix_id(req, "a")?;
+            let b = Self::matrix_id(req, "b")?;
+            match Self::opt_matrix_id(req, "mask")? {
+                Some(mask) => OpSpec::MaskedMultiply { a, b, mask },
+                None => OpSpec::Multiply { a, b },
+            }
+        };
+        let e = self.engine.estimate_op(&op)?;
         Ok(obj([
             ("ok", true.into()),
             ("flops", e.flops.into()),
@@ -310,8 +346,37 @@ impl Session {
         ]))
     }
 
-    fn job_spec(&self, req: &Value) -> Result<JobSpec, ProtocolError> {
-        let mut spec = JobSpec::new(Self::matrix_id(req, "a")?, Self::matrix_id(req, "b")?);
+    fn opt_matrix_id(req: &Value, key: &str) -> Result<Option<MatrixId>, ProtocolError> {
+        match req.get(key) {
+            Some(_) => Ok(Some(Self::matrix_id(req, key)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Parses the `chain` verb's op: `"ids"` plus an optional `"mask"`.
+    fn chain_op(req: &Value) -> Result<OpSpec, ProtocolError> {
+        let ids = req
+            .get("ids")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ProtocolError::bad("chain needs an \"ids\" array"))?;
+        let operands = ids
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .and_then(|s| s.parse::<MatrixId>().ok())
+                    .ok_or_else(|| {
+                        ProtocolError::bad("each chain id must be a matrix handle string")
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(OpSpec::Chain {
+            operands,
+            mask: Self::opt_matrix_id(req, "mask")?,
+        })
+    }
+
+    fn job_spec(&self, req: &Value, op: OpSpec) -> Result<JobSpec, ProtocolError> {
+        let mut spec = JobSpec::of(op);
         let mut config: Option<Config> = None;
         if let Some(s) = req.get("scheduling").and_then(Value::as_str) {
             let scheduling = match s {
@@ -332,13 +397,29 @@ impl Session {
         Ok(spec)
     }
 
-    fn multiply(&self, req: &Value) -> Result<Value, ProtocolError> {
-        let spec = self.job_spec(req)?;
-        let keep = req.get("keep").and_then(Value::as_bool) == Some(true);
+    /// Submits an op-expression job and renders/queues the reply — the
+    /// shared tail of `multiply`, `add`, `chain`, and `power`. Each verb
+    /// picks its own `materialize` default: `true` for `multiply` (v2-kept
+    /// handles are CSR-backed, unchanged) and `false` for the v3 verbs
+    /// (kept products stay tiled).
+    fn submit_op(
+        &self,
+        req: &Value,
+        op: OpSpec,
+        default_materialize: bool,
+    ) -> Result<Value, ProtocolError> {
+        let spec = self.job_spec(req, op)?;
+        let mode = KeepMode {
+            keep: req.get("keep").and_then(Value::as_bool) == Some(true),
+            materialize: req
+                .get("materialize")
+                .and_then(Value::as_bool)
+                .unwrap_or(default_materialize),
+        };
         let ticket = self.engine.submit(spec)?;
         if req.get("async").and_then(Value::as_bool) == Some(true) {
             let job = ticket.job;
-            self.lock_tickets().insert(job, (ticket, keep));
+            self.lock_tickets().insert(job, (ticket, mode));
             return Ok(obj([
                 ("ok", true.into()),
                 ("job", job.into()),
@@ -346,7 +427,45 @@ impl Session {
             ]));
         }
         let report = ticket.wait()?;
-        Ok(self.finish(&report, keep))
+        Ok(self.finish(&report, mode))
+    }
+
+    fn multiply(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let a = Self::matrix_id(req, "a")?;
+        let b = Self::matrix_id(req, "b")?;
+        let op = match Self::opt_matrix_id(req, "mask")? {
+            Some(mask) => OpSpec::MaskedMultiply { a, b, mask },
+            None => OpSpec::Multiply { a, b },
+        };
+        self.submit_op(req, op, true)
+    }
+
+    fn add(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let op = OpSpec::Add {
+            alpha: req.get("alpha").and_then(Value::as_f64).unwrap_or(1.0),
+            a: Self::matrix_id(req, "a")?,
+            beta: req.get("beta").and_then(Value::as_f64).unwrap_or(1.0),
+            b: Self::matrix_id(req, "b")?,
+        };
+        self.submit_op(req, op, false)
+    }
+
+    fn chain(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let op = Self::chain_op(req)?;
+        self.submit_op(req, op, false)
+    }
+
+    fn power(&self, req: &Value) -> Result<Value, ProtocolError> {
+        let k = req
+            .get("k")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ProtocolError::bad("power needs a numeric \"k\""))?;
+        let op = OpSpec::Power {
+            a: Self::matrix_id(req, "a")?,
+            k: u32::try_from(k).map_err(|_| ProtocolError::bad("\"k\" out of range"))?,
+            mask: Self::opt_matrix_id(req, "mask")?,
+        };
+        self.submit_op(req, op, false)
     }
 
     fn wait(&self, req: &Value) -> Result<Value, ProtocolError> {
@@ -354,18 +473,25 @@ impl Session {
             .get("job")
             .and_then(Value::as_u64)
             .ok_or_else(|| ProtocolError::bad("wait needs a numeric \"job\""))?;
-        let (ticket, keep) = self
+        let (ticket, mode) = self
             .lock_tickets()
             .remove(&job)
             .ok_or_else(|| ProtocolError::bad("unknown job id for this session"))?;
         let report = ticket.wait()?;
-        Ok(self.finish(&report, keep))
+        Ok(self.finish(&report, mode))
     }
 
     /// Renders a completed job, registering the product first when the
-    /// request asked to `keep` it.
-    fn finish(&self, report: &JobReport, keep: bool) -> Value {
-        let kept = keep.then(|| self.engine.register_product(Arc::clone(&report.c)).0);
+    /// request asked to `keep` it — as a CSR-backed entry when it asked to
+    /// materialize, as a resident tiled entry otherwise.
+    fn finish(&self, report: &JobReport, mode: KeepMode) -> Value {
+        let kept = mode.keep.then(|| {
+            if mode.materialize {
+                self.engine.register_product(Arc::clone(&report.c)).0
+            } else {
+                self.engine.register_tiled(Arc::clone(&report.c)).0
+            }
+        });
         report_response(report, self.collector(), kept)
     }
 
@@ -441,7 +567,7 @@ impl Session {
         ]))
     }
 
-    fn lock_tickets(&self) -> std::sync::MutexGuard<'_, HashMap<u64, (JobTicket, bool)>> {
+    fn lock_tickets(&self) -> std::sync::MutexGuard<'_, HashMap<u64, (JobTicket, KeepMode)>> {
         self.tickets.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -500,7 +626,9 @@ pub fn stats_response(engine: &Engine) -> Value {
         ("cache_misses", s.registry.cache_misses.into()),
         ("cache_hit_rate", Value::Num(hit_rate)),
         ("evictions", s.registry.evictions.into()),
+        ("csr_derivations", s.registry.csr_derivations.into()),
         ("cached_bytes", s.cached_bytes.into()),
+        ("resident_bytes", s.resident_bytes.into()),
         ("device_bytes_in_use", s.device_bytes_in_use.into()),
         ("arena_high_water", s.arena_high_water.into()),
         ("profile", engine.collector().is_some().into()),
@@ -570,6 +698,22 @@ pub fn report_response(
         ("est_bytes", r.estimate.est_bytes.into()),
         ("flops", r.estimate.flops.into()),
     ];
+    // v3 members appear only on multi-link (chain/power) replies, so a v2
+    // client's multiply responses carry exactly the members they always did.
+    if r.links > 1 {
+        members.push(("links", u64::from(r.links).into()));
+    }
+    if !r.intermediates.is_empty() {
+        members.push((
+            "intermediates",
+            Value::Arr(
+                r.intermediates
+                    .iter()
+                    .map(|id| id.to_string().into())
+                    .collect(),
+            ),
+        ));
+    }
     if let Some(id) = kept {
         members.push(("c", id.to_string().into()));
     }
@@ -803,6 +947,114 @@ mod tests {
         let jobs = p.get("jobs").and_then(Value::as_arr).unwrap();
         assert_eq!(jobs.len(), 1);
         assert!(jobs[0].get("spans").and_then(Value::as_arr).is_some());
+    }
+
+    #[test]
+    fn chain_runs_handle_to_handle_without_csr_round_trips() {
+        let s = session();
+        let loaded = ok(&s, r#"{"op":"load","gen":"fem-00"}"#);
+        let id = loaded
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        // Gold path: materialize each step (the v2 idiom the chain replaces).
+        let m1 = ok(
+            &s,
+            &format!(r#"{{"op":"multiply","a":"{id}","b":"{id}","keep":true}}"#),
+        );
+        let c1 = m1.get("c").and_then(Value::as_str).unwrap().to_string();
+        // A plain multiply reply has no v3 members.
+        assert!(m1.get("links").is_none());
+        assert!(m1.get("intermediates").is_none());
+        let m2 = ok(&s, &format!(r#"{{"op":"multiply","a":"{c1}","b":"{id}"}}"#));
+        let gold_nnz = m2.get("nnz_c").and_then(Value::as_u64).unwrap();
+        let derivations_before = ok(&s, r#"{"op":"stats"}"#)
+            .get("csr_derivations")
+            .and_then(Value::as_u64)
+            .unwrap();
+
+        // Chain path: one request, intermediate stays tiled.
+        let ch = ok(
+            &s,
+            &format!(r#"{{"op":"chain","ids":["{id}","{id}","{id}"],"keep":true}}"#),
+        );
+        assert_eq!(ch.get("links").and_then(Value::as_u64), Some(2));
+        assert_eq!(ch.get("nnz_c").and_then(Value::as_u64), Some(gold_nnz));
+        let inter = ch.get("intermediates").and_then(Value::as_arr).unwrap();
+        assert_eq!(inter.len(), 1);
+        let kept = ch.get("c").and_then(Value::as_str).unwrap().to_string();
+
+        let st = ok(&s, r#"{"op":"stats"}"#);
+        // Nothing in the chain touched a CSR: the intermediate and the kept
+        // product both registered from their tiled forms.
+        assert_eq!(
+            st.get("csr_derivations").and_then(Value::as_u64),
+            Some(derivations_before)
+        );
+        assert!(st.get("resident_bytes").and_then(Value::as_u64).unwrap() > 0);
+
+        // The kept tiled handle is a first-class operand: square it.
+        let sq = ok(
+            &s,
+            &format!(r#"{{"op":"multiply","a":"{kept}","b":"{kept}"}}"#),
+        );
+        assert!(sq.get("nnz_c").and_then(Value::as_u64).unwrap() > 0);
+        // …and still no CSR was derived for it.
+        let st = ok(&s, r#"{"op":"stats"}"#);
+        assert_eq!(
+            st.get("csr_derivations").and_then(Value::as_u64),
+            Some(derivations_before)
+        );
+    }
+
+    #[test]
+    fn masked_multiply_and_add_verbs() {
+        let s = session();
+        let loaded = ok(
+            &s,
+            r#"{"op":"load","rows":3,"cols":3,"triplets":[[0,0,1],[0,1,2],[1,1,3],[2,2,4]]}"#,
+        );
+        let id = loaded
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        // Masking A·A by A keeps only the product entries on A's pattern.
+        let full = ok(&s, &format!(r#"{{"op":"multiply","a":"{id}","b":"{id}"}}"#));
+        let masked = ok(
+            &s,
+            &format!(r#"{{"op":"multiply","a":"{id}","b":"{id}","mask":"{id}"}}"#),
+        );
+        let full_nnz = full.get("nnz_c").and_then(Value::as_u64).unwrap();
+        let masked_nnz = masked.get("nnz_c").and_then(Value::as_u64).unwrap();
+        assert!(masked_nnz <= full_nnz);
+        assert!(masked_nnz <= 4);
+
+        // Addition is a structural union (cancellations stay as explicit
+        // zeros, like the SpGEMM kernels), so both A − A and A + A keep
+        // exactly A's pattern.
+        let zero = ok(
+            &s,
+            &format!(r#"{{"op":"add","a":"{id}","b":"{id}","alpha":1,"beta":-1}}"#),
+        );
+        assert_eq!(zero.get("nnz_c").and_then(Value::as_u64), Some(4));
+        let double = ok(&s, &format!(r#"{{"op":"add","a":"{id}","b":"{id}"}}"#));
+        assert_eq!(double.get("nnz_c").and_then(Value::as_u64), Some(4));
+
+        // The power verb is a chain of k copies.
+        let cubed = ok(&s, &format!(r#"{{"op":"power","a":"{id}","k":3}}"#));
+        assert_eq!(cubed.get("links").and_then(Value::as_u64), Some(2));
+
+        // Malformed expressions fail with the stable code.
+        let (resp, _) = s.handle_line(&format!(r#"{{"op":"power","a":"{id}","k":1}}"#));
+        let v = parse(&resp).unwrap();
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("invalid_op")
+        );
     }
 
     #[test]

@@ -8,6 +8,22 @@
 //! tiled conversion is built lazily on first use, cached, and evicted
 //! least-recently-used when the cache's byte budget — accounted through the
 //! same [`MemTracker`] machinery the multiply pipeline uses — fills up.
+//!
+//! Entries come in two flavours since the op-expression redesign:
+//!
+//! * **CSR-primary** ([`Registry::insert`]) — the classic form: the CSR is
+//!   authoritative, the tiled form is a cache line that LRU eviction may
+//!   drop and a later lookup rebuilds.
+//! * **Tiled-primary / resident** ([`Registry::insert_tiled`]) — pipeline
+//!   products registered straight from their tiled form, keyed by
+//!   [`TileMatrix::content_hash`]. The tiled form *is* the data, so it is
+//!   never LRU-evicted and its bytes live outside the cache budget
+//!   ([`Registry::resident_bytes`]); the CSR form is derived lazily only if
+//!   a client asks for it ([`RegistryStats::csr_derivations`] counts those —
+//!   a chained multiply that stays tiled keeps the counter at zero).
+//!
+//! In-flight chains [`Registry::pin`] their operands so concurrent cache
+//! pressure cannot evict a tiled form between two links of the same job.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -52,12 +68,28 @@ pub struct RegistryStats {
     /// Conversions whose result could not be cached even after evicting
     /// everything (matrix larger than the whole cache budget).
     pub uncached_conversions: u64,
+    /// Tiled→CSR derivations performed for resident (tiled-primary)
+    /// entries. A chain that stays in the tiled format end to end leaves
+    /// this at zero; every increment is a materialization a client opted
+    /// into.
+    pub csr_derivations: u64,
 }
 
 struct Entry {
-    csr: Arc<Csr<f64>>,
+    /// CSR form. Always present for CSR-primary entries; for resident
+    /// (tiled-primary) entries it starts empty and is derived lazily on the
+    /// first explicit CSR request.
+    csr: Option<Arc<Csr<f64>>>,
     tiled: Option<Arc<TileMatrix<f64>>>,
     tiled_bytes: usize,
+    /// `(nrows, ncols, nnz)`, recorded at insert so admission estimates
+    /// never need to materialize a CSR.
+    shape: (usize, usize, usize),
+    /// Tiled-primary entry: the tiled form is authoritative, never
+    /// LRU-evicted, and accounted outside the cache budget.
+    resident: bool,
+    /// In-flight pin count; pinned entries are skipped by LRU eviction.
+    pins: u32,
     last_used: u64,
 }
 
@@ -77,6 +109,7 @@ pub struct Registry {
     cache_tracker: MemTracker,
     clock: u64,
     stats: RegistryStats,
+    resident_bytes: usize,
 }
 
 impl Registry {
@@ -87,6 +120,7 @@ impl Registry {
             cache_tracker: MemTracker::with_budget(cache_bytes),
             clock: 0,
             stats: RegistryStats::default(),
+            resident_bytes: 0,
         }
     }
 
@@ -111,12 +145,47 @@ impl Registry {
         let now = self.tick();
         let dedup = self.entries.contains_key(&id.0);
         if !dedup {
+            let shape = (csr.nrows, csr.ncols, csr.nnz());
             self.entries.insert(
                 id.0,
                 Entry {
-                    csr: Arc::new(csr),
+                    csr: Some(Arc::new(csr)),
                     tiled: None,
                     tiled_bytes: 0,
+                    shape,
+                    resident: false,
+                    pins: 0,
+                    last_used: now,
+                },
+            );
+        }
+        (id, dedup)
+    }
+
+    /// Registers a pipeline product straight from its tiled form — no CSR is
+    /// built. The id is [`TileMatrix::content_hash`], so re-registering the
+    /// bitwise-same product dedupes exactly like [`Registry::insert`] does
+    /// for CSRs. The entry is *resident*: the tiled form is authoritative,
+    /// exempt from LRU eviction, and accounted under
+    /// [`Registry::resident_bytes`] rather than the cache budget. It stays
+    /// until an explicit [`Registry::remove`] (the protocol's `unload`).
+    pub fn insert_tiled(&mut self, tiled: Arc<TileMatrix<f64>>) -> (MatrixId, bool) {
+        let id = MatrixId(tiled.content_hash());
+        let now = self.tick();
+        let dedup = self.entries.contains_key(&id.0);
+        if !dedup {
+            let bytes = tiled.bytes();
+            let shape = (tiled.nrows, tiled.ncols, tiled.nnz());
+            self.resident_bytes += bytes;
+            self.entries.insert(
+                id.0,
+                Entry {
+                    csr: None,
+                    tiled: Some(tiled),
+                    tiled_bytes: bytes,
+                    shape,
+                    resident: true,
+                    pins: 0,
                     last_used: now,
                 },
             );
@@ -125,11 +194,61 @@ impl Registry {
     }
 
     /// The registered CSR form.
-    pub fn csr(&self, id: MatrixId) -> Result<Arc<Csr<f64>>, EngineError> {
+    ///
+    /// For a resident (tiled-primary) entry this *derives* the CSR from the
+    /// tiled form on first request, caches it on the entry, and counts the
+    /// materialization in [`RegistryStats::csr_derivations`] — the cost a
+    /// chained workload avoids by keeping intermediates tiled.
+    pub fn csr(&mut self, id: MatrixId) -> Result<Arc<Csr<f64>>, EngineError> {
+        let e = self
+            .entries
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownMatrix(id))?;
+        if let Some(csr) = &e.csr {
+            return Ok(Arc::clone(csr));
+        }
+        let tiled = e.tiled.as_ref().expect("resident entry keeps its tiled");
+        let csr = Arc::new(tiled.to_csr());
+        e.csr = Some(Arc::clone(&csr));
+        self.stats.csr_derivations += 1;
+        Ok(csr)
+    }
+
+    /// The CSR form if it is already materialized; `None` for a resident
+    /// entry whose CSR was never derived. Admission estimation uses this so
+    /// an estimate never forces the materialization it is trying to avoid.
+    pub fn csr_if_present(&self, id: MatrixId) -> Result<Option<Arc<Csr<f64>>>, EngineError> {
         self.entries
             .get(&id.0)
-            .map(|e| Arc::clone(&e.csr))
+            .map(|e| e.csr.as_ref().map(Arc::clone))
             .ok_or(EngineError::UnknownMatrix(id))
+    }
+
+    /// `(nrows, ncols, nnz)` of a registered matrix — available without
+    /// materializing anything, whichever form is primary.
+    pub fn shape(&self, id: MatrixId) -> Result<(usize, usize, usize), EngineError> {
+        self.entries
+            .get(&id.0)
+            .map(|e| e.shape)
+            .ok_or(EngineError::UnknownMatrix(id))
+    }
+
+    /// Pins `id`: while the pin count is non-zero, LRU eviction skips the
+    /// entry's tiled form. The engine pins every operand of a chain for the
+    /// duration of the job, so cache pressure from concurrent jobs cannot
+    /// force a re-conversion between links. Unknown ids are ignored (the
+    /// operand check happens at submit).
+    pub fn pin(&mut self, id: MatrixId) {
+        if let Some(e) = self.entries.get_mut(&id.0) {
+            e.pins += 1;
+        }
+    }
+
+    /// Releases one pin on `id` (saturating; unknown ids are ignored).
+    pub fn unpin(&mut self, id: MatrixId) {
+        if let Some(e) = self.entries.get_mut(&id.0) {
+            e.pins = e.pins.saturating_sub(1);
+        }
     }
 
     /// Whether `id`'s tiled form is currently cached.
@@ -183,7 +302,10 @@ impl Registry {
             return Ok(TiledLookup::Cached(Arc::clone(t)));
         }
         self.stats.cache_misses += 1;
-        Ok(TiledLookup::Convert(Arc::clone(&e.csr)))
+        // Only CSR-primary entries can miss: a resident entry's tiled form
+        // is its primary storage and is returned above.
+        let csr = e.csr.as_ref().expect("csr-primary entry keeps its csr");
+        Ok(TiledLookup::Convert(Arc::clone(csr)))
     }
 
     /// Second half of a two-phase lookup: caches `tiled` under `id`, budget
@@ -248,12 +370,14 @@ impl Registry {
     }
 
     /// Evicts the least-recently-used cached tiled form. Returns `false`
-    /// when nothing was cached.
+    /// when nothing was evictable. Resident entries (tiled-primary — the
+    /// tiled form is the data) and pinned entries (an in-flight chain holds
+    /// them) are never victims.
     fn evict_lru(&mut self) -> bool {
         let victim = self
             .entries
             .iter()
-            .filter(|(_, e)| e.tiled.is_some())
+            .filter(|(_, e)| e.tiled.is_some() && !e.resident && e.pins == 0)
             .min_by_key(|(_, e)| e.last_used)
             .map(|(&k, _)| k);
         match victim {
@@ -270,12 +394,17 @@ impl Registry {
     }
 
     /// Drops `id`'s cached tiled form (the CSR stays registered). Returns
-    /// whether a cached form existed.
+    /// whether a cached form existed. A resident entry's tiled form is its
+    /// primary storage and cannot be evicted (use [`Registry::remove`] to
+    /// drop the whole entry); evicting it reports `false`.
     pub fn evict(&mut self, id: MatrixId) -> Result<bool, EngineError> {
         let e = self
             .entries
             .get_mut(&id.0)
             .ok_or(EngineError::UnknownMatrix(id))?;
+        if e.resident {
+            return Ok(false);
+        }
         if e.tiled.take().is_some() {
             self.cache_tracker.on_free(e.tiled_bytes);
             e.tiled_bytes = 0;
@@ -286,12 +415,17 @@ impl Registry {
         }
     }
 
-    /// Unregisters `id` entirely: the cached tiled form (if any) is evicted
-    /// and the CSR itself is dropped, so later lookups fail with
-    /// `unknown_matrix`. In-flight users holding `Arc`s keep their data.
+    /// Unregisters `id` entirely: the cached tiled form (if any) is evicted,
+    /// resident storage is released, and the entry is dropped, so later
+    /// lookups fail with `unknown_matrix`. In-flight users holding `Arc`s
+    /// keep their data.
     pub fn remove(&mut self, id: MatrixId) -> Result<(), EngineError> {
         self.evict(id)?;
-        self.entries.remove(&id.0);
+        if let Some(e) = self.entries.remove(&id.0) {
+            if e.resident {
+                self.resident_bytes = self.resident_bytes.saturating_sub(e.tiled_bytes);
+            }
+        }
         Ok(())
     }
 
@@ -317,6 +451,13 @@ impl Registry {
     /// Bytes currently held by cached tiled forms.
     pub fn cached_bytes(&self) -> usize {
         self.cache_tracker.current_bytes()
+    }
+
+    /// Bytes held by resident (tiled-primary) entries — products kept in
+    /// their tiled form. Outside the cache budget; released by
+    /// [`Registry::remove`].
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
     }
 
     /// The cache's byte budget.
@@ -420,6 +561,68 @@ mod tests {
         assert_eq!(r.cached_bytes(), 0);
         assert!(!r.evict(id).unwrap());
         assert!(r.evict(MatrixId(0xdead)).is_err());
+    }
+
+    #[test]
+    fn resident_entries_dedupe_and_derive_csr_lazily() {
+        let mut r = Registry::new(usize::MAX);
+        let csr = small(11);
+        let tiled = Arc::new(TileMatrix::from_csr(&csr));
+        let (id, dedup1) = r.insert_tiled(Arc::clone(&tiled));
+        let (id2, dedup2) = r.insert_tiled(Arc::clone(&tiled));
+        assert_eq!(id, id2);
+        assert!(!dedup1);
+        assert!(dedup2);
+        assert_eq!(r.resident_bytes(), tiled.bytes());
+        assert_eq!(r.shape(id).unwrap(), (csr.nrows, csr.ncols, csr.nnz()));
+        // Tiled lookups hit without a conversion; the cache budget is
+        // untouched.
+        let (t, hit) = r.tiled(id).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&t, &tiled));
+        assert_eq!(r.cached_bytes(), 0);
+        assert_eq!(r.stats().conversions, 0);
+        // The CSR only exists once explicitly requested, and the
+        // derivation is counted.
+        assert!(r.csr_if_present(id).unwrap().is_none());
+        assert_eq!(r.stats().csr_derivations, 0);
+        let derived = r.csr(id).unwrap();
+        assert_eq!(*derived, csr);
+        assert_eq!(r.stats().csr_derivations, 1);
+        let again = r.csr(id).unwrap();
+        assert!(Arc::ptr_eq(&derived, &again));
+        assert_eq!(r.stats().csr_derivations, 1);
+        // Residents resist eviction but are fully released by remove.
+        assert!(!r.evict(id).unwrap());
+        assert_eq!(r.evict_all(), 0);
+        assert!(r.tiled(id).is_ok());
+        r.remove(id).unwrap();
+        assert_eq!(r.resident_bytes(), 0);
+        assert!(r.tiled(id).is_err());
+    }
+
+    #[test]
+    fn pinned_entries_survive_lru_pressure() {
+        let mut probe = Registry::new(usize::MAX);
+        let (pa, _) = probe.insert(small(1));
+        let (ta, _) = probe.tiled(pa).unwrap();
+        // Budget fits exactly one cached tiled form.
+        let mut r = Registry::new(ta.bytes() + 8);
+        let (a, _) = r.insert(small(1));
+        let (b, _) = r.insert(small(2));
+        r.tiled(a).unwrap();
+        r.pin(a);
+        // b cannot displace the pinned a: it is served uncached instead.
+        let (_, hit) = r.tiled(b).unwrap();
+        assert!(!hit);
+        assert!(r.is_cached(a));
+        assert!(!r.is_cached(b));
+        assert_eq!(r.stats().uncached_conversions, 1);
+        // Unpinning restores normal LRU behaviour.
+        r.unpin(a);
+        r.tiled(b).unwrap();
+        assert!(!r.is_cached(a));
+        assert!(r.is_cached(b));
     }
 
     #[test]

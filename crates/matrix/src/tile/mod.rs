@@ -168,6 +168,60 @@ impl<T: Scalar> TileMatrix<T> {
         self.tile_nnz[t + 1] - self.tile_nnz[t]
     }
 
+    /// Returns a copy with empty tiles dropped.
+    ///
+    /// The pipeline predicts the product's tile set *structurally* in step
+    /// 1, so tiles whose every candidate position misses (or cancels) come
+    /// out with zero stored entries — the `phantom-tile` case. Those tiles
+    /// carry no values but still cost every downstream consumer: operand-
+    /// side step-1 intersection walks them, and per-tile metadata (34
+    /// bytes each) inflates the resident footprint. Compacting is a pure
+    /// tiled-to-tiled metadata rewrite — the entry arrays are shared
+    /// verbatim since empty tiles own no entries — so a product can be fed
+    /// back as an operand without any CSR round-trip.
+    pub fn compact(&self) -> Self {
+        let empties = (0..self.tile_count())
+            .filter(|&t| self.tile_nnz_of(t) == 0)
+            .count();
+        if empties == 0 {
+            return self.clone();
+        }
+        let kept = self.tile_count() - empties;
+        let mut tile_ptr = vec![0usize; self.tile_m + 1];
+        let mut tile_colidx = Vec::with_capacity(kept);
+        let mut tile_nnz = Vec::with_capacity(kept + 1);
+        tile_nnz.push(0usize);
+        let mut row_ptr = Vec::with_capacity(kept * TILE_DIM);
+        let mut masks = Vec::with_capacity(kept * TILE_DIM);
+        for ti in 0..self.tile_m {
+            for t in self.tile_row_range(ti) {
+                let nnz = self.tile_nnz_of(t);
+                if nnz == 0 {
+                    continue;
+                }
+                tile_colidx.push(self.tile_colidx[t]);
+                tile_nnz.push(tile_nnz.last().unwrap() + nnz);
+                row_ptr.extend_from_slice(&self.row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM]);
+                masks.extend_from_slice(&self.masks[t * TILE_DIM..(t + 1) * TILE_DIM]);
+            }
+            tile_ptr[ti + 1] = tile_colidx.len();
+        }
+        Self {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            tile_m: self.tile_m,
+            tile_n: self.tile_n,
+            tile_ptr,
+            tile_colidx,
+            tile_nnz,
+            row_ptr,
+            row_idx: self.row_idx.clone(),
+            col_idx: self.col_idx.clone(),
+            vals: self.vals.clone(),
+            masks,
+        }
+    }
+
     /// Expands `tile_ptr` into a per-tile tile-row index (the
     /// `tileRowIdx` array Algorithms 2 and 3 read).
     pub fn expand_tile_rowidx(&self) -> Vec<u32> {
@@ -558,5 +612,34 @@ mod tests {
         f.validate().unwrap();
         assert_eq!(f.masks, t.masks);
         assert_eq!(f.vals.len(), t.vals.len());
+    }
+
+    #[test]
+    fn compact_drops_phantom_tiles_and_preserves_the_matrix() {
+        // Splice an empty (phantom) tile between the two real tiles of the
+        // sample — the shape step 1 produces when every candidate of a
+        // predicted tile misses.
+        let t = TileMatrix::from_csr(&sample());
+        assert_eq!(t.compact(), t, "no empties: compact is the identity");
+        // Append an empty tile (0,2) after tile row 0's real tiles: flat
+        // index 2, zero entries, zeroed row pointers and masks.
+        let mut padded = t.clone();
+        padded.ncols = 33;
+        padded.tile_n = 3;
+        padded.tile_colidx.insert(2, 2);
+        let at = padded.tile_nnz[2];
+        padded.tile_nnz.insert(2, at);
+        for _ in 0..TILE_DIM {
+            padded.row_ptr.insert(2 * TILE_DIM, 0);
+            padded.masks.insert(2 * TILE_DIM, 0);
+        }
+        for p in &mut padded.tile_ptr[1..] {
+            *p += 1;
+        }
+        padded.validate().expect("padded form is well-formed");
+        let compacted = padded.compact();
+        compacted.validate().unwrap();
+        assert_eq!(compacted.tile_count(), t.tile_count());
+        assert_eq!(compacted.to_csr(), padded.to_csr(), "same matrix");
     }
 }

@@ -98,11 +98,17 @@ pub enum Counter {
     ServeDeferred,
     /// Jobs that arrived as members of a `multiply_many` batch.
     ServeBatchJobs,
+    /// Multiply links executed inside `Chain`/`Power` jobs (a chain of `n`
+    /// operands reports `n - 1` links; plain multiplies report none).
+    ChainLinks,
+    /// Masked-multiply jobs completed (`MaskedMultiply`, or a chain whose
+    /// final link carried a mask).
+    MaskedJobs,
 }
 
 /// Number of counter slots. Kept in sync with [`Counter`]; new counters are
 /// appended (the enum is `#[non_exhaustive]`).
-pub const COUNTER_COUNT: usize = 22;
+pub const COUNTER_COUNT: usize = 24;
 
 /// Every counter, in slot order, with its snake_case wire name.
 pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
@@ -128,6 +134,8 @@ pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
     (Counter::ServeBackpressureHints, "serve_backpressure_hints"),
     (Counter::ServeDeferred, "serve_deferred"),
     (Counter::ServeBatchJobs, "serve_batch_jobs"),
+    (Counter::ChainLinks, "chain_links"),
+    (Counter::MaskedJobs, "masked_jobs"),
 ];
 
 /// The five estimator-error buckets in ascending log₂(peak/est) order, so a

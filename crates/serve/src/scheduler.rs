@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use tilespgemm_core::Config;
 use tsg_engine::engine::JobTicket;
-use tsg_engine::{Engine, EngineError, JobReport, JobSpec, MatrixId};
+use tsg_engine::{Engine, EngineError, JobReport, JobSpec, MatrixId, OpSpec};
 use tsg_runtime::observe::{Counter, QueueGauge, WaitGauge};
 
 /// Serve-level job ids count up from here (engine ticket ids count up from
@@ -95,12 +95,23 @@ pub struct SubmitSpec {
     pub a: Operand,
     /// Right operand.
     pub b: Operand,
+    /// Optional mask operand: the job computes `(A·B) ∘ mask` with the
+    /// mask pushed into the pipeline's step 2. Like `a`/`b` it may be a
+    /// `$k` back-reference, so a chain's final link can mask by an earlier
+    /// entry's product.
+    pub mask: Option<Operand>,
     /// Pipeline configuration override; `None` uses the engine's base.
     pub config: Option<Config>,
     /// Total queue-wait deadline (scheduler and engine queues combined).
     pub timeout: Option<Duration>,
     /// Register the product as an operand and report its handle.
     pub keep: bool,
+    /// How a registered product (kept or `$k`-referenced) enters the
+    /// registry: `true` materializes its CSR (the v2 behaviour, handles
+    /// usable everywhere), `false` registers the tiled form as a resident
+    /// entry — chain links stay handle-in/handle-out with no CSR
+    /// round-trip.
+    pub materialize: bool,
 }
 
 impl SubmitSpec {
@@ -109,10 +120,28 @@ impl SubmitSpec {
         SubmitSpec {
             a: Operand::Id(a),
             b: Operand::Id(b),
+            mask: None,
             config: None,
             timeout: None,
             keep: false,
+            materialize: true,
         }
+    }
+
+    /// Every operand the job depends on, mask included.
+    fn operands(&self) -> impl Iterator<Item = Operand> + '_ {
+        [Some(self.a), Some(self.b), self.mask]
+            .into_iter()
+            .flatten()
+    }
+}
+
+/// The engine op for resolved operands: masked multiply when a mask rides
+/// along, plain multiply otherwise.
+fn op_spec(a: MatrixId, b: MatrixId, mask: Option<MatrixId>) -> OpSpec {
+    match mask {
+        Some(mask) => OpSpec::MaskedMultiply { a, b, mask },
+        None => OpSpec::Multiply { a, b },
     }
 }
 
@@ -489,7 +518,7 @@ impl Scheduler {
         // strictly backwards.
         let mut referenced = vec![false; specs.len()];
         for (i, spec) in specs.iter().enumerate() {
-            for op in [spec.a, spec.b] {
+            for op in spec.operands() {
                 if let Operand::Ref(k) = op {
                     if k >= i {
                         return Err(SubmitError::BadRef {
@@ -876,7 +905,7 @@ fn scan(shared: &Arc<Shared>, inner: &mut Inner) -> Scan {
                 doomed = Some((sid, EngineError::TimedOut));
                 break 'sessions;
             }
-            for op in [head.spec.a, head.spec.b] {
+            for op in head.spec.operands() {
                 if let Resolved::Broken(dep) = resolve_operand(inner, head, op) {
                     doomed = Some((sid, EngineError::DependencyFailed { dep }));
                     break 'sessions;
@@ -903,8 +932,9 @@ fn scan(shared: &Arc<Shared>, inner: &mut Inner) -> Scan {
         let Some(head) = sess.queue.front() else {
             continue;
         };
-        let runnable = [head.spec.a, head.spec.b]
-            .into_iter()
+        let runnable = head
+            .spec
+            .operands()
             .all(|op| matches!(resolve_operand(inner, head, op), Resolved::Ready(_)));
         if !runnable {
             continue;
@@ -932,7 +962,14 @@ fn scan(shared: &Arc<Shared>, inner: &mut Inner) -> Scan {
     ) else {
         return Scan::Wait;
     };
-    let est_bytes = match shared.engine.estimate(a, b) {
+    let mask = match head.spec.mask {
+        Some(op) => match resolve_operand(inner, head, op) {
+            Resolved::Ready(id) => Some(id),
+            _ => return Scan::Wait,
+        },
+        None => None,
+    };
+    let est_bytes = match shared.engine.estimate_op(&op_spec(a, b, mask)) {
         Ok(e) => e.est_bytes,
         // Bad operands (unloaded mid-queue) fail at engine submit with the
         // right code; let the dispatch path handle it.
@@ -979,7 +1016,14 @@ fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, exclusive: bool) 
     ) else {
         unreachable!("scan only dispatches runnable heads")
     };
-    let mut spec = JobSpec::new(a, b);
+    let mask = job
+        .spec
+        .mask
+        .map(|op| match resolve_operand(inner, &job, op) {
+            Resolved::Ready(id) => id,
+            _ => unreachable!("scan only dispatches runnable heads"),
+        });
+    let mut spec = JobSpec::of(op_spec(a, b, mask));
     spec.config = job.spec.config;
     spec.timeout = job
         .spec
@@ -999,6 +1043,7 @@ fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, exclusive: bool) 
             inner.dispatch_log.push((sid, job.id));
             let shared_w = Arc::clone(shared);
             let register = job.register;
+            let materialize = job.spec.materialize;
             let batch = job.batch;
             let batch_index = job.batch_index;
             let sticket = Arc::clone(&job.ticket);
@@ -1013,6 +1058,7 @@ fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, exclusive: bool) 
                         batch,
                         batch_index,
                         register,
+                        materialize,
                         &ticket,
                         &sticket,
                     );
@@ -1065,7 +1111,7 @@ fn prefetch_next(shared: &Arc<Shared>, inner: &Inner) {
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
     let Some(tx) = tx.as_ref() else { return };
-    for op in [head.spec.a, head.spec.b] {
+    for op in head.spec.operands() {
         if let Resolved::Ready(id) = resolve_operand(inner, head, op) {
             let _ = tx.send(id);
         }
@@ -1082,6 +1128,7 @@ fn waiter(
     batch: Option<u64>,
     batch_index: usize,
     register: bool,
+    materialize: bool,
     ticket: &JobTicket,
     sticket: &STicket,
 ) {
@@ -1090,7 +1137,13 @@ fn waiter(
     // registry lock internally and must not nest inside `inner`.
     let serve_result: ServeResult = match result {
         Ok(report) => {
-            let kept = register.then(|| shared.engine.register_product(Arc::clone(&report.c)).0);
+            let kept = register.then(|| {
+                if materialize {
+                    shared.engine.register_product(Arc::clone(&report.c)).0
+                } else {
+                    shared.engine.register_tiled(Arc::clone(&report.c)).0
+                }
+            });
             Ok(JobDone { report, kept })
         }
         Err(e) => Err(e),

@@ -1,9 +1,10 @@
-//! Protocol v2 session verbs over the engine's JSON-lines protocol.
+//! Protocol session verbs (v2 fairness, v3 op expressions) over the
+//! engine's JSON-lines protocol.
 //!
 //! A [`ServeSession`] wraps the engine's [`Session`] and intercepts the
 //! verbs that belong to the serving layer; everything else (load, convert,
-//! estimate, evict, unload, profile, hello…) delegates to the inner session
-//! unchanged, so a v1 client keeps working verbatim.
+//! estimate, add, evict, unload, profile, hello…) delegates to the inner
+//! session unchanged, so a v1 client keeps working verbatim.
 //!
 //! Intercepted verbs:
 //!
@@ -11,10 +12,13 @@
 //! |---|---|
 //! | `{"op":"open_session","name":"etl","weight":2,"depth":8}` | `{"ok":true,"session":1,"weight":2}` |
 //! | `{"op":"multiply","a":"m…","b":"m…"[,"keep":true]}` | engine report, plus `"c":"m…"` when kept |
+//! | `{"op":"multiply",…,"mask":"m…"}` | masked product `(A·B) ∘ mask` (v3) |
 //! | `{"op":"multiply",…}` (queue full) | `{"ok":false,"error":{"code":"backpressure",…},"retry_after_ms":N,"queue_position":P}` |
 //! | `{"op":"multiply",…,"async":true}` | `{"ok":true,"job":4294967296,"queued":true}` |
 //! | `{"op":"multiply_many","jobs":[{"a":"m…","b":"m…","keep":true},{"a":"$0","b":"$0"}]}` | `{"ok":true,"results":[…]}` |
 //! | `{"op":"multiply_many",…,"async":true}` | `{"ok":true,"jobs":[…],"queued":true}` |
+//! | `{"op":"chain","ids":["m…","m…","m…"]}` | final link's report plus `"links"` and `"intermediates"` (v3) |
+//! | `{"op":"power","a":"m…","k":3}` | as `chain` with `k` copies of `a` (v3) |
 //! | `{"op":"wait","job":N}` | serve ids resolve here, engine ids delegate |
 //! | `{"op":"cancel","job":N}` | likewise |
 //! | `{"op":"stats"}` | the engine object extended with a `"serve"` member |
@@ -26,6 +30,15 @@
 //! nothing is dropped. Batch entries may name an earlier entry's product
 //! as `"$k"` (zero-based, strictly backwards); referenced products are
 //! registered automatically and the reply carries their `"c"` handles.
+//!
+//! `chain`/`power` are not forwarded to the engine session's own v3 verbs:
+//! the serve layer lowers them onto exactly that `$k` machinery (one
+//! linked multiply per link, intermediates registered from their tiled
+//! forms with `materialize:false`), so chain links interleave with other
+//! sessions' jobs under weighted-fair dispatch instead of holding a worker
+//! for the whole expression. A job-shaped verb may carry
+//! `"materialize":false` to register its kept product tiled-resident
+//! (`multiply` defaults to `true`, `chain`/`power` to `false`).
 //!
 //! The first scheduler-routed verb on a session that never sent
 //! `open_session` opens one implicitly (weight 1, default depth), so
@@ -95,6 +108,8 @@ impl ServeSession {
             "open_session"
                 | "multiply"
                 | "multiply_many"
+                | "chain"
+                | "power"
                 | "wait"
                 | "cancel"
                 | "stats"
@@ -123,6 +138,8 @@ impl ServeSession {
             "open_session" => (self.open_session(&req), Control::Continue),
             "multiply" => (self.multiply(&req), Control::Continue),
             "multiply_many" => (self.multiply_many(&req), Control::Continue),
+            "chain" => (self.chain(&req), Control::Continue),
+            "power" => (self.power(&req), Control::Continue),
             "wait" => match req.get("job").and_then(Value::as_u64) {
                 Some(job) if job >= SERVE_JOB_BASE => (self.wait(job), Control::Continue),
                 _ => return self.inner.handle_line(line),
@@ -177,10 +194,11 @@ impl ServeSession {
             Ok(s) => s,
             Err(msg) => return error_response("bad_request", &msg, &[]),
         };
-        if let Operand::Ref(_) = spec.a {
-            return error_response("bad_request", "\"$k\" refs need multiply_many", &[]);
-        }
-        if let Operand::Ref(_) = spec.b {
+        if [Some(spec.a), Some(spec.b), spec.mask]
+            .into_iter()
+            .flatten()
+            .any(|op| matches!(op, Operand::Ref(_)))
+        {
             return error_response("bad_request", "\"$k\" refs need multiply_many", &[]);
         }
         let session = match self.session_id() {
@@ -249,6 +267,141 @@ impl ServeSession {
         obj([("ok", true.into()), ("results", Value::Arr(results))])
     }
 
+    fn chain(&self, req: &Value) -> Value {
+        let Some(ids) = req.get("ids").and_then(Value::as_arr) else {
+            return error_response("bad_request", "chain needs an \"ids\" array", &[]);
+        };
+        let mut operands = Vec::with_capacity(ids.len());
+        for (i, v) in ids.iter().enumerate() {
+            let Some(s) = v.as_str() else {
+                return error_response("bad_request", "each chain id must be a string", &[]);
+            };
+            match operand_from_str(s, "ids") {
+                Ok(op) => operands.push(op),
+                Err(msg) => {
+                    let msg = format!("ids[{i}]: {msg}");
+                    return error_response("bad_request", &msg, &[]);
+                }
+            }
+        }
+        self.linked_chain(req, operands)
+    }
+
+    fn power(&self, req: &Value) -> Value {
+        let Some(k) = req.get("k").and_then(Value::as_u64) else {
+            return error_response("bad_request", "power needs a numeric \"k\"", &[]);
+        };
+        let a = match parse_operand(req, "a") {
+            Ok(op) => op,
+            Err(msg) => return error_response("bad_request", &msg, &[]),
+        };
+        self.linked_chain(req, vec![a; k as usize])
+    }
+
+    /// Lowers `operands[0]·operands[1]·…` into one atomic batch of
+    /// `$k`-linked multiply jobs: link `j` multiplies the previous link's
+    /// product (a back-reference) by `operands[j+1]`, so the links dispatch
+    /// through the same weighted-fair queue as any other batch — a long
+    /// chain cannot starve another session. Intermediates register as
+    /// *tiled* residents (`materialize: false`), so the chain runs
+    /// handle-in/handle-out with zero CSR round-trips; the final link
+    /// carries the request's `mask`/`keep`/`materialize`.
+    fn linked_chain(&self, req: &Value, operands: Vec<Operand>) -> Value {
+        if operands.len() < 2 {
+            return error_response("invalid_op", "a chain needs at least two operands", &[]);
+        }
+        if operands.iter().any(|op| matches!(op, Operand::Ref(_))) {
+            return error_response(
+                "bad_request",
+                "chain ids must be matrix handles, not \"$k\" refs",
+                &[],
+            );
+        }
+        let mask = match req.get("mask") {
+            Some(_) => match parse_operand(req, "mask") {
+                Ok(Operand::Ref(_)) => {
+                    return error_response(
+                        "bad_request",
+                        "a chain mask must be a matrix handle, not a \"$k\" ref",
+                        &[],
+                    )
+                }
+                Ok(op) => Some(op),
+                Err(msg) => return error_response("bad_request", &msg, &[]),
+            },
+            None => None,
+        };
+        let (config, timeout) = match parse_overrides(req) {
+            Ok(o) => o,
+            Err(msg) => return error_response("bad_request", &msg, &[]),
+        };
+        let keep = req.get("keep").and_then(Value::as_bool) == Some(true);
+        let materialize = req
+            .get("materialize")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let last = operands.len() - 2;
+        let specs: Vec<SubmitSpec> = (0..operands.len() - 1)
+            .map(|j| SubmitSpec {
+                a: if j == 0 {
+                    operands[0]
+                } else {
+                    Operand::Ref(j - 1)
+                },
+                b: operands[j + 1],
+                mask: if j == last { mask } else { None },
+                config,
+                timeout,
+                keep: j == last && keep,
+                materialize: j == last && materialize,
+            })
+            .collect();
+        let session = match self.session_id() {
+            Ok(s) => s,
+            Err(e) => return submit_error_response(&e),
+        };
+        let tickets = match self.scheduler.submit(session, specs) {
+            Ok(Submission::Queued(t)) => t,
+            Ok(Submission::Backpressure(hint)) => return backpressure_response(&hint),
+            Err(e) => return submit_error_response(&e),
+        };
+        if req.get("async").and_then(Value::as_bool) == Some(true) {
+            let ids: Vec<Value> = tickets.iter().map(|t| t.job.into()).collect();
+            let mut map = self.lock_tickets();
+            for t in tickets {
+                map.insert(t.job, t);
+            }
+            return obj([
+                ("ok", true.into()),
+                ("jobs", Value::Arr(ids)),
+                ("queued", true.into()),
+            ]);
+        }
+        // Sync: wait for every link in order; the reply is the final link's
+        // report plus the chain members. A failed link fails its dependents
+        // with `dependency_failed`, which the final render then carries.
+        let links = tickets.len();
+        let mut intermediates = Vec::new();
+        for t in &tickets[..links - 1] {
+            if let Ok(done) = t.wait() {
+                if let Some(id) = done.kept {
+                    intermediates.push(Value::Str(id.to_string()));
+                }
+            }
+        }
+        let mut v = self.render(&tickets[links - 1]);
+        if let Value::Obj(ref mut members) = v {
+            let ok = members
+                .iter()
+                .any(|(k, val)| k == "ok" && matches!(val, Value::Bool(true)));
+            if ok {
+                members.push(("links".to_string(), (links as u64).into()));
+                members.push(("intermediates".to_string(), Value::Arr(intermediates)));
+            }
+        }
+        v
+    }
+
     fn wait(&self, job: u64) -> Value {
         let Some(ticket) = self.lock_tickets().remove(&job) else {
             return error_response("bad_request", "unknown job id for this session", &[]);
@@ -306,11 +459,33 @@ impl ServeSession {
     }
 }
 
-/// Parses one multiply spec: operands (`"m…"` ids or `"$k"` batch refs) and
-/// the engine's scheduling/pair_reuse/timeout/keep overrides.
+/// Parses one multiply spec: operands (`"m…"` ids or `"$k"` batch refs,
+/// `"mask"` included) and the engine's scheduling/pair_reuse/timeout/keep/
+/// materialize overrides.
 fn parse_spec(req: &Value) -> Result<SubmitSpec, String> {
     let a = parse_operand(req, "a")?;
     let b = parse_operand(req, "b")?;
+    let mask = match req.get("mask") {
+        Some(_) => Some(parse_operand(req, "mask")?),
+        None => None,
+    };
+    let (config, timeout) = parse_overrides(req)?;
+    Ok(SubmitSpec {
+        a,
+        b,
+        mask,
+        config,
+        timeout,
+        keep: req.get("keep").and_then(Value::as_bool) == Some(true),
+        materialize: req
+            .get("materialize")
+            .and_then(Value::as_bool)
+            .unwrap_or(true),
+    })
+}
+
+/// The engine overrides shared by every job-shaped verb.
+fn parse_overrides(req: &Value) -> Result<(Option<Config>, Option<Duration>), String> {
     let mut config: Option<Config> = None;
     if let Some(s) = req.get("scheduling").and_then(Value::as_str) {
         let scheduling = match s {
@@ -324,16 +499,12 @@ fn parse_spec(req: &Value) -> Result<SubmitSpec, String> {
     if let Some(p) = req.get("pair_reuse").and_then(Value::as_bool) {
         config.get_or_insert_with(Config::default).pair_reuse = p;
     }
-    Ok(SubmitSpec {
-        a,
-        b,
+    Ok((
         config,
-        timeout: req
-            .get("timeout_ms")
+        req.get("timeout_ms")
             .and_then(Value::as_u64)
             .map(Duration::from_millis),
-        keep: req.get("keep").and_then(Value::as_bool) == Some(true),
-    })
+    ))
 }
 
 fn parse_operand(req: &Value, key: &str) -> Result<Operand, String> {
@@ -341,15 +512,19 @@ fn parse_operand(req: &Value, key: &str) -> Result<Operand, String> {
         .get(key)
         .and_then(Value::as_str)
         .ok_or_else(|| format!("missing operand \"{key}\""))?;
+    operand_from_str(s, key)
+}
+
+fn operand_from_str(s: &str, what: &str) -> Result<Operand, String> {
     if let Some(rest) = s.strip_prefix('$') {
         let k: usize = rest
             .parse()
-            .map_err(|_| format!("operand \"{key}\": malformed batch ref {s:?}"))?;
+            .map_err(|_| format!("operand \"{what}\": malformed batch ref {s:?}"))?;
         return Ok(Operand::Ref(k));
     }
     s.parse::<MatrixId>()
         .map(Operand::Id)
-        .map_err(|()| format!("operand \"{key}\": malformed matrix id (want m + 16 hex digits)"))
+        .map_err(|()| format!("operand \"{what}\": malformed matrix id (want m + 16 hex digits)"))
 }
 
 /// The structured flow-control reply: an error envelope (so naive clients

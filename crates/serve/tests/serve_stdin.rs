@@ -131,11 +131,11 @@ fn load_convert_multiply_stats_over_stdin() {
 fn protocol_version_is_stamped_and_gated_over_stdin() {
     let mut serve = Serve::spawn(&[]);
 
-    // Both live generations are accepted, and every response stamps the
-    // server's own version (2).
-    for v in [1, 2] {
+    // Every live generation is accepted, and every response stamps the
+    // server's own version (3).
+    for v in [1, 2, 3] {
         let hello = serve.request_ok(&format!(r#"{{"op":"hello","v":{v}}}"#));
-        assert_eq!(hello.get("v").and_then(Value::as_u64), Some(2));
+        assert_eq!(hello.get("v").and_then(Value::as_u64), Some(3));
         assert_eq!(
             hello.get("server").and_then(Value::as_str),
             Some("tsg-serve")
@@ -145,9 +145,9 @@ fn protocol_version_is_stamped_and_gated_over_stdin() {
 
     // A client speaking a future generation is refused with the stable
     // code — and even the refusal carries the server's version.
-    let err = serve.request(r#"{"op":"hello","v":3}"#);
+    let err = serve.request(r#"{"op":"hello","v":4}"#);
     assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
-    assert_eq!(err.get("v").and_then(Value::as_u64), Some(2));
+    assert_eq!(err.get("v").and_then(Value::as_u64), Some(3));
     assert_eq!(
         err.get("error")
             .and_then(|e| e.get("code"))
@@ -165,7 +165,7 @@ fn protocol_version_is_stamped_and_gated_over_stdin() {
 
     // Version-less requests (protocol 1 clients) keep working.
     let stats = serve.request_ok(r#"{"op":"stats"}"#);
-    assert_eq!(stats.get("v").and_then(Value::as_u64), Some(2));
+    assert_eq!(stats.get("v").and_then(Value::as_u64), Some(3));
 }
 
 #[test]

@@ -24,6 +24,13 @@
 //! echo '{"op":"stats"}' | tile_spgemm client -
 //! tile_spgemm client --connect 127.0.0.1:7878 script.jsonl
 //! ```
+//!
+//! Scripts speak protocol v3, so beyond `load`/`convert`/`multiply` they can
+//! chain products on resident handles (`{"op":"chain","ids":[...]}` or
+//! `{"op":"power","a":"m…","k":6}` — intermediates stay tiled, no CSR
+//! round-trips), mask a product (`{"op":"multiply",…,"mask":"m…"}`), and
+//! form linear combinations (`{"op":"add",…,"alpha":2.0,"beta":-1.0}`).
+//! See the README's "Triangle counting over the wire" quick-start.
 
 use std::io::{BufRead, BufReader, Write};
 use std::time::Instant;
