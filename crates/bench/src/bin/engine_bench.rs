@@ -4,10 +4,13 @@
 //!
 //! The burst is the same shape the engine-only bench used to shed most of:
 //! under the scheduler nothing is dropped. A full session queue answers
-//! with a backpressure hint (the bench resubmits, as a client would), and
-//! the over-budget product is *deferred* — parked until the device is
-//! otherwise idle, then admitted solo — instead of rejected up front. The
-//! headline is therefore throughput (`jobs_per_s`) at a zero shed rate.
+//! with a backpressure hint (the bench resubmits, as a client would). The
+//! big `DxD` product — whose old constant-compression estimate overflowed
+//! the budget and forced deferred-solo admission — is now admitted
+//! directly: the sampled symbolic estimator measures its compression and
+//! its band-upper bound fits. Deferred admission stays wired in as the
+//! backstop but this burst never trips it. The headline is therefore
+//! throughput (`jobs_per_s`) at a zero shed rate and zero deferrals.
 //!
 //! Writes `BENCH_engine.json` at the workspace root: per-job queue wait,
 //! execution wall time, per-step breakdown, cache hits/conversions, the
@@ -15,8 +18,9 @@
 //! counts — both zero by construction), the scheduler's statistics
 //! (hints, deferrals, queue high-water), the observability counter totals
 //! (including the `est_err_*` estimator-accuracy buckets, one tick per
-//! completed *multiply* job), and a representative per-job span tree (the
-//! engine runs with `profile: true`).
+//! completed multiply — plain or masked — and the `est_sample_*` sampler
+//! counters), and a representative per-job span tree (the engine runs
+//! with `profile: true`).
 //!
 //! A second section exercises the op-expression API on a fresh engine: a
 //! chained `A·B·C` job and an `A^6` power job whose intermediates stay
@@ -50,6 +54,16 @@ struct JobRow {
     conversions: u64,
     peak_bytes: usize,
     est_bytes: usize,
+    /// Admission-time nnz(C) prediction (sampled point estimate).
+    est_nnz_c: usize,
+    /// Sampled 95% band edges; equal to `est_nnz_c` when the sample was
+    /// exact, `(0, 0)` when the job had no sampled estimate.
+    est_nnz_lo: usize,
+    est_nnz_hi: usize,
+    /// Whether a sampled symbolic estimate backed the admission decision.
+    sampled: bool,
+    /// Actual structural output nnz, for predicted-vs-actual comparison.
+    nnz_c: usize,
     breakdown: Breakdown,
 }
 
@@ -80,6 +94,11 @@ fn row_to_json(r: &JobRow) -> Value {
         ("conversions", r.conversions.into()),
         ("peak_bytes", r.peak_bytes.into()),
         ("est_bytes", r.est_bytes.into()),
+        ("est_nnz_c", r.est_nnz_c.into()),
+        ("est_nnz_lo", r.est_nnz_lo.into()),
+        ("est_nnz_hi", r.est_nnz_hi.into()),
+        ("sampled", Value::Bool(r.sampled)),
+        ("nnz_c", r.nnz_c.into()),
     ])
 }
 
@@ -99,10 +118,12 @@ fn spans_to_json(nodes: &[SpanNode]) -> Value {
 }
 
 fn main() {
-    // A 3060-class device with its budget squeezed so the largest product's
-    // *estimate* overflows it while its true peak fits — the deferred-
-    // admission case — plus a shallow engine queue so the burst overflows
-    // into the session queue and the backpressure path fires.
+    // A 3060-class device with its budget squeezed to the point where the
+    // old constant-compression estimate of the largest product overflowed
+    // it (the deferred-admission case). The sampled estimator's band-upper
+    // bound fits, so the same job now admits directly; a shallow engine
+    // queue still overflows the burst into the session queue so the
+    // backpressure path fires.
     let mut device = Device::rtx3060_sim();
     device.mem_budget = 80 << 20;
     let cfg = EngineConfig {
@@ -113,6 +134,7 @@ fn main() {
         default_timeout: None,
         base_config: Default::default(),
         profile: true,
+        sample_rate: tilespgemm_core::sample::DEFAULT_SAMPLE_RATE,
     };
     let sched = Scheduler::new(Arc::new(Engine::new(cfg)), SchedConfig::default());
     let engine = Arc::clone(sched.engine());
@@ -121,8 +143,8 @@ fn main() {
         .expect("fresh scheduler accepts sessions");
 
     // Operands: the FEM suite entry and a same-shaped scatter matrix mix
-    // freely; the big grid stencil's square is the over-estimated product
-    // (its estimate is ~2.1x the budget, its real peak fits).
+    // freely; the big grid stencil's square is the product the old
+    // estimator priced at ~2.1x the budget — sampled, it fits.
     let fem = tsg_gen::suite::by_name("fem-00")
         .expect("fem-00 exists")
         .build();
@@ -198,6 +220,7 @@ fn main() {
         match t.wait() {
             Ok(done) => {
                 let r = &done.report;
+                let sample = r.estimate.sample;
                 rows.push(JobRow {
                     label,
                     outcome: "completed".to_string(),
@@ -208,6 +231,11 @@ fn main() {
                     conversions: u64::from(r.conversions),
                     peak_bytes: r.peak_bytes,
                     est_bytes: r.estimate.est_bytes,
+                    est_nnz_c: r.estimate.est_nnz_c,
+                    est_nnz_lo: sample.map_or(0, |s| s.nnz_lo),
+                    est_nnz_hi: sample.map_or(0, |s| s.nnz_hi),
+                    sampled: sample.is_some(),
+                    nnz_c: r.nnz_c,
                     breakdown: r.breakdown,
                 });
             }
@@ -221,6 +249,11 @@ fn main() {
                 conversions: 0,
                 peak_bytes: 0,
                 est_bytes: 0,
+                est_nnz_c: 0,
+                est_nnz_lo: 0,
+                est_nnz_hi: 0,
+                sampled: false,
+                nnz_c: 0,
                 breakdown: Breakdown::default(),
             }),
         }
@@ -515,19 +548,43 @@ fn main() {
     println!("wrote {path}");
 
     assert_eq!(rows.len(), 20, "every submission is accounted for");
-    assert!(
-        completed >= 19,
-        "the scheduler completes the burst the engine used to shed ({completed}/20)"
+    assert_eq!(
+        completed, 20,
+        "reservation-gated admission completes the whole burst the engine \
+         used to shed"
     );
     assert_eq!(s.shed, 0, "backpressure replaced queue-full shedding");
     assert_eq!(
         s.rejected, 0,
         "deferred admission replaced up-front rejection"
     );
-    assert!(
-        serve.deferred >= 1,
-        "the over-estimated DxD product was parked for memory at least once"
+    assert_eq!(
+        serve.deferred, 0,
+        "the sampled estimate admits the DxD product directly; deferred \
+         admission stays an unused backstop in this burst"
     );
+    assert!(
+        rows.iter()
+            .filter(|r| r.label == "DxD")
+            .all(|r| r.outcome == "completed"),
+        "every DxD-class job completes under the squeezed budget without \
+         the deferred-solo fallback"
+    );
+    for r in rows.iter().filter(|r| r.outcome == "completed") {
+        assert!(
+            r.sampled,
+            "completed multiply {} carries a sampled estimate",
+            r.label
+        );
+        assert!(
+            r.est_nnz_c <= r.nnz_c.saturating_mul(4).max(64)
+                && r.est_nnz_c.saturating_mul(4).max(64) >= r.nnz_c,
+            "{}: sampled prediction {} vs actual {} outside the 4x sanity band",
+            r.label,
+            r.est_nnz_c,
+            r.nnz_c
+        );
+    }
     assert_eq!(
         est_err_total, s.completed,
         "every completed job ticks exactly one estimator-error bucket"

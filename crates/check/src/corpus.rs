@@ -83,6 +83,18 @@ pub const CASES: &[CaseSpec] = &[
         name: "scatter-rect",
         summary: "rectangular chain A(60x90)*B(90x40)",
     },
+    CaseSpec {
+        name: "skew-row",
+        summary: "one row of A concentrating >50% of all intermediate products",
+    },
+    CaseSpec {
+        name: "grid-empty",
+        summary: "near-empty grid product: many tile rows, almost no products each",
+    },
+    CaseSpec {
+        name: "dense-blocks",
+        summary: "block-diagonal dense 16x16 tiles: compression ~16x, zero variance",
+    },
 ];
 
 /// Names of all corpus cases, in sweep order.
@@ -289,6 +301,72 @@ pub fn build(name: &str, seed: u64) -> Option<(Csr<f64>, Csr<f64>)> {
             tsg_gen::random::erdos_renyi(60, 90, 420, seed.wrapping_add(11)),
             tsg_gen::random::erdos_renyi(90, 40, 320, seed.wrapping_add(12)),
         ),
+        "skew-row" => {
+            // Row 0 of A hits 64 heavy B rows (32 nonzeros each): 2048
+            // products from one row against ~511 from everything else, so a
+            // single tile row carries ~80% of the work. A uniform sampler
+            // that misses it under-predicts by 4–5×; the heavy-row rule in
+            // `tilespgemm_core::sample` must catch it on every seed.
+            let n = 512;
+            let mut a = Coo::new(n, n);
+            for c in 0..64u32 {
+                a.push(0, c, rng.val());
+            }
+            for r in 1..n as u32 {
+                a.push(r, 64 + rng.below(n as u64 - 64) as u32, rng.val());
+            }
+            let mut b = Coo::new(n, n);
+            for r in 0..64u32 {
+                for _ in 0..32 {
+                    b.push(r, rng.below(n as u64) as u32, rng.val());
+                }
+            }
+            for r in 64..n as u32 {
+                b.push(r, rng.below(n as u64) as u32, rng.val());
+            }
+            (a.to_csr(), b.to_csr())
+        }
+        "grid-empty" => {
+            // Grid-structured A (3D-stencil-like bands at ±1/±16/±256)
+            // against a B that keeps only every 64th row: almost every
+            // intermediate product vanishes, so the estimator sees many
+            // tile rows whose true contribution is zero — an adversary for
+            // samplers that assume work is roughly uniform and nonzero.
+            let n = 2048i64;
+            let mut a = Coo::new(n as usize, n as usize);
+            for r in 0..n {
+                for off in [0i64, -1, 1, -16, 16, -256, 256] {
+                    let c = r + off;
+                    if (0..n).contains(&c) {
+                        a.push(r as u32, c as u32, rng.val());
+                    }
+                }
+            }
+            let mut b = Coo::new(n as usize, n as usize);
+            for r in (0..n).step_by(64) {
+                b.push(r as u32, rng.below(n as u64) as u32, rng.val());
+            }
+            (a.to_csr(), b.to_csr())
+        }
+        "dense-blocks" => {
+            // Block-diagonal with fully dense 16×16 tiles: A·A compresses
+            // exactly 16× (4096 products per block, 256 outputs) with zero
+            // variance across tile rows — the sampled band must collapse
+            // onto the truth instead of inflating it.
+            let blocks = 16;
+            let n = blocks * TILE_DIM;
+            let mut a = Coo::new(n, n);
+            for blk in 0..blocks as u32 {
+                let base = blk * t;
+                for r in 0..t {
+                    for c in 0..t {
+                        a.push(base + r, base + c, rng.val());
+                    }
+                }
+            }
+            let a = a.to_csr();
+            (a.clone(), a)
+        }
         _ => return None,
     })
 }

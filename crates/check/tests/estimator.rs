@@ -1,0 +1,254 @@
+//! Statistical authority for the OCEAN-style sampled estimator
+//! (`tilespgemm_core::sample`): over the full adversarial corpus × seeds,
+//! the sampled nnz(C)/flops estimates must land inside a *documented*
+//! relative-error envelope, the confidence band must actually cover the
+//! truth at roughly its stated confidence, and a 100% sample rate must
+//! degenerate to the exact count. Failures write a repro artifact in the
+//! spirit of the shrinker's ddmin output: a JSON file naming the corpus
+//! case, seed, and the numbers that disagreed, so one `tsg-check sweep
+//! --case NAME --seed N`-style line reproduces the input.
+//!
+//! ## The documented envelope
+//!
+//! At [`DEFAULT_SAMPLE_RATE`] (1/16, floor 16 tile rows):
+//!
+//! * **flops** are exact on the CSR path — the sampler's first pass counts
+//!   every intermediate product in O(nnz(A)); no envelope needed.
+//! * **nnz(C)** point estimates stay within **2×** of the truth on every
+//!   corpus case × seed (ratio ∈ [0.5, 2.0], with an absolute slack of 32
+//!   nonzeros so near-empty products don't turn rounding into a ratio).
+//! * the **95% band** `[nnz_lo, nnz_hi]` contains the truth on **≥90%** of
+//!   (case, seed) runs — the collapsed-strata variance is conservative, so
+//!   in practice coverage is higher, but 90% is the floor this suite pins.
+
+use std::fmt::Write as _;
+
+use tilespgemm_core::sample::{sample_csr, DEFAULT_SAMPLE_RATE};
+use tilespgemm_core::Config;
+use tsg_check::corpus;
+use tsg_matrix::TileMatrix;
+use tsg_runtime::MemTracker;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Ground truth: the pipeline's structural output nnz (the tiled form keeps
+/// predicted entries that cancel numerically — exactly what the symbolic
+/// sampler estimates) and the exact flop count.
+fn truth(a: &tsg_matrix::Csr<f64>, b: &tsg_matrix::Csr<f64>) -> (u64, u64) {
+    let ta = TileMatrix::from_csr(a);
+    let tb = TileMatrix::from_csr(b);
+    let out = tilespgemm_core::multiply(&ta, &tb, &Config::default(), &MemTracker::new())
+        .expect("corpus product fits an untracked budget");
+    (out.c.nnz() as u64, a.spgemm_flops(b))
+}
+
+/// One estimator disagreement, serialized into the repro artifact.
+struct Violation {
+    case: &'static str,
+    seed: u64,
+    kind: &'static str,
+    detail: String,
+}
+
+/// Writes the ddmin-style repro artifact and panics with its path. The
+/// artifact names the corpus case + seed (the full reproduction key: corpus
+/// inputs are pure functions of that pair) and the numbers that disagreed.
+fn fail_with_artifact(violations: &[Violation]) -> ! {
+    let mut json = String::from("[\n");
+    for v in violations {
+        let _ = writeln!(
+            json,
+            "  {{\"case\": \"{}\", \"seed\": {}, \"kind\": \"{}\", \"detail\": \"{}\", \"repro\": \"corpus::build(\\\"{}\\\", {})\"}},",
+            v.case, v.seed, v.kind, v.detail, v.case, v.seed
+        );
+    }
+    json.push(']');
+    let path = std::env::temp_dir().join("tsg-estimator-repro.json");
+    std::fs::write(&path, &json).expect("write repro artifact");
+    panic!(
+        "estimator accuracy violations on {} case(s); repro artifact at {}:\n{}",
+        violations.len(),
+        path.display(),
+        json
+    );
+}
+
+/// The headline contract: every corpus case × seed at the default rate has
+/// an exact flop count and an nnz(C) point estimate within the documented
+/// 2× envelope.
+#[test]
+fn sampled_estimates_stay_inside_the_documented_envelope() {
+    let mut violations = Vec::new();
+    for case in corpus::CASES {
+        for seed in SEEDS {
+            let (a, b) = corpus::build(case.name, seed).expect("case exists");
+            let (true_nnz, true_flops) = truth(&a, &b);
+            let s = sample_csr(&a, &b, DEFAULT_SAMPLE_RATE, seed ^ 0xE57);
+            if s.products * 2 != true_flops {
+                violations.push(Violation {
+                    case: case.name,
+                    seed,
+                    kind: "flops",
+                    detail: format!("sampled {} != exact {}", s.products * 2, true_flops),
+                });
+            }
+            // ≤2× envelope with a 32-nonzero absolute slack for near-empty
+            // products (grid-empty's truth is O(100); a handful of nonzeros
+            // of scale-up rounding must not read as a ratio violation).
+            let slack = 32;
+            let lo = (true_nnz / 2).saturating_sub(slack);
+            let hi = true_nnz * 2 + slack;
+            if s.est_nnz_c < lo || s.est_nnz_c > hi {
+                violations.push(Violation {
+                    case: case.name,
+                    seed,
+                    kind: "nnz_envelope",
+                    detail: format!(
+                        "estimate {} outside [{}, {}] (truth {}, sampled {}/{} tile rows)",
+                        s.est_nnz_c, lo, hi, true_nnz, s.sampled_tile_rows, s.total_tile_rows
+                    ),
+                });
+            }
+        }
+    }
+    if !violations.is_empty() {
+        fail_with_artifact(&violations);
+    }
+}
+
+/// Band coverage: the 95% interval must contain the truth on at least 90%
+/// of (case, seed) runs. Misses are reported individually so a systematic
+/// under-coverage names its corpus cases.
+#[test]
+fn confidence_band_covers_the_truth_on_at_least_90_percent_of_runs() {
+    let mut total = 0u32;
+    let mut covered = 0u32;
+    let mut misses = Vec::new();
+    for case in corpus::CASES {
+        for seed in SEEDS {
+            let (a, b) = corpus::build(case.name, seed).expect("case exists");
+            let (true_nnz, _) = truth(&a, &b);
+            let s = sample_csr(&a, &b, DEFAULT_SAMPLE_RATE, seed ^ 0xBADD);
+            total += 1;
+            if (s.nnz_lo..=s.nnz_hi).contains(&true_nnz) {
+                covered += 1;
+            } else {
+                misses.push(Violation {
+                    case: case.name,
+                    seed,
+                    kind: "band_miss",
+                    detail: format!(
+                        "truth {} outside band [{}, {}] (point {})",
+                        true_nnz, s.nnz_lo, s.nnz_hi, s.est_nnz_c
+                    ),
+                });
+            }
+        }
+    }
+    // 90% floor, rounded down — with 18 cases × 3 seeds that allows 5
+    // misses before the suite fails.
+    if covered * 10 < total * 9 {
+        fail_with_artifact(&misses);
+    }
+}
+
+/// Rate 1.0 is the degenerate sample: the whole population is measured, the
+/// estimate equals the pipeline's structural output nnz exactly, and the
+/// band has zero width. Holds on every corpus case — no sampling noise to
+/// tolerate.
+#[test]
+fn full_rate_degenerates_to_the_exact_count() {
+    let mut violations = Vec::new();
+    for case in corpus::CASES {
+        let (a, b) = corpus::build(case.name, SEEDS[0]).expect("case exists");
+        let (true_nnz, true_flops) = truth(&a, &b);
+        let s = sample_csr(&a, &b, 1.0, 7);
+        if !s.exact || s.est_nnz_c != true_nnz || s.nnz_lo != true_nnz || s.nnz_hi != true_nnz {
+            violations.push(Violation {
+                case: case.name,
+                seed: SEEDS[0],
+                kind: "full_rate",
+                detail: format!(
+                    "exact={} est={} band=[{}, {}] truth={}",
+                    s.exact, s.est_nnz_c, s.nnz_lo, s.nnz_hi, true_nnz
+                ),
+            });
+        }
+        if s.products * 2 != true_flops {
+            violations.push(Violation {
+                case: case.name,
+                seed: SEEDS[0],
+                kind: "full_rate_flops",
+                detail: format!("{} != {}", s.products * 2, true_flops),
+            });
+        }
+    }
+    if !violations.is_empty() {
+        fail_with_artifact(&violations);
+    }
+}
+
+/// The skew adversary specifically: `skew-row` concentrates >50% of all
+/// intermediate products in one tile row. The heavy-row rule must measure
+/// that row on *every* seed — an estimator that can miss it would
+/// under-predict by the concentrated share.
+#[test]
+fn skew_adversary_never_loses_its_heavy_row() {
+    for seed in 0..16u64 {
+        let (a, b) = corpus::build("skew-row", 3).expect("case exists");
+        let (true_nnz, _) = truth(&a, &b);
+        let s = sample_csr(&a, &b, DEFAULT_SAMPLE_RATE, seed);
+        assert!(
+            s.est_nnz_c >= true_nnz / 2,
+            "sampler seed {seed} under-predicted the skewed product: {} < {}/2",
+            s.est_nnz_c,
+            true_nnz
+        );
+    }
+}
+
+mod determinism {
+    //! The seeded sampler must be bit-reproducible across thread counts:
+    //! selection is a pure function of `(weights, rate, seed)` and the
+    //! measurement loop is serial integer arithmetic, so running inside a
+    //! 1-thread and an 8-thread rayon pool must produce identical
+    //! [`SampleStats`] — field for field, including the band edges.
+
+    use proptest::prelude::*;
+    use tilespgemm_core::sample::{sample_csr, sample_tiled, SampleStats};
+    use tsg_matrix::TileMatrix;
+
+    fn in_pool<F: FnOnce() -> SampleStats + Send>(threads: usize, f: F) -> SampleStats {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool")
+            .install(f)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn sampler_is_bit_reproducible_across_thread_counts(
+            n in 64usize..1024,
+            per_row in 1usize..8,
+            gen_seed in 0u64..1000,
+            sample_seed in 0u64..1000,
+            rate_idx in 0usize..4,
+        ) {
+            let rate = [0.05f64, 1.0 / 16.0, 0.5, 1.0][rate_idx];
+            let a = tsg_gen::random::erdos_renyi(n, n, n * per_row, gen_seed);
+            let b = tsg_gen::random::erdos_renyi(n, n, n * per_row, gen_seed ^ 0x5eed);
+            let one = in_pool(1, || sample_csr(&a, &b, rate, sample_seed));
+            let eight = in_pool(8, || sample_csr(&a, &b, rate, sample_seed));
+            prop_assert_eq!(one, eight, "CSR sampler diverged across pools");
+
+            let ta = TileMatrix::from_csr(&a);
+            let tb = TileMatrix::from_csr(&b);
+            let one_t = in_pool(1, || sample_tiled(&ta, &tb, rate, sample_seed));
+            let eight_t = in_pool(8, || sample_tiled(&ta, &tb, rate, sample_seed));
+            prop_assert_eq!(one_t, eight_t, "tiled sampler diverged across pools");
+        }
+    }
+}

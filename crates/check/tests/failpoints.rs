@@ -297,3 +297,47 @@ fn oversized_frame_is_refused_and_session_survives() {
     );
     session.engine().shutdown();
 }
+
+/// The sampled admission estimator "fails" (`engine.estimate_sample`): the
+/// estimate must fall back to the constant-compression upper bound and the
+/// job must still be *admitted* — degraded estimation may widen the
+/// prediction, never wrongly reject a job the sampled model would admit.
+#[test]
+fn estimate_sample_failure_falls_back_to_upper_bound_and_still_admits() {
+    let _x = failpoint::exclusive();
+    let engine = Engine::new(EngineConfig::default());
+    let (a, b) = operands();
+    let (ida, _) = engine.register(a);
+    let (idb, _) = engine.register(b);
+
+    // Baseline: sampling on, the estimate carries a measured band.
+    let sampled = engine.estimate(ida, idb).expect("estimate");
+    assert!(sampled.sample.is_some(), "default config samples");
+
+    // Armed: sampling fails for the next estimate only. The fallback is
+    // the ASSUMED_COMPRESSION model — no band, typically a different (and
+    // not smaller) byte prediction.
+    failpoint::arm("engine.estimate_sample", 0, 1);
+    let fallback = engine.estimate(ida, idb).expect("fallback estimate");
+    assert!(fallback.sample.is_none(), "fallback carries no band");
+    assert_eq!(
+        fallback.flops, sampled.flops,
+        "both paths count exact flops from the CSR forms"
+    );
+
+    // Armed again for the submit path: the job is admitted under the
+    // fallback estimate and completes. Degraded estimation must never
+    // reject a job the default budget admits.
+    failpoint::arm("engine.estimate_sample", 0, 1);
+    let report = engine
+        .multiply_now(JobSpec::new(ida, idb))
+        .expect("job admitted and completed on the fallback estimate");
+    assert!(report.nnz_c > 0);
+    assert!(report.estimate.sample.is_none());
+    failpoint::clear("engine.estimate_sample");
+
+    // Disarmed, sampling resumes.
+    let again = engine.estimate(ida, idb).expect("estimate");
+    assert!(again.sample.is_some());
+    engine.shutdown();
+}

@@ -42,6 +42,7 @@ pub mod convert;
 pub mod intersect;
 pub mod masked;
 pub mod pipeline;
+pub mod sample;
 pub mod spmv;
 pub mod step1;
 pub mod step2;
@@ -98,6 +99,24 @@ pub struct Config {
     /// intersection per tile as the paper's kernels do. On by default; turn
     /// off to get the paper-faithful recompute path for ablation benches.
     pub pair_reuse: bool,
+    /// Sampled-estimator hints (see [`crate::sample`]) an admission layer
+    /// can pass down so the pipeline pre-sizes its buffers to the measured
+    /// product instead of growing them on demand. Purely an allocation
+    /// hint: the output is bit-identical with or without it.
+    pub est_hints: Option<EstHints>,
+}
+
+/// What a sampled pre-pass predicted about the product — the allocation
+/// hints [`Config::est_hints`] carries into the pipeline. All-integer and
+/// `Eq` so `Config` stays comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EstHints {
+    /// Predicted output nonzeros (band upper edge — sizing, not truth).
+    pub nnz_c: usize,
+    /// Predicted surviving `(A_ik, B_kj)` tile pairs.
+    pub pairs: usize,
+    /// Predicted non-empty output tiles.
+    pub tiles_c: usize,
 }
 
 impl Default for Config {
@@ -108,6 +127,7 @@ impl Default for Config {
             accumulator: AccumulatorKind::Adaptive,
             scheduling: Scheduling::PerTile,
             pair_reuse: true,
+            est_hints: None,
         }
     }
 }
@@ -153,6 +173,12 @@ impl ConfigBuilder {
     /// Enables or disables matched-pair reuse between steps 2 and 3.
     pub fn pair_reuse(mut self, v: bool) -> Self {
         self.config.pair_reuse = v;
+        self
+    }
+
+    /// Attaches sampled-estimator pre-sizing hints (see [`EstHints`]).
+    pub fn est_hints(mut self, v: Option<EstHints>) -> Self {
+        self.config.est_hints = v;
         self
     }
 

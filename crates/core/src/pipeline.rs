@@ -70,15 +70,24 @@ const AUTO_MIN_TILES: usize = 4096;
 
 /// Resolves [`crate::Scheduling::Auto`] to a concrete strategy from the
 /// available parallelism and the output's tile count.
+///
+/// An explicit `Binned` request on a single worker also resolves to
+/// `PerTile`: the dispatch order cannot balance anything when every tile
+/// runs on the same thread, so the bin keys (a pass over B's tile-column
+/// nnz plus a per-tile work estimate) and the window permutation would be
+/// pure overhead. The degradation is observable only in wall time and the
+/// bin counters — tile outputs are bitwise identical either way.
 fn resolve_scheduling(s: Scheduling, num_tiles: usize) -> Scheduling {
+    let threads = rayon::current_num_threads().max(1);
     match s {
         Scheduling::Auto => {
-            if rayon::current_num_threads() >= AUTO_MIN_THREADS && num_tiles >= AUTO_MIN_TILES {
+            if threads >= AUTO_MIN_THREADS && num_tiles >= AUTO_MIN_TILES {
                 Scheduling::Binned
             } else {
                 Scheduling::PerTile
             }
         }
+        Scheduling::Binned if threads == 1 => Scheduling::PerTile,
         other => other,
     }
 }
@@ -117,8 +126,19 @@ fn deal(order: &[u32], ways: usize) -> Vec<u32> {
 
 /// The dispatch order for [`crate::Scheduling::Binned`]: heaviest bucket
 /// first, dealt across as many buckets as the executor makes chunks.
+///
+/// With a single worker the dispatch order cannot balance anything — every
+/// tile runs on the same thread regardless — while the dealt order still
+/// destroys the sequential tile locality the per-tile dispatch gets for
+/// free. So one worker keeps the natural order; [`resolve_scheduling`]
+/// normally short-circuits that case to `PerTile` before the bins are even
+/// built, and this branch backstops any caller that builds them anyway.
 fn binned_order(bins: &Bins) -> Vec<u32> {
-    deal(&heavy_first(bins), rayon::current_num_threads().max(1) * 4)
+    let threads = rayon::current_num_threads().max(1);
+    if threads == 1 {
+        return (0..bins.rows.len() as u32).collect();
+    }
+    deal(&heavy_first(bins), threads * 4)
 }
 
 /// Reorders per-tile windows by `order`, a permutation of `0..windows.len()`.
@@ -337,6 +357,46 @@ pub fn multiply_with_pool<T: Scalar>(
     };
     let scheduling = resolve_scheduling(config.scheduling, num_tiles);
 
+    // Binned dispatch keys want a B-side density term (a matched pair's
+    // mask-OR walks the A tile *and* touches the B tile's row masks, and
+    // pairing against a dense B tile column is proportionally heavier).
+    // One cheap pass over the tile-column index gives the per-column stored
+    // nonzeros; per-pair average = b_col_nnz[tj] / lb.
+    let b_col_nnz: Vec<usize> = if matches!(scheduling, Scheduling::Binned) {
+        (0..b_cols.tile_n)
+            .map(|tj| {
+                b_cols
+                    .col(tj)
+                    .1
+                    .iter()
+                    .map(|&t| b.tile_nnz_of(t as usize))
+                    .sum()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Sampled-estimator pre-sizing: when the admission layer measured the
+    // product (see `crate::sample`), warm the scratch arenas and the pair
+    // staging slots to the predicted per-tile pair count so the hot phases
+    // start with capacity instead of growing mid-flight. Allocation only —
+    // the output is bit-identical with or without hints.
+    // Step 1 already ran, so the exact output-tile count beats the hinted
+    // one as the divisor.
+    let avg_hint_words = config.est_hints.map_or(0, |h| h.pairs / num_tiles.max(1));
+    if avg_hint_words >= 8 {
+        let guards: Vec<_> = (0..arena_slots)
+            .map(|_| {
+                let mut g = arena.checkout();
+                g.pos_pairs.reserve(avg_hint_words);
+                g.id_pairs.reserve(avg_hint_words);
+                g
+            })
+            .collect();
+        drop(guards);
+    }
+
     // ---- Step 2: per-tile symbolic (Algorithm 2). ----
     let mut c_counts = vec![0usize; num_tiles];
     // Matched-pair count per tile: always recorded (one word per tile) — it
@@ -344,7 +404,15 @@ pub fn multiply_with_pool<T: Scalar>(
     let mut pair_counts = vec![0usize; num_tiles];
     // With pair reuse on, step 2 parks each tile's packed pair words here;
     // they are flattened into the compact PairBuffer right after the phase.
-    let mut pair_slots: Vec<Vec<u16>> = vec![Vec::new(); num_tiles];
+    // A sampled estimate pre-sizes the slots to the predicted per-tile pair
+    // count, skipping the doubling reallocations of the first few pushes.
+    let mut pair_slots: Vec<Vec<u16>> = if config.pair_reuse && avg_hint_words >= 8 {
+        (0..num_tiles)
+            .map(|_| Vec::with_capacity(avg_hint_words))
+            .collect()
+    } else {
+        vec![Vec::new(); num_tiles]
+    };
     let step2_tile = |s: &mut Scratch,
                       t: usize,
                       mask_w: &mut [u16],
@@ -377,16 +445,18 @@ pub fn multiply_with_pool<T: Scalar>(
     };
     // Per-tile work estimate for the binned dispatch, calibrated against
     // measured per-pair cost: the intersection visits ~min(la, lb)
-    // candidates, and each matched pair (≤ min(la, lb)) then walks one of
-    // A's tiles in the row (average nnz = row nnz / la) for the mask-OR —
-    // the part the old |la| + |lb| estimate missed entirely.
+    // candidates, and each matched pair (≤ min(la, lb)) walks one of A's
+    // tiles in the row (average nnz = row nnz / la) *and* ORs the matching
+    // B tile's row masks (average nnz = column nnz / lb) — the product
+    // proxy the sampled estimator measures, replacing the A-only model
+    // that ignored B-side density entirely.
     let step2_estimate = |t: usize| {
         let ti = c_rowidx[t] as usize;
         let tj = c_pattern.idx[t] as usize;
         let la = a.tile_row_range(ti).len();
         let lb = b_cols.col(tj).0.len();
         let m = la.min(lb);
-        m + m * (tile_row_nnz(a, ti) / la.max(1))
+        m + m * (tile_row_nnz(a, ti) / la.max(1) + b_col_nnz[tj] / lb.max(1))
     };
     let span = recorder.span_enter(job, "step2");
     breakdown.timed(Step::Step2, || match scheduling {
@@ -656,11 +726,17 @@ pub fn multiply_with_pool<T: Scalar>(
             }
             // Work estimate from exact, free-to-read step-2 facts: writing
             // the tile's nnz plus, per persisted pair, the walk over one of
-            // A's tiles in the row (average nnz = row nnz / la).
+            // A's tiles in the row (average nnz = row nnz / la) and the
+            // scatter into the matching B tile (average nnz = column nnz /
+            // lb) — the same product proxy the step-2 bins use.
             let bins = bin_rows_by(num_tiles, BINNED_BUCKETS, |t| {
                 let ti = c_rowidx[t] as usize;
+                let tj = c_pattern.idx[t] as usize;
                 let la = a.tile_row_range(ti).len();
-                c_counts[t] + pair_counts[t] * (tile_row_nnz(a, ti) / la.max(1)).max(1)
+                let lb = b_cols.col(tj).0.len();
+                c_counts[t]
+                    + pair_counts[t]
+                        * (tile_row_nnz(a, ti) / la.max(1) + b_col_nnz[tj] / lb.max(1)).max(1)
             });
             if enabled {
                 recorder.add(Counter::BinnedTiles, num_tiles as u64);

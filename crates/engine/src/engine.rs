@@ -39,7 +39,8 @@ use tsg_runtime::observe::{
 use tsg_runtime::{device::pool_for, Breakdown, Device, MemTracker, ScratchPool, Step};
 
 use crate::estimate::{
-    estimate_add, estimate_job, estimate_product, mask_pruned, JobEstimate, OperandShape,
+    estimate_add, estimate_job, estimate_job_sampled, estimate_product, estimate_tiled_sampled,
+    mask_pruned, JobEstimate, OperandShape,
 };
 use crate::registry::{MatrixId, Registry, RegistryStats, TiledLookup};
 use crate::EngineError;
@@ -65,6 +66,13 @@ pub struct EngineConfig {
     /// the JSON protocol's `stats`/`profile` verbs. Off by default, which
     /// runs every job on the [`tsg_runtime::NullRecorder`] fast path.
     pub profile: bool,
+    /// Fraction of A's tile rows the admission estimator samples when both
+    /// operand structures are materialized. `0.0` disables sampling and
+    /// falls back to the `ASSUMED_COMPRESSION` upper-bound model; `1.0`
+    /// measures every tile row (exact symbolic, zero-width band). The
+    /// default ([`tilespgemm_core::sample::DEFAULT_SAMPLE_RATE`]) trades
+    /// ~6% of the symbolic work for a measured nnz(C) band.
+    pub sample_rate: f64,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +86,7 @@ impl Default for EngineConfig {
             default_timeout: None,
             base_config: Config::default(),
             profile: false,
+            sample_rate: tilespgemm_core::sample::DEFAULT_SAMPLE_RATE,
         }
     }
 }
@@ -606,7 +615,7 @@ impl Engine {
     /// never materializes a CSR: operands whose CSR form is absent are
     /// estimated structurally from their registered shape.
     pub fn estimate_op(&self, op: &OpSpec) -> Result<JobEstimate, EngineError> {
-        estimate_spec(&self.lock_registry(), op)
+        estimate_spec(&self.lock_registry(), op, self.shared.cfg.sample_rate)
     }
 
     /// Submits a job. Admission control runs synchronously: unknown
@@ -622,7 +631,7 @@ impl Engine {
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(EngineError::ShuttingDown);
         }
-        let estimate = estimate_spec(&self.lock_registry(), &spec.op)?;
+        let estimate = estimate_spec(&self.lock_registry(), &spec.op, self.shared.cfg.sample_rate)?;
         let budget = self.shared.cfg.device.mem_budget;
         if !spec.admit_over_budget && estimate.est_bytes > budget {
             self.shared
@@ -845,16 +854,41 @@ fn shape_err(a: OperandShape, b: OperandShape) -> EngineError {
 /// estimate never forces the CSR materialization the expression API exists
 /// to avoid. Shape validation happens here too, so incompatible operands
 /// are rejected at submit, before a worker ever runs.
-fn estimate_spec(reg: &Registry, op: &OpSpec) -> Result<JobEstimate, EngineError> {
+fn estimate_spec(
+    reg: &Registry,
+    op: &OpSpec,
+    sample_rate: f64,
+) -> Result<JobEstimate, EngineError> {
     let shape_of = |id: MatrixId| -> Result<OperandShape, EngineError> {
         let (nrows, ncols, nnz) = reg.shape(id)?;
         Ok(OperandShape { nrows, ncols, nnz })
+    };
+    // Failpoint `engine.estimate_sample`: the sampled symbolic pass "fails"
+    // and estimation falls back to the constant-compression upper bound —
+    // the degraded mode a job must survive (admitted or deferred, never
+    // wrongly rejected for lack of a sample).
+    #[cfg(feature = "failpoints")]
+    let sample_rate = if tsg_runtime::failpoint::should_fail("engine.estimate_sample") {
+        0.0
+    } else {
+        sample_rate
     };
     let product = |a: MatrixId, b: MatrixId| -> Result<JobEstimate, EngineError> {
         let sa = shape_of(a)?;
         let sb = shape_of(b)?;
         if sa.ncols != sb.nrows {
             return Err(shape_err(sa, sb));
+        }
+        // Seeded per operand pair so repeated estimates of the same product
+        // are bit-identical while distinct products decorrelate.
+        let seed = a.0.rotate_left(32) ^ b.0 ^ 0x7153_7047_454d_4d01;
+        if sample_rate > 0.0 {
+            if let (Some(ca), Some(cb)) = (reg.csr_if_present(a)?, reg.csr_if_present(b)?) {
+                return Ok(estimate_job_sampled(&ca, &cb, sample_rate, seed));
+            }
+            if let (Some(ta), Some(tb)) = (reg.tiled_if_present(a)?, reg.tiled_if_present(b)?) {
+                return Ok(estimate_tiled_sampled(&ta, &tb, sample_rate, seed));
+            }
         }
         match (reg.csr_if_present(a)?, reg.csr_if_present(b)?) {
             (Some(ca), Some(cb)) => Ok(estimate_job(&ca, None, &cb, None)),
@@ -910,6 +944,10 @@ fn estimate_spec(reg: &Registry, op: &OpSpec) -> Result<JobEstimate, EngineError
             flops: links.iter().map(|e| e.flops).sum(),
             est_nnz_c: last.est_nnz_c,
             est_bytes: links.iter().map(|e| e.est_bytes).max().unwrap_or(0),
+            // A chain's first link may carry a sample, but the chain total
+            // mixes it with heuristic links — a band over the mix would
+            // overstate what was measured.
+            sample: None,
         })
     };
     match op {
@@ -985,7 +1023,19 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         recorder.span_exit(span);
         out
     };
-    let config = job.spec.config.unwrap_or(shared.cfg.base_config);
+    let mut config = job.spec.config.unwrap_or(shared.cfg.base_config);
+    // Thread the sampled admission estimate down as allocation hints, so
+    // the pipeline pre-sizes its pair staging and scratch arenas to the
+    // measured product. Explicit job configs keep their own hints if set.
+    if config.est_hints.is_none() {
+        if let Some(s) = job.estimate.sample {
+            config.est_hints = Some(tilespgemm_core::EstHints {
+                nnz_c: s.nnz_hi,
+                pairs: s.est_pairs,
+                tiles_c: s.est_tiles_c,
+            });
+        }
+    }
     let result = match &job.spec.op {
         OpSpec::Multiply { a, b } => resolve(*a).and_then(|(ta, hit_a)| {
             let (tb, hit_b) = resolve(*b)?;
@@ -1115,17 +1165,43 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             // Pin the estimator's accuracy per completed job: which log2
             // band did actual peak bytes land in relative to the admission
-            // estimate? The OCEAN-style estimator work reads this baseline.
+            // estimate?
             //
-            // Only plain multiplies tick: their estimate comes from the
-            // exact-flops model the histogram calibrates. Masked, add, and
-            // chain jobs run on different (heuristic) baselines and would
-            // pollute a like-for-like accuracy log, so they skip the tick.
-            if matches!(job.spec.op, OpSpec::Multiply { .. }) {
+            // Multiply-shaped jobs tick: plain multiplies run on the
+            // sampled/exact-flops model, and masked multiplies now prune
+            // that same model through the mask (`mask_pruned`), so both are
+            // like-for-like with the histogram. Add and chain jobs still
+            // run on unrelated heuristic baselines and skip the tick.
+            if matches!(
+                job.spec.op,
+                OpSpec::Multiply { .. } | OpSpec::MaskedMultiply { .. }
+            ) {
                 recorder.add(
                     est_error_bucket(report.estimate.est_bytes, report.peak_bytes),
                     1,
                 );
+            }
+            // Sampled-estimator provenance: how many completed jobs carried
+            // a sampled band, how many tile rows those samples measured,
+            // how often the "sample" was in fact the full population, and
+            // how many multiply-shaped jobs fell back to the constant model
+            // (sampling disabled, failpoint, or shape-only operands).
+            match job.estimate.sample {
+                Some(s) => {
+                    recorder.add(Counter::EstSampleJobs, 1);
+                    recorder.add(Counter::EstSampleRows, u64::from(s.sampled_tile_rows));
+                    if s.exact {
+                        recorder.add(Counter::EstSampleExact, 1);
+                    }
+                }
+                None => {
+                    if matches!(
+                        job.spec.op,
+                        OpSpec::Multiply { .. } | OpSpec::MaskedMultiply { .. }
+                    ) {
+                        recorder.add(Counter::EstSampleFallback, 1);
+                    }
+                }
             }
             if matches!(job.spec.op, OpSpec::Chain { .. } | OpSpec::Power { .. }) {
                 recorder.add(Counter::ChainLinks, u64::from(report.links));

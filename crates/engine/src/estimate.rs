@@ -14,16 +14,47 @@
 //! delta-packed matched-pair buffer (~2 bytes per surviving pair) and the
 //! per-worker scratch arenas the pipeline reserves.
 //!
+//! When both operand structures are on hand the engine now prefers the
+//! *sampled* estimators ([`estimate_job_sampled`], [`estimate_tiled_sampled`])
+//! built on [`tilespgemm_core::sample`]: instead of assuming a fixed
+//! compression constant they measure the exact symbolic product on a seeded
+//! subset of A's tile rows and admit against the upper edge of the resulting
+//! confidence band. The constant-factor model below remains the fallback for
+//! shape-only estimates and for the `engine.estimate_sample` failpoint path.
+//!
 //! [`MemTracker`]: tsg_runtime::MemTracker
 
+use tilespgemm_core::sample::{sample_csr, sample_tiled, SampleStats};
 use tsg_matrix::{Csr, Footprint, TileMatrix, TILE_AREA, TILE_DIM};
 use tsg_runtime::Scratch;
 
 /// Assumed ratio of intermediate products to output nonzeros. Sparse-sparse
 /// products on the paper's dataset typically compact by 1–4×; predicting 4×
 /// keeps admission permissive (under-admitting wastes the device, and the
-/// tracker still backstops over-admission).
+/// tracker still backstops over-admission). Only the fallback paths use this
+/// constant now — sampled estimates measure the compression instead.
 pub const ASSUMED_COMPRESSION: u64 = 4;
+
+/// How a sampled estimate was obtained — the integer-only band summary kept
+/// on [`JobEstimate`] (integers so the estimate stays `Eq` and the sampler's
+/// cross-thread bit-reproducibility carries through to the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleInfo {
+    /// Tile rows of `A` actually measured.
+    pub sampled_tile_rows: u32,
+    /// Tile rows of `A` in total (the sampling population).
+    pub total_tile_rows: u32,
+    /// Lower edge of the 95% band on nnz(C).
+    pub nnz_lo: usize,
+    /// Upper edge of the 95% band on nnz(C) — what admission charges for.
+    pub nnz_hi: usize,
+    /// Estimated surviving `(A_ik, B_kj)` tile pairs (pair-buffer sizing).
+    pub est_pairs: usize,
+    /// Estimated non-empty output tiles.
+    pub est_tiles_c: usize,
+    /// The whole population was measured; the band has zero width.
+    pub exact: bool,
+}
 
 /// Predicted cost of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,10 +63,16 @@ pub struct JobEstimate {
     /// are on hand; a structural heuristic otherwise (chain intermediates,
     /// resident products whose CSR was never derived).
     pub flops: u64,
-    /// Predicted output nonzeros after compaction.
+    /// Predicted output nonzeros after compaction (the band's point
+    /// estimate when [`Self::sample`] is present).
     pub est_nnz_c: usize,
-    /// Predicted peak device bytes: tiled operands plus the output.
+    /// Predicted peak device bytes: tiled operands plus the output. Sampled
+    /// estimates charge the band-upper nonzero count here, so admission is
+    /// conservative within the measured band rather than within a guessed
+    /// constant.
     pub est_bytes: usize,
+    /// Present when the estimate came from a sampled symbolic pass.
+    pub sample: Option<SampleInfo>,
 }
 
 /// The shape summary an estimate needs from an operand — available from the
@@ -156,6 +193,80 @@ fn assemble_product(
         flops,
         est_nnz_c,
         est_bytes,
+        sample: None,
+    }
+}
+
+/// Calibrated per-quantity byte weights for the sampled peak model. Unlike
+/// the fallback model (which guesses a *total device footprint* including
+/// untracked operand residency), the sampled model predicts the quantity
+/// admission actually compares against the budget: the **tracked pipeline
+/// peak** — what [`tsg_runtime::MemTracker`] observes while the multiply
+/// runs. Calibrated against measured peaks over the bench workloads
+/// (fem/scatter/grid squares and mixes), each lands the estimate 5–25%
+/// above the true peak:
+///
+/// * per output nonzero (16 B): tiled-output locals (`rowIdx`+`colIdx`+
+///   `val` ≈ 10 B) plus step-3 staging buffers;
+/// * per output tile (72 B): the tiled form's per-tile overhead (~60 B of
+///   `rowPtr`/`mask`/`tileColIdx`/`tileNnz`) plus step-2 mask scratch and
+///   the per-tile count arrays;
+/// * per surviving pair (10 B): the delta-packed pair buffer plus the
+///   step-1 tile-pair lists.
+const SAMPLED_NNZ_BYTES: usize = 16;
+const SAMPLED_TILE_BYTES: usize = 72;
+const SAMPLED_PAIR_BYTES: usize = 10;
+
+/// Predicts the cost of `a · b` from a sampled symbolic pass over the CSR
+/// operands — the admission path when both CSR forms are on hand and
+/// sampling is enabled. The flop count is exact (the sampler's first pass
+/// counts every intermediate product); nonzeros, pairs, and tiles come from
+/// the scaled sample, and the byte term charges the band-*upper* nonzero
+/// count so a job is only admitted when even the pessimistic edge of the
+/// measured band fits.
+pub fn estimate_job_sampled(a: &Csr<f64>, b: &Csr<f64>, rate: f64, seed: u64) -> JobEstimate {
+    assemble_sampled(&sample_csr(a, b, rate, seed))
+}
+
+/// Sampled estimate from tiled operands — the path for resident products
+/// whose CSR form was never materialized. The flop count is itself sampled
+/// here (`products_exact` is false below full rate), but the byte model is
+/// identical to [`estimate_job_sampled`].
+pub fn estimate_tiled_sampled(
+    a: &TileMatrix<f64>,
+    b: &TileMatrix<f64>,
+    rate: f64,
+    seed: u64,
+) -> JobEstimate {
+    assemble_sampled(&sample_tiled(a, b, rate, seed))
+}
+
+/// Byte model for a sampled estimate: the calibrated tracked-peak weights
+/// applied to measured quantities — the band-upper nonzero count, the
+/// scaled pair count, and the scaled output-tile count — instead of
+/// `ASSUMED_COMPRESSION`-derived guesses over an operand-byte guess.
+fn assemble_sampled(stats: &SampleStats) -> JobEstimate {
+    let nnz_hi = stats.nnz_hi as usize;
+    let est_pairs = (stats.est_pairs as usize).max(1);
+    let est_tiles_c = (stats.est_tiles_c as usize).max(1);
+    let arena_bytes = rayon::current_num_threads().max(1) * 4 * Scratch::BASE_BYTES;
+    let est_bytes = nnz_hi * SAMPLED_NNZ_BYTES
+        + est_tiles_c * SAMPLED_TILE_BYTES
+        + est_pairs * SAMPLED_PAIR_BYTES
+        + arena_bytes;
+    JobEstimate {
+        flops: stats.products.saturating_mul(2),
+        est_nnz_c: stats.est_nnz_c as usize,
+        est_bytes,
+        sample: Some(SampleInfo {
+            sampled_tile_rows: stats.sampled_tile_rows,
+            total_tile_rows: stats.total_tile_rows,
+            nnz_lo: stats.nnz_lo as usize,
+            nnz_hi,
+            est_pairs,
+            est_tiles_c,
+            exact: stats.exact,
+        }),
     }
 }
 
@@ -170,7 +281,11 @@ fn output_terms(est_nnz_c: usize) -> usize {
 /// pattern (`C⟨M⟩ = A·B` keeps only positions stored in `M`), so the output
 /// nonzeros are capped at `mask.nnz`, flops are scaled by the surviving
 /// fraction (mask pushdown skips step-2 work for unmasked tiles), and the
-/// mask's own tiled input bytes join the operand term.
+/// mask's own tiled input bytes join the operand term (fallback estimates
+/// only — sampled estimates model the tracked pipeline peak, which never
+/// includes input residency). On a sampled estimate the whole band is
+/// capped, and the byte term is rebuilt from the pruned band-upper edge
+/// (the basis admission charged for) at the sampled per-nonzero weight.
 pub fn mask_pruned(est: JobEstimate, mask: OperandShape) -> JobEstimate {
     let pruned = est.est_nnz_c.min(mask.nnz);
     let survival = if est.est_nnz_c == 0 {
@@ -179,11 +294,29 @@ pub fn mask_pruned(est: JobEstimate, mask: OperandShape) -> JobEstimate {
         pruned as f64 / est.est_nnz_c as f64
     };
     let flops = ((est.flops as f64 * survival).round() as u64).min(est.flops);
-    let mask_bytes = est_tiled_bytes(mask.nrows, mask.ncols, mask.nnz);
+    let byte_basis = est.sample.map_or(est.est_nnz_c, |s| s.nnz_hi);
+    let pruned_basis = byte_basis.min(mask.nnz);
+    let (removed, added) = if est.sample.is_some() {
+        (
+            byte_basis * SAMPLED_NNZ_BYTES,
+            pruned_basis * SAMPLED_NNZ_BYTES,
+        )
+    } else {
+        let mask_bytes = est_tiled_bytes(mask.nrows, mask.ncols, mask.nnz);
+        (
+            output_terms(byte_basis),
+            output_terms(pruned_basis) + mask_bytes,
+        )
+    };
     JobEstimate {
         flops,
         est_nnz_c: pruned,
-        est_bytes: est.est_bytes - output_terms(est.est_nnz_c) + output_terms(pruned) + mask_bytes,
+        est_bytes: est.est_bytes - removed + added,
+        sample: est.sample.map(|s| SampleInfo {
+            nnz_lo: s.nnz_lo.min(mask.nnz),
+            nnz_hi: s.nnz_hi.min(mask.nnz),
+            ..s
+        }),
     }
 }
 
@@ -198,6 +331,7 @@ pub fn estimate_add(a: OperandShape, b: OperandShape) -> JobEstimate {
         est_bytes: est_tiled_bytes(a.nrows, a.ncols, a.nnz)
             + est_tiled_bytes(b.nrows, b.ncols, b.nnz)
             + union * (1 + 1 + 8),
+        sample: None,
     }
 }
 

@@ -338,12 +338,24 @@ impl Session {
             }
         };
         let e = self.engine.estimate_op(&op)?;
-        Ok(obj([
+        let mut fields = vec![
             ("ok", true.into()),
             ("flops", e.flops.into()),
             ("est_nnz_c", e.est_nnz_c.into()),
             ("est_bytes", e.est_bytes.into()),
-        ]))
+        ];
+        // v3-compatible extension: sampled estimates additionally report
+        // how much was measured and the nnz(C) band. Clients that predate
+        // the sampler ignore the extra keys; the original three fields keep
+        // their exact meaning.
+        if let Some(s) = e.sample {
+            fields.push(("sampled_tile_rows", u64::from(s.sampled_tile_rows).into()));
+            fields.push(("total_tile_rows", u64::from(s.total_tile_rows).into()));
+            fields.push(("nnz_lo", s.nnz_lo.into()));
+            fields.push(("nnz_hi", s.nnz_hi.into()));
+            fields.push(("sample_exact", s.exact.into()));
+        }
+        Ok(obj(fields))
     }
 
     fn opt_matrix_id(req: &Value, key: &str) -> Result<Option<MatrixId>, ProtocolError> {

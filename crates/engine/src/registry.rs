@@ -224,6 +224,20 @@ impl Registry {
             .ok_or(EngineError::UnknownMatrix(id))
     }
 
+    /// The tiled form if it is already materialized (cached or resident) —
+    /// like [`Registry::csr_if_present`], this never converts and never
+    /// touches the LRU clock, so estimation can peek without disturbing
+    /// eviction order.
+    pub fn tiled_if_present(
+        &self,
+        id: MatrixId,
+    ) -> Result<Option<Arc<TileMatrix<f64>>>, EngineError> {
+        self.entries
+            .get(&id.0)
+            .map(|e| e.tiled.as_ref().map(Arc::clone))
+            .ok_or(EngineError::UnknownMatrix(id))
+    }
+
     /// `(nrows, ncols, nnz)` of a registered matrix — available without
     /// materializing anything, whichever form is primary.
     pub fn shape(&self, id: MatrixId) -> Result<(usize, usize, usize), EngineError> {

@@ -69,7 +69,17 @@ fn mid_flight_budget_trip_fails_the_job_and_frees_back_to_zero() {
     // Random scatter products barely compact, so the real output is ~4x the
     // ASSUMED_COMPRESSION prediction: the admission estimate under-predicts
     // the true peak by design, leaving a gap where a job is admitted but
-    // trips the tracker mid-flight.
+    // trips the tracker mid-flight. Sampling is disabled so the estimate
+    // comes from the constant-compression fallback — the calibrated sampled
+    // model upper-bounds the tracked peak on this input, which would close
+    // the very gap this test exists to pin.
+    let engine_with_budget = |budget: usize| {
+        Engine::new(EngineConfig {
+            device: device_with_budget(budget),
+            sample_rate: 0.0,
+            ..EngineConfig::default()
+        })
+    };
     let a = scatter(2048, 8, 42);
 
     // Learn the true tracked peak from an unconstrained run.
@@ -190,6 +200,59 @@ fn completed_jobs_populate_the_estimator_error_counters() {
     assert_eq!(populated.len(), 1);
     let expected = tsg_runtime::est_error_bucket(report.estimate.est_bytes, report.peak_bytes);
     assert_eq!(m.get(expected), 1);
+}
+
+/// Multiply-*shaped* jobs tick the est_err histogram: a plain multiply and
+/// a masked multiply (whose estimate is mask-pruned from the same model)
+/// each land one observation; an add — which runs on an unrelated heuristic
+/// baseline — contributes none. The sampled-estimator provenance counters
+/// tick alongside: both multiply-shaped jobs carried a sampled band here,
+/// and none fell back to the constant model.
+#[test]
+fn masked_multiplies_tick_est_err_and_sample_counters() {
+    use tsg_engine::OpSpec;
+    let engine = Engine::new(EngineConfig {
+        profile: true,
+        ..EngineConfig::default()
+    });
+    let (id, _) = engine.register(scatter(512, 8, 21));
+    let (mask, _) = engine.register(scatter(512, 2, 4));
+
+    let plain = engine.multiply_now(JobSpec::new(id, id)).unwrap();
+    let masked = engine
+        .multiply_now(JobSpec::of(OpSpec::MaskedMultiply { a: id, b: id, mask }))
+        .unwrap();
+    engine
+        .multiply_now(JobSpec::of(OpSpec::Add {
+            a: id,
+            b: id,
+            alpha: 1.0,
+            beta: 1.0,
+        }))
+        .unwrap();
+
+    let m = engine.metrics();
+    let est_err_total: u64 = tsg_runtime::observe::EST_ERR_BUCKETS
+        .iter()
+        .map(|&c| m.get(c))
+        .sum();
+    assert_eq!(
+        est_err_total, 2,
+        "multiply + masked multiply tick, the add does not"
+    );
+    // Both ticks landed in the bucket their own report maps to.
+    for r in [&plain, &masked] {
+        let bucket = tsg_runtime::est_error_bucket(r.estimate.est_bytes, r.peak_bytes);
+        assert!(m.get(bucket) >= 1);
+    }
+    // Sampled-estimator provenance: both multiply-shaped estimates carried
+    // a band (the default config samples), measuring at least the sampling
+    // floor of tile rows each; nothing fell back.
+    assert!(plain.estimate.sample.is_some());
+    assert!(masked.estimate.sample.is_some());
+    assert_eq!(m.get(tsg_runtime::Counter::EstSampleJobs), 2);
+    assert!(m.get(tsg_runtime::Counter::EstSampleRows) >= 32);
+    assert_eq!(m.get(tsg_runtime::Counter::EstSampleFallback), 0);
 }
 
 #[test]

@@ -104,11 +104,24 @@ pub enum Counter {
     /// Masked-multiply jobs completed (`MaskedMultiply`, or a chain whose
     /// final link carried a mask).
     MaskedJobs,
+    /// Completed jobs whose admission estimate came from the sampled
+    /// symbolic pass (an `est_sample_*` band was attached).
+    EstSampleJobs,
+    /// Tile rows measured by sampled estimates, summed over completed jobs
+    /// — `est_sample_rows / est_sample_jobs` is the mean sample size.
+    EstSampleRows,
+    /// Sampled estimates that measured the whole population (sample rate
+    /// reached 100% of tile rows; the band had zero width).
+    EstSampleExact,
+    /// Multiply-shaped jobs whose estimate fell back to the constant
+    /// compression model: sampling disabled, the `engine.estimate_sample`
+    /// failpoint, or operands with no materialized structure to sample.
+    EstSampleFallback,
 }
 
 /// Number of counter slots. Kept in sync with [`Counter`]; new counters are
 /// appended (the enum is `#[non_exhaustive]`).
-pub const COUNTER_COUNT: usize = 24;
+pub const COUNTER_COUNT: usize = 28;
 
 /// Every counter, in slot order, with its snake_case wire name.
 pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
@@ -136,6 +149,10 @@ pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
     (Counter::ServeBatchJobs, "serve_batch_jobs"),
     (Counter::ChainLinks, "chain_links"),
     (Counter::MaskedJobs, "masked_jobs"),
+    (Counter::EstSampleJobs, "est_sample_jobs"),
+    (Counter::EstSampleRows, "est_sample_rows"),
+    (Counter::EstSampleExact, "est_sample_exact"),
+    (Counter::EstSampleFallback, "est_sample_fallback"),
 ];
 
 /// The five estimator-error buckets in ascending log₂(peak/est) order, so a

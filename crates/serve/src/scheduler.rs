@@ -350,6 +350,13 @@ struct Inner {
     session_order: Vec<u64>,
     vclock: f64,
     in_flight: usize,
+    /// Sum of the admission estimates of every in-flight job. Admission
+    /// gates on `budget − max(reserved, tracked)`: reservations cover the
+    /// bytes an admitted job has not allocated *yet* (a sampled estimate is
+    /// an upper bound on its tracked peak, so `Σ estimates ≤ budget` keeps
+    /// concurrent jobs from growing past the budget mid-flight), while the
+    /// tracked term covers allocations that outlive or exceed a reservation.
+    reserved_bytes: usize,
     /// Serve job id → engine ticket, for cancellation of dispatched jobs.
     running: HashMap<u64, JobTicket>,
     /// `(batch id, entry index)` → registered product, or the failed job's
@@ -400,6 +407,7 @@ impl Scheduler {
                 session_order: Vec::new(),
                 vclock: 0.0,
                 in_flight: 0,
+                reserved_bytes: 0,
                 running: HashMap::new(),
                 batch_products: HashMap::new(),
                 dispatch_log: Vec::new(),
@@ -850,9 +858,15 @@ fn resolve_operand(inner: &Inner, job: &QueuedSJob, op: Operand) -> Resolved {
 
 /// What the dispatcher decided while scanning the queues.
 enum Scan {
-    /// Dispatch this session's head; `exclusive` marks a job admitted past
-    /// the free-memory check, which must then run alone.
-    Dispatch { sid: u64, exclusive: bool },
+    /// Dispatch this session's head, reserving `est_bytes` of the budget
+    /// until it completes; `exclusive` marks a job whose estimate exceeds
+    /// the whole budget (the deferred-admission backstop), which must then
+    /// run alone.
+    Dispatch {
+        sid: u64,
+        est_bytes: usize,
+        exclusive: bool,
+    },
     /// Nothing runnable (or the fair head is parked on memory): wait.
     Wait,
 }
@@ -860,12 +874,16 @@ enum Scan {
 fn dispatcher_loop(shared: &Arc<Shared>) {
     loop {
         let mut inner = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let (sid, exclusive) = loop {
+        let (sid, est_bytes, exclusive) = loop {
             if inner.stopped {
                 return;
             }
             match scan(shared, &mut inner) {
-                Scan::Dispatch { sid, exclusive } => break (sid, exclusive),
+                Scan::Dispatch {
+                    sid,
+                    est_bytes,
+                    exclusive,
+                } => break (sid, est_bytes, exclusive),
                 Scan::Wait => {
                     inner = shared
                         .cv
@@ -874,7 +892,7 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
                 }
             }
         };
-        dispatch(shared, &mut inner, sid, exclusive);
+        dispatch(shared, &mut inner, sid, est_bytes, exclusive);
         drop(inner);
         shared.cv.notify_all();
     }
@@ -969,6 +987,12 @@ fn scan(shared: &Arc<Shared>, inner: &mut Inner) -> Scan {
         },
         None => None,
     };
+    // With sampling enabled (the engine default) this estimate is the
+    // band-upper edge of a measured symbolic sample rather than the old
+    // constant-compression bound — most products that actually fit are now
+    // admitted directly, and deferred admission remains the backstop for
+    // the ones whose measured band genuinely exceeds the free budget (or
+    // whose estimate fell back to the constant model).
     let est_bytes = match shared.engine.estimate_op(&op_spec(a, b, mask)) {
         Ok(e) => e.est_bytes,
         // Bad operands (unloaded mid-queue) fail at engine submit with the
@@ -976,33 +1000,49 @@ fn scan(shared: &Arc<Shared>, inner: &mut Inner) -> Scan {
         Err(_) => 0,
     };
     let budget = shared.engine.device().mem_budget;
-    let free = budget.saturating_sub(shared.engine.device_tracker().current_bytes());
+    // Free memory is the budget minus the larger of (a) the in-flight
+    // reservations — admitted estimates whose jobs may not have allocated
+    // their peak yet — and (b) the bytes actually tracked right now. With
+    // sampled estimates upper-bounding each job's tracked peak, gating on
+    // reservations makes concurrent admission safe by construction instead
+    // of racing the tracker.
+    let committed = inner
+        .reserved_bytes
+        .max(shared.engine.device_tracker().current_bytes());
+    let free = budget.saturating_sub(committed);
     if est_bytes > free && inner.in_flight > 0 {
-        let head = inner
-            .sessions
-            .get_mut(&sid)
-            .expect("session exists")
-            .queue
-            .front_mut()
-            .expect("head exists");
-        if !head.deferred_marked {
-            head.deferred_marked = true;
-            inner.deferred += 1;
-            shared.engine.recorder().add(Counter::ServeDeferred, 1);
+        // Only an estimate the whole budget cannot hold is *deferred* (the
+        // run-solo-once-idle backstop the counter reports); a head merely
+        // waiting for reservations to drain is ordinary memory-ordered
+        // queuing.
+        if est_bytes > budget {
+            let head = inner
+                .sessions
+                .get_mut(&sid)
+                .expect("session exists")
+                .queue
+                .front_mut()
+                .expect("head exists");
+            if !head.deferred_marked {
+                head.deferred_marked = true;
+                inner.deferred += 1;
+                shared.engine.recorder().add(Counter::ServeDeferred, 1);
+            }
         }
         return Scan::Wait;
     }
-    // A head past the free-memory check only gets here with the device
-    // idle (`in_flight == 0`): it runs solo until it completes.
+    // An over-budget estimate only gets here with the device idle
+    // (`in_flight == 0`): it runs solo until it completes.
     Scan::Dispatch {
         sid,
-        exclusive: est_bytes > free,
+        est_bytes,
+        exclusive: est_bytes > budget,
     }
 }
 
 /// Pops `sid`'s head, advances the fair clock, and hands the job to the
 /// engine; a waiter thread collects the result.
-fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, exclusive: bool) {
+fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, est_bytes: usize, exclusive: bool) {
     let sess = inner.sessions.get_mut(&sid).expect("session exists");
     let job = sess.queue.pop_front().expect("head exists");
     let start = sess.vtime.max(inner.vclock);
@@ -1036,6 +1076,7 @@ fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, exclusive: bool) 
     match shared.engine.submit(spec) {
         Ok(ticket) => {
             inner.in_flight += 1;
+            inner.reserved_bytes += est_bytes;
             if exclusive {
                 inner.exclusive_job = Some(job.id);
             }
@@ -1055,6 +1096,7 @@ fn dispatch(shared: &Arc<Shared>, inner: &mut Inner, sid: u64, exclusive: bool) 
                         &shared_w,
                         sid,
                         job_id,
+                        est_bytes,
                         batch,
                         batch_index,
                         register,
@@ -1125,6 +1167,7 @@ fn waiter(
     shared: &Arc<Shared>,
     sid: u64,
     job_id: u64,
+    est_bytes: usize,
     batch: Option<u64>,
     batch_index: usize,
     register: bool,
@@ -1150,6 +1193,7 @@ fn waiter(
     };
     let mut inner = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
     inner.in_flight -= 1;
+    inner.reserved_bytes = inner.reserved_bytes.saturating_sub(est_bytes);
     if inner.exclusive_job == Some(job_id) {
         inner.exclusive_job = None;
     }

@@ -201,10 +201,14 @@ fn full_queue_answers_with_a_hint_and_the_retry_succeeds() {
 
 #[test]
 fn over_budget_estimate_defers_and_then_completes() {
-    // banded-4096's estimate over-predicts its real peak ~2.2x: with the
-    // budget between them, the seed engine rejects the job up front
-    // (estimate_exceeds_budget) — the scheduler instead defers it until the
-    // device is idle and runs it solo, where it fits.
+    // banded-4096's *fallback* estimate over-predicts its real peak ~2.2x:
+    // with the budget between them, the seed engine rejects the job up
+    // front (estimate_exceeds_budget) — the scheduler instead defers it
+    // until the device is idle and runs it solo, where it fits. Sampling is
+    // disabled here on purpose: the sampled estimator is accurate enough
+    // that this product admits directly, and this test pins the
+    // deferred-admission *backstop* — the path a pessimistic (fallback)
+    // estimate takes.
     let budget = 4 << 20;
     let mut device = Device::rtx3090_sim();
     device.mem_budget = budget;
@@ -215,6 +219,7 @@ fn over_budget_estimate_defers_and_then_completes() {
         device,
         workers: 1,
         queue_depth: 2,
+        sample_rate: 0.0,
         ..EngineConfig::default()
     });
     let sched = Scheduler::new(Arc::new(engine), SchedConfig::default());

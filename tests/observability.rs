@@ -133,7 +133,14 @@ fn byte_counters_reconcile_with_the_tracker() {
 fn binned_scheduling_reports_bin_occupancy() {
     let (_, ta) = fixtures().remove(0);
     let cfg = Config::builder().scheduling(Scheduling::Binned).build();
-    let (out, recorder, _ctx) = profiled_square(&ta, cfg);
+    // A single worker resolves Binned to PerTile (the bins cannot balance
+    // anything there), so pin the counter contract inside a two-worker
+    // pool where the binned dispatch genuinely runs — host-independent.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .expect("two-worker pool");
+    let (out, recorder, _ctx) = pool.install(|| profiled_square(&ta, cfg));
     let snap = recorder.snapshot();
     // Steps 2 and 3 each dispatch the full tile set through the bins.
     assert_eq!(
