@@ -12,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use tilespgemm_core::step1::tile_structure_spgemm;
-use tilespgemm_core::{Config, Scheduling, SpGemm};
+use tilespgemm_core::{Config, Scheduling, SimdPolicy, SpGemm};
 use tsg_gen::suite::GenSpec;
 use tsg_matrix::TileMatrix;
 use tsg_runtime::{Breakdown, MemTracker};
@@ -127,6 +127,55 @@ fn overhead_record(ta: &TileMatrix<f64>, matrix: &'static str, reps: usize) -> S
     )
 }
 
+/// The step-3 kernel ablation ladder (DESIGN.md §15): forced-scalar, the
+/// vector kernels without the dense-tile promotion, and the full `Auto`
+/// dispatch with the fast path. One record per rung; best-of-`reps` after a
+/// warmup, with a bitwise-identity check against the scalar rung (the
+/// ladder's core contract). Deliberately carries no `scheduling` /
+/// `pair_reuse` keys so `perf_smoke`'s line-based baseline lookup never
+/// matches an ablation row.
+fn simd_ablation_record(
+    ta: &TileMatrix<f64>,
+    matrix: &'static str,
+    kernel: &'static str,
+    policy: SimdPolicy,
+    scalar_c: &TileMatrix<f64>,
+    reps: usize,
+) -> String {
+    let cfg = Config::builder().simd(policy).build();
+    let warm = tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("warmup");
+    assert_eq!(
+        warm.c, *scalar_c,
+        "{matrix}/{kernel}: ablation rung must stay bitwise-identical to scalar"
+    );
+    let mut best_wall = f64::INFINITY;
+    let mut best = warm.breakdown;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = tilespgemm_core::multiply(ta, ta, &cfg, &MemTracker::new()).expect("multiply");
+        let wall = ms(t0.elapsed());
+        if wall < best_wall {
+            best_wall = wall;
+            best = out.breakdown;
+        }
+    }
+    println!(
+        "  {matrix:<14} kernel={kernel:<11} {best_wall:>9.3} ms (step3 {:>8.3} ms)",
+        ms(best.step3)
+    );
+    format!(
+        concat!(
+            "{{\"matrix\":\"{}\",\"method\":\"simd_ablation\",\"kernel\":\"{}\",",
+            "\"wall_ms\":{:.4},\"step2_ms\":{:.4},\"step3_ms\":{:.4}}}"
+        ),
+        matrix,
+        kernel,
+        best_wall,
+        ms(best.step2),
+        ms(best.step3),
+    )
+}
+
 /// Measures every (matrix, scheduling, pair_reuse) combination of the suite
 /// and writes BENCH_pipeline.json at the workspace root.
 fn emit_bench_json() {
@@ -182,6 +231,26 @@ fn emit_bench_json() {
         .collect();
     for &(name, ref ta) in &mats {
         body.push(format!("  {}", overhead_record(ta, name, 7)));
+    }
+    // Kernel ablation on the two power-law matrices, where step 3 dominates.
+    for &(name, ref ta) in &mats {
+        if name == "fem-500" {
+            continue;
+        }
+        let scalar_cfg = Config::builder().simd(SimdPolicy::ForceScalar).build();
+        let scalar_c = tilespgemm_core::multiply(ta, ta, &scalar_cfg, &MemTracker::new())
+            .expect("scalar reference")
+            .c;
+        for (kernel, policy) in [
+            ("scalar", SimdPolicy::ForceScalar),
+            ("simd", SimdPolicy::ForceSimd),
+            ("simd+dense", SimdPolicy::Auto),
+        ] {
+            body.push(format!(
+                "  {}",
+                simd_ablation_record(ta, name, kernel, policy, &scalar_c, 7)
+            ));
+        }
     }
     let json = format!("[\n{}\n]\n", body.join(",\n"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");

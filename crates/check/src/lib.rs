@@ -35,7 +35,7 @@ pub mod shrink;
 
 pub use compare::{canonicalize, compare_csr, ulp_distance, Mismatch, ValuePolicy};
 pub use oracle::{
-    check_add, check_chain, check_configs, check_masked, check_methods, check_pair, OracleFailure,
-    OracleReport,
+    check_add, check_chain, check_configs, check_masked, check_methods, check_pair, check_simd,
+    OracleFailure, OracleReport,
 };
 pub use shrink::{shrink_pair, Shrunk};

@@ -13,6 +13,10 @@
 //!   summation (accumulator policy × `tnnz` threshold, and all five
 //!   baseline methods). Their products are compared against gold under the
 //!   [`ValuePolicy`] after canonicalization.
+//! * **SIMD-dispatch tier** ([`check_simd`]) — every [`SimdPolicy`] against
+//!   the forced-scalar run, *bitwise*, across the plain, masked and chained
+//!   products: the vector kernels are written to preserve the scalar
+//!   per-slot addition order exactly.
 //!
 //! Every single run uses a fresh [`MemTracker`] and the oracle asserts it
 //! returns to zero bytes — a leak in any variant is a failure even when the
@@ -20,7 +24,7 @@
 
 use tilespgemm_core::{
     multiply, multiply_csr, multiply_csr_with, multiply_masked, AccumulatorKind, Config,
-    IntersectionKind, Scheduling,
+    IntersectionKind, Scheduling, SimdPolicy,
 };
 use tsg_baselines::reference::reference_spgemm;
 use tsg_baselines::{run_method, MethodKind};
@@ -388,8 +392,121 @@ pub fn check_chain(
     Ok(checked)
 }
 
-/// The full oracle: config sweep, all baseline methods, and the op-
-/// expression axes (masked product, linear combination, chained product).
+/// Checks the SIMD dispatch axis: every [`SimdPolicy`] must be **bitwise**
+/// identical to the forced-scalar run. The vector kernels preserve the
+/// per-output-slot addition order (separate mul/add roundings, no FMA, lane
+/// blending — see the `tilespgemm_core::simd` module docs), so unlike the
+/// accumulator value tier this axis demands exact equality, and it demands
+/// it across the plain product (under `tnnz` thresholds straddling the
+/// dense-tile promotion), the masked kernel, and a two-link tiled chain.
+/// Returns how many variants were checked.
+pub fn check_simd(a: &Csr<f64>, b: &Csr<f64>) -> Result<usize, OracleFailure> {
+    const POLICIES: [(&str, SimdPolicy); 3] = [
+        ("auto", SimdPolicy::Auto),
+        ("force-simd", SimdPolicy::ForceSimd),
+        ("force-dense-tile", SimdPolicy::ForceDenseTile),
+    ];
+    let not_identical = |variant: String| {
+        fail(
+            variant,
+            Mismatch::Run {
+                detail: "output is not bitwise identical to the forced-scalar run".to_string(),
+            },
+        )
+    };
+    let mut checked = 0;
+
+    // Plain product, with the accumulator threshold on both sides of the
+    // dense-tile promotion point so sparse-SIMD, dense-SIMD and the fast
+    // path all get exercised against their scalar references.
+    for tnnz in [64usize, 192] {
+        let pivot_cfg = Config::builder()
+            .simd(SimdPolicy::ForceScalar)
+            .tnnz_threshold(tnnz)
+            .build();
+        let pivot = run_tile(&format!("simd[scalar,tnnz={tnnz}]"), a, b, &pivot_cfg)?;
+        checked += 1;
+        for (name, policy) in POLICIES {
+            let variant = format!("simd[{name},tnnz={tnnz}]");
+            let cfg = Config::builder().simd(policy).tnnz_threshold(tnnz).build();
+            let out = run_tile(&variant, a, b, &cfg)?;
+            if out.c != pivot.c {
+                return Err(not_identical(variant));
+            }
+            checked += 1;
+        }
+    }
+
+    // Masked kernel: the checkerboard mask forces the remap of sparse
+    // kernels to their dense counterparts (products land outside the mask).
+    {
+        let gold = reference_spgemm(a, b);
+        let mask = pattern_mask(&gold, |r, c| (r + c).is_multiple_of(2));
+        let ta = TileMatrix::from_csr(a);
+        let tb = TileMatrix::from_csr(b);
+        let tm = TileMatrix::from_csr(&mask);
+        let run = |variant: &str, policy: SimdPolicy| {
+            let tracker = MemTracker::new();
+            let cfg = Config::builder().simd(policy).build();
+            let out = multiply_masked(&ta, &tb, &tm, &cfg, &tracker)
+                .map_err(|e| run_detail(variant, e))?;
+            bounded(variant, &tracker)?;
+            Ok::<_, OracleFailure>(out)
+        };
+        let pivot = run("simd[scalar,masked]", SimdPolicy::ForceScalar)?;
+        checked += 1;
+        for (name, policy) in POLICIES {
+            let variant = format!("simd[{name},masked]");
+            let out = run(&variant, policy)?;
+            if out.c != pivot.c {
+                return Err(not_identical(variant));
+            }
+            checked += 1;
+        }
+    }
+
+    // Two-link chain on tiled intermediates: the second link consumes a
+    // SIMD-produced tiled matrix, so divergence would compound here first.
+    // `d` is the same deterministic diagonal-plus-band shape `check_chain`
+    // folds with.
+    {
+        let n = b.ncols;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i as u32, i as u32, 1.0 + i as f64 * 0.25);
+            if n > 1 {
+                coo.push(i as u32, ((i + 3) % n) as u32, -0.5);
+            }
+        }
+        let d = coo.to_csr();
+        let ta = TileMatrix::from_csr(a);
+        let tb = TileMatrix::from_csr(b);
+        let td = TileMatrix::from_csr(&d);
+        let run = |variant: &str, policy: SimdPolicy| {
+            let tracker = MemTracker::new();
+            let cfg = Config::builder().simd(policy).build();
+            let cur = multiply(&ta, &tb, &cfg, &tracker).map_err(|e| run_detail(variant, e))?;
+            let out = multiply(&cur.c, &td, &cfg, &tracker).map_err(|e| run_detail(variant, e))?;
+            balanced(variant, &tracker)?;
+            Ok::<_, OracleFailure>(out)
+        };
+        let pivot = run("simd[scalar,chain]", SimdPolicy::ForceScalar)?;
+        checked += 1;
+        for (name, policy) in POLICIES {
+            let variant = format!("simd[{name},chain]");
+            let out = run(&variant, policy)?;
+            if out.c != pivot.c {
+                return Err(not_identical(variant));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// The full oracle: config sweep, all baseline methods, the op-expression
+/// axes (masked product, linear combination, chained product), and the
+/// SIMD bitwise-dispatch axis.
 pub fn check_pair(
     a: &Csr<f64>,
     b: &Csr<f64>,
@@ -399,7 +516,8 @@ pub fn check_pair(
         + check_methods(a, b, policy)?
         + check_masked(a, b, policy)?
         + check_add(a, policy)?
-        + check_chain(a, b, policy)?;
+        + check_chain(a, b, policy)?
+        + check_simd(a, b)?;
     Ok(OracleReport {
         variants,
         gold_nnz: crate::compare::canonicalize(&reference_spgemm(a, b)).nnz(),

@@ -341,3 +341,61 @@ fn estimate_sample_failure_falls_back_to_upper_bound_and_still_admits() {
     assert!(again.sample.is_some());
     engine.shutdown();
 }
+
+/// The `core.simd_dispatch` failpoint forces the whole multiply down the
+/// scalar kernel ladder: the armed run records zero `simd_*`/`dense_tile`
+/// picks while the accumulator-decision counters are untouched, and —
+/// because scalar *is* the reference summation order — the product is
+/// bitwise identical to the unforced run. Disarmed, vector dispatch
+/// resumes by itself.
+#[test]
+fn simd_dispatch_failpoint_forces_scalar_and_stays_bitwise_identical() {
+    use tsg_runtime::{CollectingRecorder, Counter, Recorder};
+
+    let _x = failpoint::exclusive();
+    let (a, b) = operands();
+    let run = || {
+        let tracker = MemTracker::new();
+        let recorder = CollectingRecorder::new();
+        let out =
+            tilespgemm_core::multiply_csr_with(&a, &b, &Config::default(), &tracker, &recorder, 1)
+                .expect("multiply succeeds");
+        assert_eq!(tracker.current_bytes(), 0);
+        (out, recorder.snapshot())
+    };
+
+    let (clean, clean_snap) = run();
+
+    failpoint::arm("core.simd_dispatch", 0, 0);
+    let (forced, forced_snap) = run();
+    assert!(
+        failpoint::hits("core.simd_dispatch") >= 1,
+        "the dispatch site was exercised"
+    );
+    assert_eq!(
+        forced_snap.get(Counter::SimdSparsePicks)
+            + forced_snap.get(Counter::SimdDensePicks)
+            + forced_snap.get(Counter::DenseTilePicks),
+        0,
+        "the armed run must not touch a vector kernel"
+    );
+    assert_eq!(
+        (
+            forced_snap.get(Counter::SparseAccPicks),
+            forced_snap.get(Counter::DenseAccPicks)
+        ),
+        (
+            clean_snap.get(Counter::SparseAccPicks),
+            clean_snap.get(Counter::DenseAccPicks)
+        ),
+        "the accumulator decision is dispatch-independent"
+    );
+    assert_eq!(
+        forced.c, clean.c,
+        "scalar fallback is bitwise identical to the dispatched run"
+    );
+
+    failpoint::clear("core.simd_dispatch");
+    let (again, _) = run();
+    assert_eq!(again.c, clean.c, "vector dispatch resumes after disarming");
+}

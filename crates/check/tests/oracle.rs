@@ -7,7 +7,9 @@ use tsg_check::{check_pair, corpus, ValuePolicy};
 /// One default-policy oracle run covers the whole variant space:
 /// 1 pivot + 32 bitwise (scheduling × reuse × intersection) + 1 recorder
 /// + 12 value-tier (accumulator × threshold) + 5 baseline methods
-/// + 2 masked + 3 add + 2 chain (op-expression axes) = 58.
+/// + 2 masked + 3 add + 2 chain (op-expression axes)
+/// + 16 SIMD-dispatch bitwise (2 tnnz × 4 policies + 4 masked + 4 chain)
+///   = 74.
 #[test]
 fn corpus_cases_pass_and_cover_every_variant() {
     let policy = ValuePolicy::default();
@@ -20,7 +22,7 @@ fn corpus_cases_pass_and_cover_every_variant() {
     ] {
         let (a, b) = corpus::build(name, 0).expect("case exists");
         let report = check_pair(&a, &b, &policy).unwrap_or_else(|f| panic!("{name} failed: {f}"));
-        assert_eq!(report.variants, 58, "{name} covered the full sweep");
+        assert_eq!(report.variants, 74, "{name} covered the full sweep");
     }
 }
 

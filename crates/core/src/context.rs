@@ -200,6 +200,14 @@ impl SpGemmBuilder {
         self
     }
 
+    /// Overrides the SIMD kernel policy on the current config. Convenience
+    /// for flipping just the dispatch knob around [`SpGemmBuilder::config`];
+    /// every policy produces bit-identical output (see `simd` module docs).
+    pub fn simd(mut self, policy: crate::SimdPolicy) -> Self {
+        self.config.simd = policy;
+        self
+    }
+
     /// Shares an existing tracker (e.g. a device-wide one) instead of
     /// creating a fresh unlimited tracker.
     pub fn tracker(mut self, tracker: Arc<MemTracker>) -> Self {

@@ -195,10 +195,9 @@ pub fn intersect_bitmap(
         let (ra, rb) = (a_rank[w], b_rank[w]);
         while common != 0 {
             let bit = common.trailing_zeros();
-            let below = (1u64 << bit) - 1;
             out.push((
-                ra + (aw & below).count_ones(),
-                rb + (bw & below).count_ones(),
+                ra + crate::maskops::rank64(aw, bit) as u32,
+                rb + crate::maskops::rank64(bw, bit) as u32,
             ));
             common &= common - 1;
         }

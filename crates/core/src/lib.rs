@@ -41,8 +41,10 @@ pub mod context;
 pub mod convert;
 pub mod intersect;
 pub mod masked;
+pub mod maskops;
 pub mod pipeline;
 pub mod sample;
+pub mod simd;
 pub mod spmv;
 pub mod step1;
 pub mod step2;
@@ -56,6 +58,7 @@ pub use masked::multiply_masked;
 pub use pipeline::{
     multiply, multiply_csr, multiply_csr_with, multiply_with, multiply_with_pool, Output,
 };
+pub use simd::{SimdLevel, SimdPolicy};
 pub use spmv::{spmv, spmv_masked};
 pub use step2::PairBuffer;
 pub use step3::AccumulatorKind;
@@ -104,6 +107,11 @@ pub struct Config {
     /// product instead of growing them on demand. Purely an allocation
     /// hint: the output is bit-identical with or without it.
     pub est_hints: Option<EstHints>,
+    /// Step-3 numeric-kernel policy (see [`crate::simd`]): runtime-detected
+    /// vector kernels plus the dense-tile fast path under `Auto` (default),
+    /// or a pinned path for ablations. Every policy is bit-identical to the
+    /// scalar reference — the tsg-check oracle enforces it.
+    pub simd: SimdPolicy,
 }
 
 /// What a sampled pre-pass predicted about the product — the allocation
@@ -128,6 +136,7 @@ impl Default for Config {
             scheduling: Scheduling::PerTile,
             pair_reuse: true,
             est_hints: None,
+            simd: SimdPolicy::Auto,
         }
     }
 }
@@ -179,6 +188,12 @@ impl ConfigBuilder {
     /// Attaches sampled-estimator pre-sizing hints (see [`EstHints`]).
     pub fn est_hints(mut self, v: Option<EstHints>) -> Self {
         self.config.est_hints = v;
+        self
+    }
+
+    /// Sets the step-3 numeric-kernel policy (see [`SimdPolicy`]).
+    pub fn simd(mut self, v: SimdPolicy) -> Self {
+        self.config.simd = v;
         self
     }
 
@@ -281,6 +296,9 @@ mod tests {
         assert_eq!(c.accumulator, AccumulatorKind::Adaptive);
         assert_eq!(c.scheduling, Scheduling::PerTile);
         assert!(c.pair_reuse);
+        // Third bitwise-invisible departure (DESIGN.md §15): the numeric
+        // kernels dispatch to runtime-detected SIMD lanes by default.
+        assert_eq!(c.simd, SimdPolicy::Auto);
     }
 
     #[test]

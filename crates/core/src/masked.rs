@@ -10,8 +10,9 @@
 //! entries.
 
 use crate::intersect::MatchedPair;
+use crate::maskops;
+use crate::simd::{self, Kernel};
 use crate::step2::{matched_pairs, symbolic_tile};
-use crate::step3::{fill_indices_from_masks, numeric_tile_dense, numeric_tile_sparse};
 use crate::{Config, SpGemmError};
 use rayon::prelude::*;
 use tsg_matrix::{Scalar, TileMatrix, TILE_DIM};
@@ -71,7 +72,10 @@ pub fn multiply_masked<T: Scalar>(
     });
     tracker.on_alloc(num_tiles * (4 + TILE_DIM * 3 + 8) + b_cols.rowidx.len() * 16)?;
 
-    // Step 2 with the mask ANDed in.
+    // Step 2 with the mask ANDed in. The kernel level and dense-tile
+    // threshold are run constants, like the unmasked pipeline's.
+    let simd_level = simd::resolve_level(config.simd);
+    let dense_tile_nnz = simd::dense_tile_threshold(config.tnnz_threshold, config.est_hints);
     let mut c_counts = vec![0usize; num_tiles];
     breakdown.timed(Step::Step2, || {
         c_masks
@@ -87,13 +91,12 @@ pub fn multiply_masked<T: Scalar>(
                     matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
                     let sym = symbolic_tile(a, b, pairs);
                     let m_tile = mask.tile(t);
-                    let mut nnz = 0usize;
-                    for r in 0..TILE_DIM {
-                        let allowed = sym.masks[r] & m_tile.masks[r];
-                        mask_w[r] = allowed;
-                        row_ptr_w[r] = nnz as u8;
-                        nnz += allowed.count_ones() as usize;
-                    }
+                    let mut m_masks = [0u16; TILE_DIM];
+                    m_masks.copy_from_slice(m_tile.masks);
+                    let allowed = maskops::and_masks(&sym.masks, &m_masks, simd_level);
+                    let (row_ptr, nnz) = maskops::row_ptr_from_masks(&allowed);
+                    mask_w.copy_from_slice(&allowed);
+                    row_ptr_w.copy_from_slice(&row_ptr);
                     *count = nnz;
                 },
             );
@@ -129,27 +132,34 @@ pub fn multiply_masked<T: Scalar>(
                     let ti = c_rowidx[t] as usize;
                     let tj = c_colidx[t] as usize;
                     let masks = &c_masks[t * TILE_DIM..(t + 1) * TILE_DIM];
-                    fill_indices_from_masks(masks, ri_w, ci_w);
+                    simd::fill_indices_fast(masks, ri_w, ci_w, simd_level);
                     matched_pairs(a, &b_cols, ti, tj, config.intersection, scratch, pairs);
                     // The sparse path cannot be used directly: products may
                     // fall outside the masked pattern. Use the dense
-                    // accumulator and compress through the masked masks —
-                    // except when the mask kept everything, where the
-                    // adaptive choice applies unchanged.
+                    // accumulator (vector micro-kernel where the level has
+                    // one) and compress through the masked masks — except
+                    // when the mask kept everything, where the adaptive
+                    // kernel choice applies unchanged.
                     let full_inside = {
                         let sym = symbolic_tile(a, b, pairs);
                         (0..TILE_DIM).all(|r| sym.masks[r] & !masks[r] == 0)
                     };
-                    if full_inside
-                        && !config
-                            .accumulator
-                            .use_dense(vals_w.len(), config.tnnz_threshold)
-                    {
-                        let row_ptr = &c_row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM];
-                        numeric_tile_sparse(a, b, pairs, masks, row_ptr, vals_w);
-                    } else {
-                        numeric_tile_dense(a, b, pairs, masks, vals_w);
-                    }
+                    let kernel = simd::select_kernel(
+                        config.simd,
+                        simd_level,
+                        vals_w.len(),
+                        config.accumulator,
+                        config.tnnz_threshold,
+                        dense_tile_nnz,
+                    );
+                    let row_ptr = &c_row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM];
+                    let kernel = match kernel {
+                        Kernel::SparseScalar | Kernel::SparseSimd if full_inside => kernel,
+                        Kernel::SparseScalar => Kernel::DenseScalar,
+                        Kernel::SparseSimd => Kernel::DenseSimd,
+                        dense => dense,
+                    };
+                    simd::run_numeric(kernel, simd_level, a, b, pairs, masks, row_ptr, vals_w);
                 },
             );
     });

@@ -4,10 +4,11 @@
 
 use crate::convert::{timed_csr_to_tile, ConversionTiming};
 use crate::intersect::{resolve_kind, IntersectionKind};
+use crate::simd::{self, Kernel};
 use crate::step1::tile_structure_spgemm;
 use crate::step2::{encode_pairs, matched_pairs_with, symbolic_tile, PairBuffer};
-use crate::step3::{fill_indices_from_masks, numeric_tile_dense, numeric_tile_sparse};
 use crate::{Config, Scheduling, SpGemmError};
+
 use rayon::prelude::*;
 use tsg_matrix::{Csr, ListBitmaps, Scalar, TileColIndex, TileMatrix, TILE_DIM};
 use tsg_runtime::arena::Scratch;
@@ -632,6 +633,11 @@ pub fn multiply_with_pool<T: Scalar>(
     };
 
     // ---- Step 3: numeric (Algorithm 3). ----
+    // The kernel level and dense-tile threshold are run constants: resolved
+    // once (policy, then the `core.simd_dispatch` failpoint, then hardware
+    // detection), so the counter replay below re-derives the same choices.
+    let simd_level = simd::resolve_level(config.simd);
+    let dense_tile_nnz = simd::dense_tile_threshold(config.tnnz_threshold, config.est_hints);
     let step3_tile = |s: &mut Scratch,
                       t: usize,
                       row_idx_w: &mut [u8],
@@ -639,7 +645,7 @@ pub fn multiply_with_pool<T: Scalar>(
                       vals_w: &mut [T]| {
         let masks = &c_masks[t * TILE_DIM..(t + 1) * TILE_DIM];
         let row_ptr = &c_row_ptr[t * TILE_DIM..(t + 1) * TILE_DIM];
-        let filled = fill_indices_from_masks(masks, row_idx_w, col_idx_w);
+        let filled = simd::fill_indices_fast(masks, row_idx_w, col_idx_w, simd_level);
         debug_assert_eq!(filled, vals_w.len());
         let ti = c_rowidx[t] as usize;
         let tj = c_pattern.idx[t] as usize;
@@ -663,14 +669,24 @@ pub fn multiply_with_pool<T: Scalar>(
                 );
             }
         }
-        if config
-            .accumulator
-            .use_dense(vals_w.len(), config.tnnz_threshold)
-        {
-            numeric_tile_dense(a, b, &s.id_pairs, masks, vals_w);
-        } else {
-            numeric_tile_sparse(a, b, &s.id_pairs, masks, row_ptr, vals_w);
-        }
+        let kernel = simd::select_kernel(
+            config.simd,
+            simd_level,
+            vals_w.len(),
+            config.accumulator,
+            config.tnnz_threshold,
+            dense_tile_nnz,
+        );
+        simd::run_numeric(
+            kernel,
+            simd_level,
+            a,
+            b,
+            &s.id_pairs,
+            masks,
+            row_ptr,
+            vals_w,
+        );
     };
     let span = recorder.span_enter(job, "step3");
     breakdown.timed(Step::Step3, || match scheduling {
@@ -762,28 +778,60 @@ pub fn multiply_with_pool<T: Scalar>(
     });
     recorder.span_exit(span);
 
-    // Step-3 counters: the sparse/dense pick per tile re-derives the exact
-    // branch `step3_tile` took (same inputs, same predicate), and a run
+    // Step-3 counters: the kernel pick per tile re-derives the exact branch
+    // `step3_tile` took (same inputs, same pure selector), and a run
     // without pair reuse repeats the step-2 intersections, so the probe
-    // count is charged again.
+    // count is charged again. `sparse + dense` still sums to the visited
+    // tiles; the `simd_*`/`dense_tile` counters histogram which
+    // implementation ran each accumulator shape.
     if enabled {
         if pair_buffer.is_none() {
             recorder.add(Counter::IntersectionProbes, probes);
         }
         let (mut sparse, mut dense) = (0u64, 0u64);
+        let (mut simd_sparse, mut simd_dense, mut dense_tile) = (0u64, 0u64, 0u64);
         for t in 0..num_tiles {
             let tile_nnz = c_offsets[t + 1] - c_offsets[t];
-            if config
-                .accumulator
-                .use_dense(tile_nnz, config.tnnz_threshold)
-            {
-                dense += 1;
-            } else {
-                sparse += 1;
+            match simd::select_kernel(
+                config.simd,
+                simd_level,
+                tile_nnz,
+                config.accumulator,
+                config.tnnz_threshold,
+                dense_tile_nnz,
+            ) {
+                Kernel::SparseScalar => sparse += 1,
+                Kernel::DenseScalar => dense += 1,
+                Kernel::SparseSimd => {
+                    sparse += 1;
+                    simd_sparse += 1;
+                }
+                Kernel::DenseSimd => {
+                    dense += 1;
+                    simd_dense += 1;
+                }
+                Kernel::DenseTile => {
+                    // The fast path promotes the *kernel*, not the paper's
+                    // accumulator decision: the legacy sparse/dense counters
+                    // keep recording the threshold rule so they stay
+                    // comparable across SIMD policies.
+                    if config
+                        .accumulator
+                        .use_dense(tile_nnz, config.tnnz_threshold)
+                    {
+                        dense += 1;
+                    } else {
+                        sparse += 1;
+                    }
+                    dense_tile += 1;
+                }
             }
         }
         recorder.add(Counter::SparseAccPicks, sparse);
         recorder.add(Counter::DenseAccPicks, dense);
+        recorder.add(Counter::SimdSparsePicks, simd_sparse);
+        recorder.add(Counter::SimdDensePicks, simd_dense);
+        recorder.add(Counter::DenseTilePicks, dense_tile);
     }
 
     // Assemble the output structure.

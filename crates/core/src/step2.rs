@@ -217,14 +217,7 @@ pub fn symbolic_tile<T: Scalar>(
             masks[r as usize] |= b_masks[c as usize];
         }
     }
-    let mut row_ptr = [0u8; TILE_DIM];
-    let mut nnz = 0usize;
-    for r in 0..TILE_DIM {
-        // At most 15 full rows precede any pointer: 15 * 16 = 240 <= u8::MAX.
-        debug_assert!(nnz <= 240);
-        row_ptr[r] = nnz as u8;
-        nnz += masks[r].count_ones() as usize;
-    }
+    let (row_ptr, nnz) = crate::maskops::row_ptr_from_masks(&masks);
     TileSymbolic {
         masks,
         row_ptr,

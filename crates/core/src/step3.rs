@@ -47,14 +47,9 @@ impl AccumulatorKind {
 pub fn fill_indices_from_masks(masks: &[u16], row_idx: &mut [u8], col_idx: &mut [u8]) -> usize {
     let mut k = 0usize;
     for (r, &m) in masks.iter().enumerate() {
-        let mut bits = m;
-        while bits != 0 {
-            let c = bits.trailing_zeros() as u8;
-            row_idx[k] = r as u8;
-            col_idx[k] = c;
-            bits &= bits - 1;
-            k += 1;
-        }
+        let next = crate::maskops::decode_mask_cols(m, col_idx, k);
+        row_idx[k..next].fill(r as u8);
+        k = next;
     }
     k
 }
@@ -87,7 +82,7 @@ pub fn numeric_tile_sparse<T: Scalar>(
                 let k = b_tile.col_idx[kb];
                 let vb = b_tile.vals[kb];
                 // Rank of column k within this row's mask.
-                let rank = (mask & ((1u16 << k) - 1)).count_ones() as usize;
+                let rank = crate::maskops::rank16(mask, k as u32);
                 debug_assert!(mask & (1 << k) != 0, "product outside symbolic mask");
                 vals[base + rank] += va * vb;
             }
